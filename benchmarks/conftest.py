@@ -1,0 +1,56 @@
+"""Shared machinery for the figure/table benchmarks.
+
+Every benchmark regenerates one table or figure of the paper at laptop
+scale (see DESIGN.md for the scaling rationale). Results are printed
+(visible with ``pytest -s``) *and* appended to ``benchmarks/results/`` so
+``--benchmark-only`` runs leave the paper-style rows on disk.
+
+Conventions mirroring Section VII:
+
+* time limits replace the paper's 1e4 s with seconds-level budgets;
+* runaway enumerations are capped at ``EMBEDDING_CAP`` results (the
+  existing-works convention of stopping at 1e5, scaled down);
+* each configuration averages several sampled patterns.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.tables import format_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Default dataset scale for benchmarks (fractions of the stand-in sizes).
+SCALE = 0.25
+#: Wall-clock budget per (engine, pattern) task.
+TIME_LIMIT = 1.5
+#: Result cap standing in for the 1e5 cap used by existing works.
+EMBEDDING_CAP = 20_000
+#: Patterns sampled per configuration (paper: 10).
+PATTERNS_PER_CONFIG = 2
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Append a titled text block to the per-run results file and stdout."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "experiments.txt")
+    # Start fresh per session.
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("CSCE reproduction benchmark results\n")
+
+    def _report(title: str, rows: list[dict], columns=None) -> None:
+        text = f"\n=== {title} ===\n{format_table(rows, columns)}\n"
+        print(text)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(text)
+
+    return _report
+
+
+def record_rows(records):
+    """ExperimentRecords -> printable rows."""
+    return [r.row() for r in records]

@@ -1,0 +1,100 @@
+"""Section VII-G case study: higher-order clustering on the email graph.
+
+The paper: edge-based clustering of EMAIL-EU reaches F1 = 0.398; 8-clique
+higher-order clustering reaches 0.515; and CSCE finds the 8-clique
+instances ~30x faster than the compared approach (11.57 s -> 0.39 s).
+
+Here: the planted-partition stand-in, edge vs 8-clique clustering, and the
+clique-finding race between CSCE and the RI-backtracking baseline (both
+using the same symmetry restrictions, so the work compared is identical).
+"""
+
+import time
+
+from conftest import record_rows
+from repro.analysis import (
+    clique_restrictions,
+    complete_pattern,
+    edge_clustering,
+    motif_clustering,
+    pairwise_f1,
+)
+from repro.baselines import BacktrackingMatcher
+from repro.core import CSCE
+from repro.datasets import email_eu
+
+CLIQUE_SIZE = 8
+
+
+def test_case_study_clustering_f1(benchmark, report):
+    graph, truth = email_eu()
+
+    def run():
+        edge_labels = edge_clustering(graph)
+        motif = motif_clustering(graph, k=CLIQUE_SIZE)
+        return {
+            "edge_f1": round(pairwise_f1(edge_labels, truth), 3),
+            "motif_f1": round(pairwise_f1(motif.labels, truth), 3),
+            "num_cliques": motif.num_motifs,
+            "motif_seconds": round(motif.seconds, 3),
+        }
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "Case study (Sec. VII-G): email clustering",
+        [
+            {"method": "edge-based", "F1": stats["edge_f1"], "paper F1": 0.398},
+            {
+                "method": f"{CLIQUE_SIZE}-clique higher-order",
+                "F1": stats["motif_f1"],
+                "paper F1": 0.515,
+            },
+        ],
+    )
+    # The paper's headline shape: higher-order clustering clearly wins.
+    assert stats["motif_f1"] > stats["edge_f1"] + 0.1
+    assert stats["num_cliques"] > 0
+
+
+def test_case_study_clique_finding_speed(benchmark, report):
+    graph, _ = email_eu()
+    pattern = complete_pattern(CLIQUE_SIZE)
+    restrictions = clique_restrictions(CLIQUE_SIZE)
+    engine = CSCE(graph)
+    baseline = BacktrackingMatcher(graph)
+
+    def run():
+        start = time.perf_counter()
+        ours = engine.match(
+            pattern, "edge_induced", count_only=True, restrictions=restrictions
+        )
+        ours_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        theirs = baseline.match(
+            pattern, "edge_induced", count_only=True, restrictions=restrictions
+        )
+        theirs_seconds = time.perf_counter() - start
+        return ours, ours_seconds, theirs, theirs_seconds
+
+    ours, ours_seconds, theirs, theirs_seconds = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    report(
+        "Case study: 8-clique instance finding",
+        [
+            {
+                "engine": "CSCE",
+                "cliques": ours.count,
+                "seconds": round(ours_seconds, 4),
+            },
+            {
+                "engine": "RI-Backtracking",
+                "cliques": theirs.count,
+                "seconds": round(theirs_seconds, 4),
+            },
+        ],
+    )
+    assert ours.count == theirs.count
+    # The paper reports a large speedup (11.57 s -> 0.39 s); at our scale
+    # we assert CSCE is at least not slower.
+    assert ours_seconds <= theirs_seconds * 1.2

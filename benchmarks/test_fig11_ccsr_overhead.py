@@ -1,0 +1,82 @@
+"""Fig. 11: CCSR read/decompression overhead by label count and pattern size.
+
+The Patent graph is relabeled with 20 / 200 / 2000 labels; ReadCSR
+(Algorithm 1) only touches the clusters a pattern uses, so read time and
+bytes grow with pattern size and shrink as labels fragment the clusters.
+Finding 11: the overhead stays bounded.
+"""
+
+from conftest import SCALE, record_rows
+from repro.ccsr import CCSRStore
+from repro.datasets import load_dataset
+from repro.graph.sampling import sample_pattern
+
+LABEL_COUNTS = (20, 200, 2000)
+PATTERN_SIZES = (3, 4, 8, 16, 32, 64)
+
+
+def test_fig11_read_overhead(benchmark, report):
+    stores = {
+        labels: CCSRStore(load_dataset("patent", scale=SCALE, num_labels=labels))
+        for labels in LABEL_COUNTS
+    }
+
+    def run():
+        rows = []
+        for labels, store in stores.items():
+            graph = store.to_graph()
+            for size in PATTERN_SIZES:
+                pattern = sample_pattern(graph, size, rng=size, style="induced")
+                task = store.read(pattern, "edge_induced")
+                rows.append(
+                    {
+                        "labels": labels,
+                        "size": size,
+                        "clusters_total": store.num_clusters,
+                        "clusters_read": task.num_clusters,
+                        "read_ms": round(task.read_seconds * 1000, 3),
+                        "bytes_read": task.bytes_read,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Fig. 11: CCSR read overhead by labels x pattern size", rows)
+
+    # More labels -> more clusters in the store (finer index).
+    totals = {row["labels"]: row["clusters_total"] for row in rows}
+    assert totals[20] < totals[200] < totals[2000]
+
+    # Reading only touches the task's clusters, never the whole store.
+    for row in rows:
+        assert row["clusters_read"] <= row["clusters_total"]
+        assert row["clusters_read"] <= 2 * row["size"] ** 2
+
+    # Finding 11: the overhead is bounded — milliseconds at this scale.
+    assert max(row["read_ms"] for row in rows) < 1000
+
+    # Larger patterns read at least as many clusters (within one label
+    # configuration, averaged over the sweep's monotone span).
+    for labels in LABEL_COUNTS:
+        series = [row for row in rows if row["labels"] == labels]
+        assert series[-1]["clusters_read"] >= series[0]["clusters_read"]
+
+
+def test_fig11_store_compression(benchmark, report):
+    """The compressed row index beats the standard CSR layout on
+    fragmented (many-label) stores — the Section IV space bound."""
+    store = CCSRStore(load_dataset("patent", scale=SCALE, num_labels=2000))
+
+    def run():
+        return {
+            "clusters": store.num_clusters,
+            "column_entries": store.total_column_entries(),
+            "compressed_rows": store.total_compressed_row_entries(),
+            "standard_rows": store.total_standard_row_entries(),
+        }
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Fig. 11: compressed vs standard row index", [stats])
+    assert stats["column_entries"] == 2 * store.num_edges
+    assert stats["compressed_rows"] <= 4 * store.num_edges
+    assert stats["compressed_rows"] < stats["standard_rows"]

@@ -1,0 +1,101 @@
+"""Fig. 14: less effective scenarios on DIP.
+
+(a) Symmetry breaking: its benefit is marginal on small patterns and its
+    optimization cost explodes with pattern size (Finding 2) — the reason
+    CSCE does not apply it.
+(b) Pattern density: throughput drops on denser patterns for every engine,
+    but CSCE stays ahead (Section VII-H).
+"""
+
+from conftest import EMBEDDING_CAP, SCALE, TIME_LIMIT, record_rows
+from repro.bench.harness import average_by, make_engine, sweep
+from repro.datasets import load_dataset
+from repro.graph.sampling import sample_pattern, sample_pattern_suite
+
+
+def test_fig14a_symmetry_breaking_cost(benchmark, report):
+    graph = load_dataset("dip", scale=SCALE)
+    engine = make_engine("GraphPi", graph)
+    sizes = (3, 4, 5, 8, 9)
+
+    def run():
+        rows = []
+        for size in sizes:
+            pattern = sample_pattern(graph, size, rng=size, style="dense")
+            result = engine.match(
+                pattern,
+                "edge_induced",
+                max_embeddings=None,
+                time_limit=TIME_LIMIT,
+            )
+            rows.append(
+                {
+                    "size": size,
+                    "symmetry_seconds": round(
+                        result.stats.get("symmetry_seconds", 0.0), 5
+                    ),
+                    "automorphisms": result.stats.get("automorphisms", 0),
+                    "restrictions": result.stats.get("restrictions", 0),
+                    "total_s": round(
+                        TIME_LIMIT if result.timed_out else result.total_seconds, 4
+                    ),
+                    "timed_out": result.timed_out,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Fig. 14(a): symmetry-breaking optimization cost on DIP", rows)
+
+    # Finding 2 shape: the optimization cost does not shrink with size and
+    # small patterns pay almost nothing.
+    assert rows[0]["symmetry_seconds"] <= rows[-1]["symmetry_seconds"] + 1e-3
+    assert rows[0]["symmetry_seconds"] < 0.5
+
+
+def test_fig14b_density(benchmark, report):
+    graph = load_dataset("dip", scale=SCALE)
+    sizes = (8, 12)
+
+    def run():
+        results = {}
+        for style in ("sparse", "dense"):
+            suite = sample_pattern_suite(
+                graph, sizes, per_size=2, style=style, seed=14
+            )
+            patterns = [p for size in sizes for p in suite[size]]
+            for i, p in enumerate(patterns):
+                p.name = f"{style}-{p.num_vertices}#{i}"
+            results[style] = sweep(
+                "fig14b",
+                graph,
+                patterns,
+                ["CSCE", "GuP", "VEQ"],
+                "edge_induced",
+                time_limit=TIME_LIMIT,
+                max_embeddings=EMBEDDING_CAP,
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = record_rows(results["sparse"]) + record_rows(results["dense"])
+    report("Fig. 14(b): throughput by pattern density on DIP", rows)
+
+    sparse = average_by(results["sparse"], key=lambda r: (r.engine,))
+    dense = average_by(results["dense"], key=lambda r: (r.engine,))
+    # Throughput drops on denser patterns for CSCE (the acknowledged
+    # less-effective scenario) ...
+    if ("CSCE",) in sparse and ("CSCE",) in dense:
+        # 1.5x slack absorbs run-to-run jitter in wall-clock throughput.
+        assert (
+            dense[("CSCE",)]["throughput"]
+            <= sparse[("CSCE",)]["throughput"] * 1.5
+        )
+    # ... but CSCE still completes at least as many dense tasks as the
+    # baselines (Section VII-H: "our work still outperforms existing
+    # approaches by throughput").
+    finished = {
+        name: sum(1 for r in results["dense"] if r.engine == name and not r.timed_out)
+        for name in ("CSCE", "GuP", "VEQ")
+    }
+    assert finished["CSCE"] == max(finished.values())

@@ -1,0 +1,65 @@
+"""Fig. 7: edge-induced vs vertex-induced on the road graph.
+
+Three panels over pattern size: (a) number of embeddings, (b) total time,
+(c) throughput. Finding 6's shape: the edge-induced variant can have *far
+more* embeddings (so it is not automatically faster), while its throughput
+is higher because it skips the negation filtering.
+"""
+
+from conftest import EMBEDDING_CAP, SCALE, TIME_LIMIT, record_rows
+from repro.bench.harness import average_by, sweep
+from repro.datasets import load_dataset
+from repro.graph.sampling import sample_pattern_suite
+
+SIZES = (4, 6, 8, 12)
+
+
+def test_fig7_edge_vs_vertex_induced(benchmark, report):
+    graph = load_dataset("roadca", scale=SCALE)
+    suite = sample_pattern_suite(graph, SIZES, per_size=2, style="induced", seed=7)
+    patterns = [p for size in SIZES for p in suite[size]]
+    for i, p in enumerate(patterns):
+        p.name = f"{p.name}#{i}"
+
+    def run():
+        records = {}
+        for variant in ("edge_induced", "vertex_induced"):
+            records[variant] = sweep(
+                "fig7",
+                graph,
+                patterns,
+                ["CSCE"],
+                variant,
+                time_limit=TIME_LIMIT,
+                max_embeddings=EMBEDDING_CAP,
+            )
+        return records
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = record_rows(records["edge_induced"]) + record_rows(
+        records["vertex_induced"]
+    )
+    report(f"Fig. 7: E vs V on roadca, sizes {SIZES}", rows)
+
+    edge = average_by(
+        records["edge_induced"], key=lambda r: (r.pattern_size,)
+    )
+    vertex = average_by(
+        records["vertex_induced"], key=lambda r: (r.pattern_size,)
+    )
+
+    # (a) Vertex-induced never has more embeddings than edge-induced.
+    for size in SIZES:
+        if (size,) in edge and (size,) in vertex:
+            assert vertex[(size,)]["embeddings"] <= edge[(size,)]["embeddings"]
+
+    # (c) Edge-induced throughput is higher (skips negation filtering) for
+    # most sizes.
+    wins = sum(
+        1
+        for size in SIZES
+        if (size,) in edge
+        and (size,) in vertex
+        and edge[(size,)]["throughput"] >= vertex[(size,)]["throughput"]
+    )
+    assert wins >= len(SIZES) - 1

@@ -1,0 +1,91 @@
+"""Fig. 9: scalability by the number of embeddings (DIP, sizes 8 and 9).
+
+Per size, several sampled patterns are ordered by their embedding count;
+total time must broadly increase with the count (Finding 9), with GraphPi
+as the exception — its symmetry-breaking optimization cost dominates and is
+independent of the embedding count.
+"""
+
+import pytest
+
+from conftest import EMBEDDING_CAP, SCALE, TIME_LIMIT, record_rows
+from repro.bench.harness import sweep
+from repro.datasets import load_dataset
+from repro.graph.sampling import sample_pattern_suite
+
+ENGINES = ["CSCE", "GuP", "RapidMatch"]
+
+
+@pytest.mark.parametrize("size", [8, 9])
+def test_fig9_time_tracks_embeddings(benchmark, report, size):
+    graph = load_dataset("dip", scale=SCALE)
+    suite = sample_pattern_suite(graph, (size,), per_size=4, style="dense", seed=9)
+    patterns = suite[size]
+    for i, p in enumerate(patterns):
+        p.name = f"{p.name}#{i}"
+
+    def run():
+        return sweep(
+            f"fig9-{size}",
+            graph,
+            patterns,
+            ENGINES,
+            "edge_induced",
+            time_limit=TIME_LIMIT,
+            max_embeddings=EMBEDDING_CAP,
+        )
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+    ordered = sorted(
+        (r for r in records if r.engine == "CSCE"), key=lambda r: r.embeddings
+    )
+    report(
+        f"Fig. 9({'a' if size == 8 else 'b'}): DIP size-{size} patterns by"
+        " #embeddings",
+        record_rows(sorted(records, key=lambda r: (r.engine, r.embeddings))),
+    )
+
+    # Finding 9 shape: across CSCE's completed runs, time correlates with
+    # the embedding count (compare cheapest vs most expensive pattern).
+    finished = [r for r in ordered if not r.timed_out]
+    if len(finished) >= 2:
+        cheapest, priciest = finished[0], finished[-1]
+        if priciest.embeddings > 4 * max(cheapest.embeddings, 1):
+            assert priciest.total_seconds >= cheapest.total_seconds
+
+
+def test_fig9_graphpi_optimization_dominates(benchmark, report):
+    """GraphPi's exception: its automorphism-based optimization time grows
+    with pattern size, independent of the embedding count."""
+    graph = load_dataset("dip", scale=SCALE)
+    from repro.bench.harness import make_engine
+    from repro.graph.sampling import sample_pattern
+
+    engine = make_engine("GraphPi", graph)
+
+    def run():
+        rows = []
+        for size in (4, 6, 8):
+            pattern = sample_pattern(graph, size, rng=size, style="dense")
+            result = engine.match(
+                pattern,
+                "edge_induced",
+                max_embeddings=None,
+                time_limit=TIME_LIMIT,
+            )
+            rows.append(
+                {
+                    "size": size,
+                    "symmetry_seconds": round(
+                        result.stats.get("symmetry_seconds", 0.0), 5
+                    ),
+                    "automorphisms": result.stats.get("automorphisms", 0),
+                    "timed_out": result.timed_out,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Fig. 9: GraphPi optimization cost by pattern size", rows)
+    # Optimization cost grows with size (Finding 2 feeding Finding 9).
+    assert rows[-1]["symmetry_seconds"] >= rows[0]["symmetry_seconds"]

@@ -1,0 +1,72 @@
+"""Heterogeneous directed queries — the graph-database workload.
+
+Graph databases answer homomorphic pattern queries over directed graphs
+with vertex *and* edge labels (the Graphflow/Kùzu setting, Fig. 6 m/n).
+This example runs such queries over the Subcategory citation stand-in and
+shows how CCSR's clusters index the heterogeneity.
+
+Run with:  python examples/heterogeneous_queries.py
+"""
+
+from repro.core import CSCE
+from repro.datasets import load_dataset
+from repro.graph import Graph
+
+graph = load_dataset("subcategory", scale=0.3)
+print(f"data graph: {graph}")
+print(f"vertex labels: {len(graph.distinct_vertex_labels())},"
+      f" edge labels: {sorted(graph.distinct_edge_labels())}")
+
+engine = CSCE(graph)
+
+# ---------------------------------------------------------------------------
+# The CCSR index: one cluster per (src label, dst label, edge label,
+# direction) — look-ups replace label checks.
+# ---------------------------------------------------------------------------
+store = engine.store
+print(f"\nCCSR clusters: {store.num_clusters}")
+largest = sorted(store.clusters.values(), key=lambda c: -c.num_entries)[:5]
+for cluster in largest:
+    print(f"  {str(cluster.key):>22}  {cluster.num_entries} entries")
+
+# ---------------------------------------------------------------------------
+# Query 1: a labeled citation chain  a -[r0]-> b -[r1]-> c.
+# Pick the two most frequent vertex labels so the query has answers.
+# ---------------------------------------------------------------------------
+top_labels = [label for label, _ in store.label_frequency.most_common(3)]
+chain = Graph(name="citation-chain")
+a, b, c = chain.add_vertices(top_labels[:3])
+chain.add_edge(a, b, label=0, directed=True)
+chain.add_edge(b, c, label=1, directed=True)
+
+result = engine.match(chain, "homomorphic", count_only=True)
+print(f"\nchain query {top_labels[:3]}: {result.count} homomorphic matches"
+      f" in {result.total_seconds:.4f}s")
+
+# The same query under injective semantics:
+print(f"  edge-induced: {engine.count(chain, 'edge_induced')}")
+print(f"  vertex-induced: {engine.count(chain, 'vertex_induced')}")
+
+# ---------------------------------------------------------------------------
+# Query 2: a "co-citation" fork — two sources pointing at the same target
+# with the same relation. Homomorphism allows the sources to coincide;
+# edge-induced matching does not.
+# ---------------------------------------------------------------------------
+fork = Graph(name="co-citation")
+s1, s2 = fork.add_vertices([top_labels[0], top_labels[0]])
+t = fork.add_vertex(top_labels[1])
+fork.add_edge(s1, t, label=0, directed=True)
+fork.add_edge(s2, t, label=0, directed=True)
+
+homo = engine.count(fork, "homomorphic")
+edge = engine.count(fork, "edge_induced")
+print(f"\nco-citation fork: homomorphic {homo} vs edge-induced {edge}")
+print("  (the difference counts the collapsed matches where both pattern"
+      " sources map to one data vertex)")
+
+# ---------------------------------------------------------------------------
+# Plans adapt to the data: the optimizer starts from the smallest cluster.
+# ---------------------------------------------------------------------------
+plan = engine.build_plan(chain, "homomorphic")
+print(f"\nplan order for the chain query: {plan.order}"
+      f" (planner: {plan.planner_name})")

@@ -1,0 +1,66 @@
+"""Higher-order graph clustering — the Section VII-G case study.
+
+Are two members of a research institution in the same department? Edge-based
+clustering of the email graph gets this partly right; clustering by
+8-clique co-membership (a higher-order signal computed with subgraph
+matching) does much better — and CSCE finds the clique instances quickly.
+
+Run with:  python examples/higher_order_clustering.py
+"""
+
+import time
+
+from repro.analysis import (
+    clique_restrictions,
+    complete_pattern,
+    edge_clustering,
+    motif_clustering,
+    pairwise_f1,
+)
+from repro.baselines import BacktrackingMatcher
+from repro.core import CSCE
+from repro.datasets import email_eu
+
+graph, departments = email_eu()
+print(f"email graph: {graph}, {len(set(departments))} departments")
+
+# ---------------------------------------------------------------------------
+# 1. Edge-based clustering (the baseline the paper compares against).
+# ---------------------------------------------------------------------------
+edge_labels = edge_clustering(graph)
+edge_f1 = pairwise_f1(edge_labels, departments)
+print(f"\nedge-based clustering   F1 = {edge_f1:.3f}   (paper: 0.398)")
+
+# ---------------------------------------------------------------------------
+# 2. Higher-order clustering over 8-clique co-membership.
+# ---------------------------------------------------------------------------
+motif = motif_clustering(graph, k=8)
+motif_f1 = pairwise_f1(motif.labels, departments)
+print(f"8-clique clustering     F1 = {motif_f1:.3f}   (paper: 0.515)")
+print(f"  {motif.num_motifs} distinct 8-cliques found in"
+      f" {motif.seconds:.3f}s")
+
+# ---------------------------------------------------------------------------
+# 3. The subgraph-matching race: CSCE vs a backtracking baseline on the
+#    clique-finding step (both use the same symmetry restrictions so each
+#    clique is found exactly once).
+# ---------------------------------------------------------------------------
+pattern = complete_pattern(8)
+restrictions = clique_restrictions(8)
+
+start = time.perf_counter()
+ours = CSCE(graph).match(pattern, "edge_induced", count_only=True,
+                         restrictions=restrictions)
+ours_seconds = time.perf_counter() - start
+
+start = time.perf_counter()
+theirs = BacktrackingMatcher(graph).match(
+    pattern, "edge_induced", count_only=True, restrictions=restrictions
+)
+theirs_seconds = time.perf_counter() - start
+
+assert ours.count == theirs.count
+print(f"\nfinding all {ours.count} 8-clique instances:")
+print(f"  CSCE            {ours_seconds:.3f}s")
+print(f"  RI-backtracking {theirs_seconds:.3f}s")
+print(f"  (paper: 0.39s vs 11.57s on the full EMAIL-EU)")

@@ -1,0 +1,74 @@
+"""Protein-complex motif search — the paper's motivating workload.
+
+The introduction motivates large-pattern matching with protein complexes:
+DPCMNE detects complexes of up to 360 vertices in protein-interaction
+networks such as DIP, and finding further instances of a known complex is
+subgraph matching with a *large* pattern.
+
+This example samples complex-like dense patterns (8-20 vertices, the
+paper's large-pattern regime) from the DIP stand-in and races CSCE against
+the failing-set (DAF/VEQ-style) baseline. Unlabeled protein networks are
+exactly where failing-set pruning struggles (paper Finding 3/4) and where
+SCE's candidate reuse shines.
+
+Run with:  python examples/protein_motifs.py
+"""
+
+import time
+
+from repro.baselines import FailingSetMatcher
+from repro.core import CSCE
+from repro.datasets import load_dataset
+from repro.graph.sampling import is_dense_pattern, sample_pattern
+
+TIME_LIMIT = 10.0
+# Existing-works convention: stop after this many embeddings (the paper's
+# baselines cap at 1e5).
+EMBEDDING_CAP = 50_000
+
+graph = load_dataset("dip", scale=0.5)
+print(f"data graph: {graph} (unlabeled protein-interaction network)")
+
+engine = CSCE(graph)
+baseline = FailingSetMatcher(graph)
+
+print(f"\n{'size':>4}  {'density':>8}  {'embeddings':>10}  "
+      f"{'CSCE (s)':>9}  {'VEQ-style (s)':>14}")
+for size in (8, 12, 16, 20):
+    pattern = sample_pattern(graph, size, rng=size, style="dense")
+    density = "dense" if is_dense_pattern(pattern) else "sparse"
+
+    start = time.perf_counter()
+    ours = engine.match(pattern, "edge_induced", count_only=True,
+                        time_limit=TIME_LIMIT, max_embeddings=EMBEDDING_CAP)
+    ours_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    theirs = baseline.match(pattern, "edge_induced", count_only=True,
+                            time_limit=TIME_LIMIT,
+                            max_embeddings=EMBEDDING_CAP)
+    theirs_seconds = time.perf_counter() - start
+
+    if not (ours.timed_out or ours.truncated
+            or theirs.timed_out or theirs.truncated):
+        assert ours.count == theirs.count, "engines disagree!"
+    count = f"{ours.count}{'+' if ours.truncated else ''}"
+    theirs_cell = "timeout" if theirs.timed_out else f"{theirs_seconds:.3f}"
+    print(f"{size:>4}  {density:>8}  {count:>10}  "
+          f"{ours_seconds:>9.3f}  {theirs_cell:>14}")
+
+# ---------------------------------------------------------------------------
+# Where does CSCE's time go? Reading clusters and planning stay sub-second
+# (Findings 5 and 10); nearly everything is execution, and SCE's memo keeps
+# candidate computation off the hot path.
+# ---------------------------------------------------------------------------
+pattern = sample_pattern(graph, 16, rng=99, style="dense")
+result = engine.match(pattern, "edge_induced", count_only=True,
+                      time_limit=TIME_LIMIT, max_embeddings=EMBEDDING_CAP)
+print(f"\nbreakdown for one size-16 complex: read {result.read_seconds:.4f}s,"
+      f" plan {result.plan_seconds:.4f}s, execute {result.elapsed:.4f}s,"
+      f" embeddings {result.count}")
+stats = result.stats
+if "memo_hits" in stats:
+    print(f"SCE at work: {stats['memo_hits']} candidate-set reuses vs"
+          f" {stats['computed']} fresh computations")

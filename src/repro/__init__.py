@@ -1,0 +1,56 @@
+"""CSCE — Large Subgraph Matching on Heterogeneous Graphs (ICDE 2024).
+
+A from-scratch reproduction of the paper's full system:
+
+* :class:`~repro.graph.Graph` — heterogeneous graphs (vertex/edge labels,
+  per-edge direction);
+* :class:`~repro.ccsr.CCSRStore` — clustered compressed sparse rows;
+* :class:`~repro.core.CSCE` — the matching engine (GCF + SCE + LDSF) for the
+  edge-induced, vertex-induced, and homomorphic variants;
+* :mod:`repro.baselines` — re-implemented comparison engines;
+* :mod:`repro.datasets` — scaled synthetic stand-ins for the evaluation
+  datasets;
+* :mod:`repro.analysis` — the higher-order clustering case study.
+
+Quickstart::
+
+    from repro import CSCE, Graph
+
+    g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+    p = Graph.from_edges(3, [(0, 1), (1, 2)])
+    print(CSCE(g).match(p).count)
+"""
+
+from repro.graph import Graph, Edge, load_graph, save_graph, sample_pattern
+from repro.ccsr import CCSRStore
+from repro.core import CSCE, MatchResult, Plan, Variant
+from repro.errors import (
+    ReproError,
+    GraphError,
+    FormatError,
+    PlanError,
+    VariantError,
+    LimitExceeded,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "Edge",
+    "load_graph",
+    "save_graph",
+    "sample_pattern",
+    "CCSRStore",
+    "CSCE",
+    "MatchResult",
+    "Plan",
+    "Variant",
+    "ReproError",
+    "GraphError",
+    "FormatError",
+    "PlanError",
+    "VariantError",
+    "LimitExceeded",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Higher-order graph analysis — the Section VII-G case study substrate."""
+
+from repro.analysis.metrics import pairwise_f1
+from repro.analysis.motif_graph import MotifGraphResult, build_motif_graph
+from repro.analysis.data_equivalence import (
+    EquivalenceStats,
+    equivalence_statistics,
+    syntactic_equivalence_classes,
+)
+from repro.analysis.motif_clustering import (
+    MotifClusteringResult,
+    clique_restrictions,
+    complete_pattern,
+    edge_clustering,
+    label_propagation,
+    motif_clustering,
+    motif_weighted_adjacency,
+)
+
+__all__ = [
+    "pairwise_f1",
+    "MotifGraphResult",
+    "build_motif_graph",
+    "EquivalenceStats",
+    "equivalence_statistics",
+    "syntactic_equivalence_classes",
+    "MotifClusteringResult",
+    "clique_restrictions",
+    "complete_pattern",
+    "edge_clustering",
+    "label_propagation",
+    "motif_clustering",
+    "motif_weighted_adjacency",
+]

@@ -1,0 +1,149 @@
+"""Syntactic equivalence of data-graph vertices (BoostISO / VEQ).
+
+Section II: BoostISO groups data vertices that are *syntactically
+equivalent* — interchangeable in every embedding because swapping them is
+an automorphism fixing everything else (v3 and v10 in Fig. 1). VEQ's
+dynamic equivalence exploits the same structure at run time, and the
+paper's Finding 4 observes the pruning family collapses on sparse
+unlabeled graphs where the classes turn trivial.
+
+This module computes the exact classes from a CCSR store and summarizes
+how much compression the equivalence offers — the statistic that explains
+where VEQ-style engines shine and where they fail.
+
+Two vertices ``u``, ``w`` are syntactically equivalent iff they share a
+label and, in every cluster and direction, have identical neighbor rows
+once each is masked out of the other's row (the masking admits *adjacent*
+twins such as the two endpoints of a symmetric pendant pair). Non-adjacent
+twins are found in one pass by exact row signatures; adjacent twins are
+verified per edge; union-find merges the two relations into classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ccsr.store import CCSRStore
+from repro.graph.model import Graph
+
+
+@dataclass(frozen=True)
+class EquivalenceStats:
+    """Summary of a graph's syntactic vertex equivalence."""
+
+    num_vertices: int
+    num_classes: int
+    largest_class: int
+    vertices_in_nontrivial_classes: int
+
+    @property
+    def compression(self) -> float:
+        """Vertices per class — 1.0 means no equivalence at all."""
+        if self.num_classes == 0:
+            return 1.0
+        return self.num_vertices / self.num_classes
+
+    @property
+    def nontrivial_fraction(self) -> float:
+        """Share of vertices sharing a class with at least one other."""
+        if self.num_vertices == 0:
+            return 0.0
+        return self.vertices_in_nontrivial_classes / self.num_vertices
+
+
+def _sorted_cluster_items(store: CCSRStore):
+    return sorted(store.clusters.items(), key=lambda item: str(item[0]))
+
+
+def _row_views(store: CCSRStore, v: int) -> list[tuple[str, tuple]]:
+    """(direction-tagged cluster, neighbor tuple) pairs for vertex ``v``."""
+    views = []
+    for key, cluster in _sorted_cluster_items(store):
+        views.append((f"{key}|out", tuple(cluster.successors(v).tolist())))
+        if key.directed:
+            views.append((f"{key}|in", tuple(cluster.predecessors(v).tolist())))
+    return views
+
+
+def _masked_rows_equal(store: CCSRStore, u: int, w: int) -> bool:
+    """Do u and w have identical rows once each ignores the other?"""
+    for key, cluster in _sorted_cluster_items(store):
+        directions = [cluster.successors]
+        if key.directed:
+            directions.append(cluster.predecessors)
+        for neighbors in directions:
+            row_u = [x for x in neighbors(u).tolist() if x != w]
+            row_w = [x for x in neighbors(w).tolist() if x != u]
+            if row_u != row_w:
+                return False
+            # The mutual relationship must be symmetric for the swap to be
+            # an automorphism: u in row(w) iff w in row(u), per direction.
+            u_sees_w = w in neighbors(u).tolist()
+            w_sees_u = u in neighbors(w).tolist()
+            if u_sees_w != w_sees_u:
+                return False
+    return True
+
+
+def syntactic_equivalence_classes(
+    source: Graph | CCSRStore,
+) -> list[list[int]]:
+    """Partition data vertices into syntactic equivalence classes,
+    returned sorted largest-first."""
+    store = source if isinstance(source, CCSRStore) else CCSRStore(source)
+    n = store.num_vertices
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    # Pass 1 — non-adjacent twins: identical unmasked signatures imply the
+    # pair is non-adjacent (a shared row containing one of them would put a
+    # self-loop in the other's row) and swapping them is an automorphism.
+    signature_groups: dict[tuple, list[int]] = {}
+    for v in range(n):
+        signature = (store.vertex_labels[v], tuple(_row_views(store, v)))
+        signature_groups.setdefault(signature, []).append(v)
+    for members in signature_groups.values():
+        for other in members[1:]:
+            union(members[0], other)
+
+    # Pass 2 — adjacent twins: only endpoint pairs of an edge qualify, so a
+    # per-edge masked comparison suffices.
+    for key, cluster in _sorted_cluster_items(store):
+        for src, dst in cluster.iter_directed_entries():
+            if src < dst or key.directed:
+                if store.vertex_labels[src] != store.vertex_labels[dst]:
+                    continue
+                if find(src) == find(dst):
+                    continue
+                if _masked_rows_equal(store, src, dst):
+                    union(src, dst)
+
+    classes_by_root: dict[int, list[int]] = {}
+    for v in range(n):
+        classes_by_root.setdefault(find(v), []).append(v)
+    classes = [sorted(members) for members in classes_by_root.values()]
+    classes.sort(key=lambda c: (-len(c), c))
+    return classes
+
+
+def equivalence_statistics(source: Graph | CCSRStore) -> EquivalenceStats:
+    """Summarize a graph's syntactic equivalence (the Finding 4 metric)."""
+    store = source if isinstance(source, CCSRStore) else CCSRStore(source)
+    classes = syntactic_equivalence_classes(store)
+    nontrivial = sum(len(c) for c in classes if len(c) > 1)
+    return EquivalenceStats(
+        num_vertices=store.num_vertices,
+        num_classes=len(classes),
+        largest_class=max((len(c) for c in classes), default=0),
+        vertices_in_nontrivial_classes=nontrivial,
+    )

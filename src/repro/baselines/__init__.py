@@ -1,0 +1,47 @@
+"""Re-implemented baseline matching engines (Table III).
+
+Each class reproduces the algorithmic core of one comparison system in pure
+Python so that all engines — including CSCE — pay the same interpreter tax
+and relative comparisons measure algorithms, not languages:
+
+=================  ============================================
+Class              Stands in for
+=================  ============================================
+BacktrackingMatcher  RI / QuickSI / GuP (guarded backtracking)
+VF2Matcher           VF3 (vertex-induced, lookahead pruning)
+WCOJMatcher          RapidMatch (relation-based pipelined WCOJ)
+GraphflowMatcher     Graphflow (WCOJ, homomorphic, directed)
+FailingSetMatcher    DAF / VEQ (failing-set pruning)
+SymmetryBreakingMatcher  GraphPi (automorphism restrictions)
+=================  ============================================
+"""
+
+from repro.baselines.base import BaselineMatcher, DataIndex, SearchBudget
+from repro.baselines.backtracking import BacktrackingMatcher
+from repro.baselines.vf2 import VF2Matcher
+from repro.baselines.wcoj import GraphflowMatcher, WCOJMatcher
+from repro.baselines.failing_set import FailingSetMatcher
+from repro.baselines.symmetry import SymmetryBreakingMatcher, symmetry_restrictions
+
+ALL_BASELINES = (
+    SymmetryBreakingMatcher,
+    GraphflowMatcher,
+    BacktrackingMatcher,
+    WCOJMatcher,
+    FailingSetMatcher,
+    VF2Matcher,
+)
+
+__all__ = [
+    "BaselineMatcher",
+    "DataIndex",
+    "SearchBudget",
+    "BacktrackingMatcher",
+    "VF2Matcher",
+    "WCOJMatcher",
+    "GraphflowMatcher",
+    "FailingSetMatcher",
+    "SymmetryBreakingMatcher",
+    "symmetry_restrictions",
+    "ALL_BASELINES",
+]

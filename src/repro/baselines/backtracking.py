@@ -1,0 +1,165 @@
+"""Backtracking matcher in the RI / GuP mold.
+
+The classic backtracking framework (Section II "Execution"): order pattern
+vertices with GCF, filter initial candidates with label-degree (LDF) and
+neighborhood-label-frequency (NLF) rules, then grow partial embeddings by
+scanning the data-graph neighbors of one matched backward neighbor and
+verifying every other backward edge with explicit label checks.
+
+This is the stand-in for RI (edge-induced + vertex-induced heuristics
+backtracking) and, with its guard-style candidate filtering, for GuP's
+pruning-centric variant of the same framework.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.baselines.base import (
+    BaselineMatcher,
+    SearchBudget,
+    backward_constraints,
+    pattern_pair_descriptor,
+)
+from repro.core.gcf import gcf_order
+from repro.core.variants import Variant
+from repro.graph.model import Graph
+
+
+class BacktrackingMatcher(BaselineMatcher):
+    """RI-style backtracking with LDF/NLF candidate filtering."""
+
+    display_name = "RI-Backtracking"
+    supported_variants = frozenset(
+        {Variant.EDGE_INDUCED, Variant.VERTEX_INDUCED, Variant.HOMOMORPHIC}
+    )
+    supports_vertex_labels = True
+    supports_edge_labels = True
+    supports_undirected = True
+    supports_directed = True
+    max_tested_pattern_size = 32
+
+    def _embeddings(
+        self, pattern: Graph, variant: Variant, budget: SearchBudget
+    ) -> Iterator[dict[int, int]]:
+        index = self.index
+        order = gcf_order(pattern, task_clusters=None, use_cluster_tiebreak=False)
+        checks = backward_constraints(pattern, order)
+        n = pattern.num_vertices
+        induced = variant.induced
+        injective = variant.injective
+
+        # Per position, the earlier *non*-neighbors to negate under the
+        # induced variant (strict: pattern/data pair descriptors must agree,
+        # so neighbors are re-verified exactly too).
+        position = {v: i for i, v in enumerate(order)}
+        induced_pairs: list[list[tuple[int, tuple]]] = [[] for _ in range(n)]
+        if induced:
+            for j in range(n):
+                u_j = order[j]
+                for i in range(j):
+                    u_i = order[i]
+                    induced_pairs[j].append(
+                        (u_i, pattern_pair_descriptor(pattern, u_i, u_j))
+                    )
+
+        # LDF + NLF filters for the first vertex. Degree-based pruning is
+        # only sound under injective variants: a homomorphism may fold many
+        # pattern neighbors onto one data vertex.
+        def passes_filters(u: int, v: int) -> bool:
+            if index.labels[v] != pattern.vertex_label(u):
+                return False
+            if not injective:
+                return True
+            if index.degrees[v] < pattern.degree(u):
+                return False
+            need = {}
+            for w in pattern.neighbors(u):
+                lbl = pattern.vertex_label(w)
+                need[lbl] = need.get(lbl, 0) + 1
+            have = index.neighbor_label_counts[v]
+            return all(have.get(lbl, 0) >= cnt for lbl, cnt in need.items())
+
+        # Symmetry restrictions (f(u) < f(v)), evaluated once both ends map.
+        restriction_at: list[list[tuple[int, bool]]] = [[] for _ in range(n)]
+        for u, v in self._restrictions:
+            if position[u] > position[v]:
+                restriction_at[position[u]].append((v, True))
+            else:
+                restriction_at[position[v]].append((u, False))
+
+        assignment: dict[int, int] = {}
+        used: set[int] = set()
+
+        def candidates(pos: int) -> Iterator[int]:
+            u = order[pos]
+            backward = checks[pos]
+            if not backward:
+                pool = index.vertices_with_label(pattern.vertex_label(u))
+                for v in pool:
+                    if passes_filters(u, v):
+                        yield v
+                return
+            # Scan neighbors of one matched backward neighbor, verify rest.
+            anchor_prior, anchor_label, anchor_directed, anchor_forward = backward[0]
+            anchor_image = assignment[anchor_prior]
+            for v in index.neighbors[anchor_image]:
+                if index.labels[v] != pattern.vertex_label(u):
+                    continue
+                if anchor_forward:
+                    ok = index.matches_pattern_edge(
+                        anchor_image, v, anchor_label, anchor_directed
+                    )
+                else:
+                    ok = index.matches_pattern_edge(
+                        v, anchor_image, anchor_label, anchor_directed
+                    )
+                if not ok:
+                    continue
+                for prior, label, directed, forward in backward[1:]:
+                    image = assignment[prior]
+                    if forward:
+                        ok = index.matches_pattern_edge(image, v, label, directed)
+                    else:
+                        ok = index.matches_pattern_edge(v, image, label, directed)
+                    if not ok:
+                        break
+                else:
+                    yield v
+
+        def extend(pos: int) -> Iterator[dict[int, int]]:
+            if pos == n:
+                yield dict(assignment)
+                return
+            budget.tick()
+            u = order[pos]
+            for v in candidates(pos):
+                if injective and v in used:
+                    continue
+                violates = False
+                for other, candidate_is_smaller in restriction_at[pos]:
+                    image = assignment[other]
+                    if (candidate_is_smaller and v >= image) or (
+                        not candidate_is_smaller and v <= image
+                    ):
+                        violates = True
+                        break
+                if violates:
+                    continue
+                if induced:
+                    conflict = False
+                    for u_i, descriptor in induced_pairs[pos]:
+                        if index.pair_descriptor(assignment[u_i], v) != descriptor:
+                            conflict = True
+                            break
+                    if conflict:
+                        continue
+                assignment[u] = v
+                if injective:
+                    used.add(v)
+                yield from extend(pos + 1)
+                if injective:
+                    used.discard(v)
+                del assignment[u]
+
+        yield from extend(0)

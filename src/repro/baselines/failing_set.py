@@ -1,0 +1,150 @@
+"""Backtracking with failing-set pruning — the DAF / VEQ stand-in.
+
+Failing-set pruning (DAF, applied by RapidMatch and VEQ) analyses *why* a
+subtree of the search produced no embedding. Each recursive call returns a
+*failing set* of pattern vertices responsible for the failure; if the vertex
+just assigned is not in its child's failing set, re-assigning it cannot
+help, so all of its remaining candidates are skipped.
+
+The rules follow DAF (Han et al., SIGMOD 2019):
+
+* empty candidate set for vertex ``u``  ->  failing set = {u} and the
+  ancestors that produced u's candidates (its backward neighbors);
+* injectivity conflict on ``u`` against matched vertex ``u'``  ->  {u, u'};
+* an embedding found  ->  empty failing set (no pruning above);
+* otherwise the union of the children's failing sets.
+
+The paper's Finding 3 compares this technique against SCE: FSP pays its
+analysis on every failure during execution, SCE computes independence once
+at plan time. It also only applies to edge-induced matching (Section I).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.baselines.base import (
+    BaselineMatcher,
+    SearchBudget,
+    backward_constraints,
+)
+from repro.core.gcf import gcf_order
+from repro.core.variants import Variant
+from repro.graph.model import Graph
+
+
+class FailingSetMatcher(BaselineMatcher):
+    """DAF/VEQ-style backtracking with failing-set pruning."""
+
+    display_name = "VEQ"
+    supported_variants = frozenset({Variant.EDGE_INDUCED})
+    supports_vertex_labels = True
+    supports_edge_labels = True
+    supports_undirected = True
+    supports_directed = True
+    max_tested_pattern_size = 200
+
+    def _embeddings(
+        self, pattern: Graph, variant: Variant, budget: SearchBudget
+    ) -> Iterator[dict[int, int]]:
+        index = self.index
+        order = gcf_order(pattern, task_clusters=None, use_cluster_tiebreak=False)
+        checks = backward_constraints(pattern, order)
+        n = pattern.num_vertices
+        # Ancestors contributing to each vertex's candidate set: its
+        # backward pattern neighbors, transitively.
+        ancestor_sets: list[set[int]] = [set() for _ in range(n)]
+        position = {v: i for i, v in enumerate(order)}
+        for pos in range(n):
+            u = order[pos]
+            for prior, _label, _directed, _forward in checks[pos]:
+                ancestor_sets[pos].add(prior)
+                ancestor_sets[pos] |= ancestor_sets[position[prior]]
+
+        assignment: dict[int, int] = {}
+        used: dict[int, int] = {}  # data vertex -> pattern vertex using it
+        results: list[dict[int, int]] = []
+
+        def candidates(pos: int) -> list[int]:
+            u = order[pos]
+            backward = checks[pos]
+            label = pattern.vertex_label(u)
+            if not backward:
+                return [
+                    v
+                    for v in index.vertices_with_label(label)
+                    if index.degrees[v] >= pattern.degree(u)
+                ]
+            anchor_prior, anchor_label, anchor_directed, anchor_forward = backward[0]
+            anchor_image = assignment[anchor_prior]
+            out: list[int] = []
+            for v in index.neighbors[anchor_image]:
+                if index.labels[v] != label:
+                    continue
+                ok = (
+                    index.matches_pattern_edge(
+                        anchor_image, v, anchor_label, anchor_directed
+                    )
+                    if anchor_forward
+                    else index.matches_pattern_edge(
+                        v, anchor_image, anchor_label, anchor_directed
+                    )
+                )
+                if not ok:
+                    continue
+                for prior, lbl, directed, forward in backward[1:]:
+                    image = assignment[prior]
+                    ok = (
+                        index.matches_pattern_edge(image, v, lbl, directed)
+                        if forward
+                        else index.matches_pattern_edge(v, image, lbl, directed)
+                    )
+                    if not ok:
+                        break
+                else:
+                    out.append(v)
+            return out
+
+        def extend(pos: int) -> set[int] | None:
+            """Fill position ``pos``; returns the subtree's failing set, or
+            ``None`` when at least one embedding was found below."""
+            if pos == n:
+                results.append(dict(assignment))
+                return None
+            budget.tick(len(results))
+            u = order[pos]
+            cands = candidates(pos)
+            if not cands:
+                return {u} | ancestor_sets[pos]
+            found = False
+            failing: set[int] = set()
+            for v in cands:
+                holder = used.get(v)
+                if holder is not None:
+                    # Injectivity conflict: blame both contenders.
+                    failing |= {u, holder}
+                    continue
+                assignment[u] = v
+                used[v] = u
+                child_failing = extend(pos + 1)
+                del used[v]
+                del assignment[u]
+                if child_failing is None:
+                    found = True
+                else:
+                    failing |= child_failing
+                    if u not in child_failing and not found:
+                        # u is irrelevant to the failure: no other candidate
+                        # of u can fix it — prune the remaining siblings.
+                        return child_failing
+            if found:
+                return None
+            return failing | {u} | ancestor_sets[pos]
+
+        # The recursion accumulates into ``results``; stream them out in
+        # batches so the base driver can enforce limits.
+        def run() -> Iterator[dict[int, int]]:
+            extend(0)
+            yield from results
+
+        yield from run()

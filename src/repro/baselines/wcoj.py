@@ -1,0 +1,173 @@
+"""Relation-based pipelined worst-case-optimal-join matchers.
+
+The RapidMatch/Graphflow family (Section II "Execution", join framework):
+for every pattern edge, scan the data graph and build a *relation* of all
+matching data edges; then join one pattern vertex at a time, intersecting
+the relations' adjacency indices along the matching order. This mirrors
+CSCE's execution but pays two costs CSCE avoids: relations are rebuilt per
+query by scanning all edges with label checks (no CCSR), and no candidate
+reuse happens across sibling partial embeddings (no SCE).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.baselines.base import BaselineMatcher, SearchBudget
+from repro.core.gcf import rapidmatch_order
+from repro.core.variants import Variant
+from repro.graph.model import Edge, Graph
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class _Relation:
+    """All data edges matching one pattern edge, indexed both ways."""
+
+    def __init__(self, pairs: list[tuple[int, int]]):
+        forward: dict[int, list[int]] = {}
+        backward: dict[int, list[int]] = {}
+        for a, b in pairs:
+            forward.setdefault(a, []).append(b)
+            backward.setdefault(b, []).append(a)
+        self.forward = {
+            a: np.asarray(sorted(set(bs)), dtype=np.int64) for a, bs in forward.items()
+        }
+        self.backward = {
+            b: np.asarray(sorted(set(as_)), dtype=np.int64)
+            for b, as_ in backward.items()
+        }
+        self.size = len(pairs)
+
+    def successors(self, a: int) -> np.ndarray:
+        return self.forward.get(a, _EMPTY)
+
+    def predecessors(self, b: int) -> np.ndarray:
+        return self.backward.get(b, _EMPTY)
+
+    def sources(self) -> np.ndarray:
+        return np.asarray(sorted(self.forward), dtype=np.int64)
+
+    def destinations(self) -> np.ndarray:
+        return np.asarray(sorted(self.backward), dtype=np.int64)
+
+
+class WCOJMatcher(BaselineMatcher):
+    """Pipelined WCOJ without clustering or SCE (RapidMatch stand-in)."""
+
+    display_name = "RapidMatch"
+    supported_variants = frozenset({Variant.EDGE_INDUCED, Variant.HOMOMORPHIC})
+    supports_vertex_labels = True
+    supports_edge_labels = False
+    supports_undirected = True
+    supports_directed = False
+    max_tested_pattern_size = 32
+
+    def _build_relation(self, pattern: Graph, edge: Edge) -> _Relation:
+        """Scan every data edge, label-checking each — the per-query cost."""
+        index = self.index
+        src_label = pattern.vertex_label(edge.src)
+        dst_label = pattern.vertex_label(edge.dst)
+        pairs: list[tuple[int, int]] = []
+        for e in index.graph.edges():
+            if e.label != edge.label or e.directed != edge.directed:
+                continue
+            orientations = [(e.src, e.dst)]
+            if not e.directed:
+                orientations.append((e.dst, e.src))
+            for a, b in orientations:
+                if index.labels[a] == src_label and index.labels[b] == dst_label:
+                    pairs.append((a, b))
+        return _Relation(pairs)
+
+    def _embeddings(
+        self, pattern: Graph, variant: Variant, budget: SearchBudget
+    ) -> Iterator[dict[int, int]]:
+        order = rapidmatch_order(pattern)
+        relation_by_edge: dict[Edge, _Relation] = {
+            e: self._build_relation(pattern, e) for e in pattern.edges()
+        }
+        # Map each backward check to its relation + direction.
+        position = {v: i for i, v in enumerate(order)}
+        per_position: list[list[tuple[int, _Relation, bool]]] = [
+            [] for _ in order
+        ]
+        for e in pattern.edges():
+            relation = relation_by_edge[e]
+            if position[e.src] < position[e.dst]:
+                per_position[position[e.dst]].append((e.src, relation, True))
+            else:
+                per_position[position[e.src]].append((e.dst, relation, False))
+
+        n = pattern.num_vertices
+        injective = variant.injective
+        assignment: dict[int, int] = {}
+        used: set[int] = set()
+
+        def first_pool(pos: int) -> np.ndarray:
+            u = order[pos]
+            pools = []
+            for e in pattern.incident_edges(u):
+                relation = relation_by_edge[e]
+                pools.append(
+                    relation.sources() if e.src == u else relation.destinations()
+                )
+            if pools:
+                return min(pools, key=len)
+            return np.asarray(
+                self.index.vertices_with_label(pattern.vertex_label(u)),
+                dtype=np.int64,
+            )
+
+        def candidates(pos: int) -> np.ndarray:
+            specs = per_position[pos]
+            if not specs:
+                return first_pool(pos)
+            arrays = []
+            for prior, relation, forward in specs:
+                image = assignment[prior]
+                arr = relation.successors(image) if forward else relation.predecessors(image)
+                if arr.shape[0] == 0:
+                    return _EMPTY
+                arrays.append(arr)
+            arrays.sort(key=len)
+            result = arrays[0]
+            for arr in arrays[1:]:
+                result = np.intersect1d(result, arr, assume_unique=True)
+                if result.shape[0] == 0:
+                    break
+            return result
+
+        def extend(pos: int) -> Iterator[dict[int, int]]:
+            if pos == n:
+                yield dict(assignment)
+                return
+            budget.tick()
+            u = order[pos]
+            for v in candidates(pos).tolist():
+                if injective and v in used:
+                    continue
+                assignment[u] = v
+                if injective:
+                    used.add(v)
+                yield from extend(pos + 1)
+                if injective:
+                    used.discard(v)
+                del assignment[u]
+
+        yield from extend(0)
+
+
+class GraphflowMatcher(WCOJMatcher):
+    """Graphflow: the same WCOJ core, profiled for homomorphic matching on
+    directed, edge-labeled graphs (Table III row GF)."""
+
+    display_name = "Graphflow"
+    supported_variants = frozenset({Variant.HOMOMORPHIC})
+    supports_vertex_labels = True
+    supports_edge_labels = True
+    supports_undirected = False
+    supports_directed = True
+    max_tested_pattern_size = 7

@@ -1,0 +1,21 @@
+"""Benchmark harness: engine registry, sweep runner, and table printing."""
+
+from repro.bench.harness import (
+    ENGINES,
+    ExperimentRecord,
+    make_engine,
+    run_task,
+    sweep,
+)
+from repro.bench.tables import format_table, print_series, print_table
+
+__all__ = [
+    "ENGINES",
+    "ExperimentRecord",
+    "make_engine",
+    "run_task",
+    "sweep",
+    "format_table",
+    "print_series",
+    "print_table",
+]

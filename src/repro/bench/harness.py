@@ -1,0 +1,256 @@
+"""The sweep runner behind every figure/table benchmark.
+
+Mirrors the paper's protocol (Section VII): per configuration, run each
+engine on the same sampled patterns with a time limit; record total time
+(read + optimization + execution), embedding counts, and throughput; on
+failure/timeout record the time limit, following the convention of existing
+works. Scaled down: seconds-level limits instead of 1e4 s.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.baselines import (
+    BacktrackingMatcher,
+    FailingSetMatcher,
+    GraphflowMatcher,
+    SymmetryBreakingMatcher,
+    VF2Matcher,
+    WCOJMatcher,
+)
+from repro.core.csce import CSCE
+from repro.core.executor import MatchResult
+from repro.core.variants import Variant
+from repro.errors import VariantError
+from repro.graph.model import Graph
+
+DEFAULT_TIME_LIMIT = 5.0
+
+#: Engine name -> factory(data graph) -> object with a CSCE-like ``match``.
+ENGINES: dict[str, Callable[[Graph], object]] = {
+    "CSCE": CSCE,
+    "GraphPi": SymmetryBreakingMatcher,
+    "Graphflow": GraphflowMatcher,
+    "GuP": BacktrackingMatcher,
+    "RapidMatch": WCOJMatcher,
+    "VEQ": FailingSetMatcher,
+    "VF3": VF2Matcher,
+}
+
+
+def make_engine(name: str, graph: Graph):
+    """Instantiate a registered engine over a data graph."""
+    try:
+        factory = ENGINES[name]
+    except KeyError:
+        raise VariantError(
+            f"unknown engine {name!r}; available: {', '.join(ENGINES)}"
+        ) from None
+    return factory(graph)
+
+
+@dataclass
+class ExperimentRecord:
+    """One (engine, pattern, variant) measurement — a point in a figure."""
+
+    experiment: str
+    engine: str
+    dataset: str
+    variant: str
+    pattern_size: int
+    pattern_name: str = ""
+    embeddings: int = 0
+    total_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    read_seconds: float = 0.0
+    plan_seconds: float = 0.0
+    timed_out: bool = False
+    truncated: bool = False
+    unsupported: bool = False
+    peak_mb: float | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        if self.execute_seconds <= 0:
+            return 0.0
+        return self.embeddings / self.execute_seconds
+
+    def row(self) -> dict:
+        status = "ok"
+        if self.unsupported:
+            status = "n/a"
+        elif self.timed_out:
+            status = "timeout"
+        elif self.truncated:
+            status = "truncated"
+        return {
+            "experiment": self.experiment,
+            "engine": self.engine,
+            "dataset": self.dataset,
+            "variant": self.variant,
+            "size": self.pattern_size,
+            "embeddings": self.embeddings,
+            "total_s": round(self.total_seconds, 4),
+            "throughput": round(self.throughput, 1),
+            "status": status,
+        }
+
+
+def run_task(
+    experiment: str,
+    engine_name: str,
+    engine,
+    dataset: str,
+    pattern: Graph,
+    variant: Variant | str,
+    time_limit: float = DEFAULT_TIME_LIMIT,
+    max_embeddings: int | None = None,
+    count_only: bool = True,
+    track_memory: bool = False,
+) -> ExperimentRecord:
+    """Run one engine on one pattern, recording the paper's metrics.
+
+    Unsupported (engine, variant, graph-type) combinations — Table III's
+    empty cells — come back flagged ``unsupported`` instead of raising.
+    Timeouts record the time limit as the total, the existing-works
+    convention the paper follows. ``track_memory`` additionally records the
+    run's peak traced allocation (the paper's RAM column) at a roughly 2x
+    slowdown, so it is off by default.
+    """
+    record = ExperimentRecord(
+        experiment=experiment,
+        engine=engine_name,
+        dataset=dataset,
+        variant=str(Variant.parse(variant)),
+        pattern_size=pattern.num_vertices,
+        pattern_name=pattern.name,
+    )
+    if track_memory:
+        import tracemalloc
+
+        tracemalloc.start()
+    start = time.perf_counter()
+    try:
+        result: MatchResult = engine.match(
+            pattern,
+            variant,
+            count_only=count_only,
+            max_embeddings=max_embeddings,
+            time_limit=time_limit,
+        )
+    except VariantError:
+        record.unsupported = True
+        if track_memory:
+            tracemalloc.stop()
+        return record
+    wall = time.perf_counter() - start
+    if track_memory:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        record.peak_mb = round(peak / 2**20, 3)
+    record.embeddings = result.count
+    record.execute_seconds = result.elapsed
+    record.read_seconds = result.read_seconds
+    record.plan_seconds = result.plan_seconds
+    record.truncated = result.truncated
+    record.timed_out = result.timed_out
+    record.total_seconds = time_limit if result.timed_out else wall
+    record.extra = dict(result.stats)
+    return record
+
+
+def sweep(
+    experiment: str,
+    graph: Graph,
+    patterns: Sequence[Graph],
+    engine_names: Iterable[str],
+    variant: Variant | str,
+    time_limit: float = DEFAULT_TIME_LIMIT,
+    max_embeddings: int | None = None,
+) -> list[ExperimentRecord]:
+    """Run every engine on every pattern; one record per (engine, pattern).
+
+    Engines are constructed once per sweep (their build/index time is part
+    of the offline stage, exactly as the paper treats CCSR construction).
+    """
+    records: list[ExperimentRecord] = []
+    for name in engine_names:
+        try:
+            engine = make_engine(name, graph)
+        except VariantError:
+            continue
+        for pattern in patterns:
+            records.append(
+                run_task(
+                    experiment,
+                    name,
+                    engine,
+                    graph.name,
+                    pattern,
+                    variant,
+                    time_limit=time_limit,
+                    max_embeddings=max_embeddings,
+                )
+            )
+    return records
+
+
+def save_records(
+    records: Sequence[ExperimentRecord], path: str, fmt: str | None = None
+) -> None:
+    """Persist experiment records as JSON or CSV (inferred from suffix).
+
+    JSON keeps the full record including ``extra`` stats; CSV flattens to
+    the table columns — handy for external plotting of the figures.
+    """
+    import csv
+    import json
+
+    if fmt is None:
+        fmt = "csv" if str(path).endswith(".csv") else "json"
+    if fmt == "json":
+        payload = [
+            {**record.row(), "extra": record.extra} for record in records
+        ]
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        return
+    if fmt == "csv":
+        rows = [record.row() for record in records]
+        if not rows:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write("")
+            return
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+            writer.writeheader()
+            writer.writerows(rows)
+        return
+    raise ValueError(f"unknown format {fmt!r}; use 'json' or 'csv'")
+
+
+def average_by(
+    records: Sequence[ExperimentRecord],
+    key: Callable[[ExperimentRecord], tuple],
+) -> dict[tuple, dict[str, float]]:
+    """Aggregate records (the paper averages 10 patterns per setting)."""
+    groups: dict[tuple, list[ExperimentRecord]] = {}
+    for record in records:
+        if record.unsupported:
+            continue
+        groups.setdefault(key(record), []).append(record)
+    summary: dict[tuple, dict[str, float]] = {}
+    for group_key, members in groups.items():
+        summary[group_key] = {
+            "total_s": statistics.fmean(m.total_seconds for m in members),
+            "embeddings": statistics.fmean(m.embeddings for m in members),
+            "throughput": statistics.fmean(m.throughput for m in members),
+            "timeouts": sum(1 for m in members if m.timed_out),
+            "n": len(members),
+        }
+    return summary

@@ -1,0 +1,54 @@
+"""Plain-text rendering of paper-style tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Render dict rows as an aligned text table (headers from keys)."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0])
+    widths = {
+        col: max(len(str(col)), *(len(str(row.get(col, ""))) for row in rows))
+        for col in columns
+    }
+    header = "  ".join(str(col).ljust(widths[col]) for col in columns)
+    rule = "  ".join("-" * widths[col] for col in columns)
+    lines = [header, rule]
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Sequence[dict],
+    columns: Sequence[str] | None = None,
+    title: str = "",
+) -> None:
+    """Print a table with an optional title banner."""
+    if title:
+        print(f"\n=== {title} ===")
+    print(format_table(rows, columns))
+
+
+def print_series(
+    title: str,
+    x_label: str,
+    xs: Iterable,
+    series: dict[str, Sequence[float]],
+    fmt: str = "{:.4g}",
+) -> None:
+    """Print one figure panel: x values as columns, one row per series."""
+    xs = list(xs)
+    rows = []
+    for name, values in series.items():
+        row = {x_label: name}
+        for x, value in zip(xs, values):
+            row[str(x)] = fmt.format(value) if value is not None else "-"
+        rows.append(row)
+    print_table(rows, [x_label] + [str(x) for x in xs], title=title)

@@ -1,0 +1,26 @@
+"""Clustered Compressed Sparse Row (CCSR) — the paper's Section IV.
+
+A data graph is stored as a set of *clusters*, one per class of mutually
+isomorphic edges (same source label, destination label, edge label, and
+directedness). Each cluster is a CSR whose row index is run-length
+compressed; :func:`~repro.ccsr.store.CCSRStore.read` (Algorithm 1) selects
+and decompresses only the clusters a given matching task needs.
+"""
+
+from repro.ccsr.key import ClusterKey, cluster_key_for_edge, cluster_key_for_labels
+from repro.ccsr.cluster import CompressedCSR, Cluster
+from repro.ccsr.store import CCSRStore, TaskClusters
+from repro.ccsr.io import load_store, save_store, store_file_size
+
+__all__ = [
+    "ClusterKey",
+    "cluster_key_for_edge",
+    "cluster_key_for_labels",
+    "CompressedCSR",
+    "Cluster",
+    "CCSRStore",
+    "TaskClusters",
+    "load_store",
+    "save_store",
+    "store_file_size",
+]

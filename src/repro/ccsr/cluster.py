@@ -1,0 +1,233 @@
+"""One edge-isomorphism cluster and its compressed CSR arrays.
+
+Section IV: a cluster is stored as a CSR — a row index ``I_R`` and a column
+index ``I_C``. Unlike the standard CSR whose ``I_R`` has one slot per graph
+vertex (total ``2c(|V|+1)`` across ``c`` clusters), the paper's variant
+run-length compresses ``I_R`` so that each edge contributes at most two
+integers, bounding the total row-index storage by ``4|E|``. Reading a
+cluster for a task *decompresses* it back into a standard CSR for O(1)
+neighbor lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.ccsr.key import ClusterKey
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class CompressedCSR:
+    """A CSR over one direction of a cluster, stored compressed.
+
+    Compressed form (always present):
+
+    * ``rows`` — sorted distinct source vertices that have at least one edge,
+    * ``row_counts`` — the run-length "repeat count": the degree of each row,
+    * ``cols`` — neighbor ids, concatenated per row, each run sorted.
+
+    Decompressed form (built on demand by :meth:`decompress`):
+
+    * ``full_offsets`` — the standard ``I_R`` of length ``num_vertices + 1``
+      giving O(1) ``cols[I_R[v]:I_R[v+1]]`` neighbor slices.
+    """
+
+    __slots__ = ("rows", "row_counts", "cols", "_offsets", "full_offsets", "num_vertices")
+
+    def __init__(self, adjacency: dict[int, list[int]], num_vertices: int):
+        rows = sorted(adjacency)
+        self.num_vertices = num_vertices
+        self.rows = np.asarray(rows, dtype=np.int64)
+        self.row_counts = np.asarray(
+            [len(adjacency[r]) for r in rows], dtype=np.int64
+        )
+        cols: list[int] = []
+        for r in rows:
+            cols.extend(sorted(adjacency[r]))
+        self.cols = np.asarray(cols, dtype=np.int64)
+        # Offsets into cols per *stored* row; len(rows)+1.
+        self._offsets = np.concatenate(
+            ([0], np.cumsum(self.row_counts))
+        ).astype(np.int64)
+        self.full_offsets: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_entries(self) -> int:
+        """Length of ``I_C`` — the paper's cluster size."""
+        return int(self.cols.shape[0])
+
+    @property
+    def is_decompressed(self) -> bool:
+        return self.full_offsets is not None
+
+    @property
+    def compressed_index_length(self) -> int:
+        """Integers in the compressed ``I_R`` (value + repeat count)."""
+        return 2 * int(self.rows.shape[0])
+
+    def standard_index_length(self) -> int:
+        """Integers a standard (uncompressed) ``I_R`` would need."""
+        return self.num_vertices + 1
+
+    def nbytes(self) -> int:
+        """Approximate resident bytes of the stored arrays."""
+        total = self.rows.nbytes + self.row_counts.nbytes + self.cols.nbytes
+        total += self._offsets.nbytes
+        if self.full_offsets is not None:
+            total += self.full_offsets.nbytes
+        return total
+
+    # ------------------------------------------------------------------
+    def decompress(self) -> None:
+        """Materialize the standard ``I_R`` for O(1) neighbor access."""
+        if self.full_offsets is not None:
+            return
+        full = np.zeros(self.num_vertices + 1, dtype=np.int64)
+        if self.rows.shape[0]:
+            full[self.rows + 1] = self.row_counts
+            np.cumsum(full, out=full)
+        self.full_offsets = full
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """The sorted neighbor array of ``v`` (empty if none).
+
+        O(1) when decompressed; a binary search over stored rows otherwise.
+        """
+        if self.full_offsets is not None:
+            start, stop = self.full_offsets[v], self.full_offsets[v + 1]
+            return self.cols[start:stop]
+        idx = np.searchsorted(self.rows, v)
+        if idx == self.rows.shape[0] or self.rows[idx] != v:
+            return _EMPTY
+        return self.cols[self._offsets[idx] : self._offsets[idx + 1]]
+
+    def degree(self, v: int) -> int:
+        return int(self.neighbors(v).shape[0])
+
+    def contains(self, src: int, dst: int) -> bool:
+        """Binary-search membership test for the edge ``src -> dst``."""
+        nbrs = self.neighbors(src)
+        idx = np.searchsorted(nbrs, dst)
+        return idx < nbrs.shape[0] and nbrs[idx] == dst
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Yield every (src, dst) entry stored in this CSR."""
+        for i, r in enumerate(self.rows):
+            for c in self.cols[self._offsets[i] : self._offsets[i + 1]]:
+                yield int(r), int(c)
+
+    def source_vertices(self) -> np.ndarray:
+        """Sorted distinct vertices with at least one outgoing entry."""
+        return self.rows
+
+    def min_source_degree_vertexes(self) -> np.ndarray:
+        return self.rows
+
+
+class Cluster:
+    """One cluster of mutually isomorphic edges.
+
+    Directed clusters keep two CSRs — outgoing (``src``'s out-neighbors) and
+    incoming (``dst``'s in-neighbors) — so both traversal directions are
+    constant-time. An undirected cluster needs only one CSR because each
+    undirected edge is stored in both orientations inside it.
+    """
+
+    __slots__ = ("key", "out_csr", "in_csr")
+
+    def __init__(
+        self,
+        key: ClusterKey,
+        edges: Sequence[tuple[int, int]],
+        num_vertices: int,
+    ):
+        """``edges`` are (src, dst) pairs; for an undirected cluster each
+        undirected edge must appear exactly once (either orientation)."""
+        self.key = key
+        out: dict[int, list[int]] = {}
+        if key.directed:
+            incoming: dict[int, list[int]] = {}
+            for src, dst in edges:
+                out.setdefault(src, []).append(dst)
+                incoming.setdefault(dst, []).append(src)
+            self.out_csr = CompressedCSR(out, num_vertices)
+            self.in_csr: CompressedCSR | None = CompressedCSR(incoming, num_vertices)
+        else:
+            for src, dst in edges:
+                out.setdefault(src, []).append(dst)
+                out.setdefault(dst, []).append(src)
+            self.out_csr = CompressedCSR(out, num_vertices)
+            self.in_csr = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_entries(self) -> int:
+        """|I_C| of the (outgoing) CSR — the paper's cluster size measure."""
+        return self.out_csr.num_entries
+
+    @property
+    def num_edges(self) -> int:
+        """Graph edges in this cluster (an undirected edge counts once)."""
+        if self.key.directed:
+            return self.out_csr.num_entries
+        return self.out_csr.num_entries // 2
+
+    def decompress(self) -> None:
+        self.out_csr.decompress()
+        if self.in_csr is not None:
+            self.in_csr.decompress()
+
+    @property
+    def is_decompressed(self) -> bool:
+        return self.out_csr.is_decompressed
+
+    def nbytes(self) -> int:
+        total = self.out_csr.nbytes()
+        if self.in_csr is not None:
+            total += self.in_csr.nbytes()
+        return total
+
+    # ------------------------------------------------------------------
+    def successors(self, v: int) -> np.ndarray:
+        """Vertices reachable from ``v`` along this cluster's edges."""
+        return self.out_csr.neighbors(v)
+
+    def predecessors(self, v: int) -> np.ndarray:
+        """Vertices with an edge into ``v`` in this cluster."""
+        if self.in_csr is None:
+            return self.out_csr.neighbors(v)
+        return self.in_csr.neighbors(v)
+
+    def contains_edge(self, src: int, dst: int) -> bool:
+        """True if the cluster stores an edge allowing ``src -> dst``."""
+        return self.out_csr.contains(src, dst)
+
+    def touches(self, a: int, b: int) -> bool:
+        """True if *any* edge of this cluster connects ``a`` and ``b``
+        regardless of direction (used by negation checks)."""
+        if self.out_csr.contains(a, b):
+            return True
+        if self.key.directed:
+            return self.out_csr.contains(b, a)
+        return False
+
+    def source_vertices(self) -> np.ndarray:
+        """Sorted distinct vertices usable as edge sources."""
+        return self.out_csr.source_vertices()
+
+    def destination_vertices(self) -> np.ndarray:
+        """Sorted distinct vertices usable as edge destinations."""
+        if self.in_csr is None:
+            return self.out_csr.source_vertices()
+        return self.in_csr.source_vertices()
+
+    def iter_directed_entries(self) -> Iterator[tuple[int, int]]:
+        """Yield each stored (src, dst) orientation once."""
+        return self.out_csr.iter_edges()
+
+    def __repr__(self) -> str:
+        return f"<Cluster {self.key} entries={self.num_entries}>"

@@ -1,0 +1,415 @@
+"""The CCSR store (``G_C``) and per-task cluster selection (``G_C*``).
+
+:class:`CCSRStore` clusters every edge of a data graph by its
+edge-isomorphism class (Section IV) at build time — the paper's offline
+stage. :meth:`CCSRStore.read` implements Algorithm 1 (``ReadCSR``): given a
+pattern and an SM variant it selects, decompresses, and indexes exactly the
+clusters the task needs, including the *negation clusters* that the
+vertex-induced variant uses to reject partial embeddings whose data vertices
+are connected where the pattern vertices are not.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from typing import Hashable, Iterable
+
+from repro.ccsr.cluster import Cluster
+from repro.ccsr.key import ClusterKey, cluster_key_for_edge, cluster_key_for_labels
+from repro.graph.model import Edge, Graph
+
+# How a negation check probes a cluster for a data vertex pair (va, vb)
+# standing for the pattern pair (u_i, u_j):
+FORWARD = "fwd"  # assert no cluster edge va -> vb
+REVERSE = "rev"  # assert no cluster edge vb -> va
+
+
+class NegationCheck:
+    """One "this edge must be absent" assertion for a pattern vertex pair."""
+
+    __slots__ = ("cluster", "mode")
+
+    def __init__(self, cluster: Cluster, mode: str):
+        self.cluster = cluster
+        self.mode = mode
+
+    def violated(self, va: int, vb: int) -> bool:
+        """True if the forbidden data edge exists between ``va`` and ``vb``."""
+        if self.mode == FORWARD:
+            return self.cluster.contains_edge(va, vb)
+        return self.cluster.contains_edge(vb, va)
+
+    def __repr__(self) -> str:
+        return f"<NegationCheck {self.cluster.key} {self.mode}>"
+
+
+class TaskClusters:
+    """``G_C*`` — the clusters one (pattern, variant) task uses.
+
+    Attributes
+    ----------
+    edge_clusters:
+        Maps each pattern edge to its cluster, or ``None`` when the data
+        graph has no isomorphic edges (the task then has zero embeddings).
+    negation_checks:
+        For the vertex-induced variant: maps an ordered pattern vertex pair
+        ``(u_i, u_j)`` to the cluster probes asserting that *no* unmatched
+        data edge may exist between their images.
+    read_seconds / bytes_read:
+        The decompression overhead measured for Fig. 11.
+    """
+
+    def __init__(
+        self,
+        pattern: Graph,
+        variant_name: str,
+        edge_clusters: dict[Edge, Cluster | None],
+        negation_checks: dict[tuple[int, int], list[NegationCheck]],
+        read_seconds: float,
+        bytes_read: int,
+        data_vertex_labels: list[Hashable] | None = None,
+    ):
+        self.pattern = pattern
+        self.variant_name = variant_name
+        self.edge_clusters = edge_clusters
+        self.negation_checks = negation_checks
+        self.read_seconds = read_seconds
+        self.bytes_read = bytes_read
+        self.data_vertex_labels = data_vertex_labels or []
+
+    @property
+    def clusters_used(self) -> list[Cluster]:
+        seen: dict[int, Cluster] = {}
+        for cluster in self.edge_clusters.values():
+            if cluster is not None:
+                seen[id(cluster)] = cluster
+        for checks in self.negation_checks.values():
+            for check in checks:
+                seen[id(check.cluster)] = check.cluster
+        return list(seen.values())
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters_used)
+
+    def has_impossible_edge(self) -> bool:
+        """True when some pattern edge matched no cluster — zero embeddings."""
+        return any(cluster is None for cluster in self.edge_clusters.values())
+
+    def checks_between(self, u_i: int, u_j: int) -> list[NegationCheck]:
+        """Negation probes for the ordered pattern pair (u_i, u_j).
+
+        The probes are stored keyed on the ordered pair as built; callers
+        pass vertices in the same order they were registered (i < j in
+        pattern-vertex id, see ``CCSRStore.read``).
+        """
+        return self.negation_checks.get((u_i, u_j), [])
+
+    def has_negation_between(self, u_i: int, u_j: int) -> bool:
+        """Algorithm 2 line 8: is there any non-empty negation cluster for
+        this pattern pair?"""
+        a, b = (u_i, u_j) if u_i < u_j else (u_j, u_i)
+        return bool(self.negation_checks.get((a, b)))
+
+
+class CCSRStore:
+    """All clusters of a data graph (the paper's ``G_C``).
+
+    Building the store is the offline stage: O(|E|) clustering plus an
+    O(|E| log |E|) per-cluster sort. As ``G_C`` is equivalent to ``G``, the
+    source :class:`Graph` is not retained.
+    """
+
+    def __init__(self, graph: Graph):
+        start = time.perf_counter()
+        self.num_vertices = graph.num_vertices
+        self.num_edges = graph.num_edges
+        self.vertex_labels: list[Hashable] = list(graph.vertex_labels)
+        self.label_frequency: Counter = Counter(self.vertex_labels)
+        self.name = graph.name
+
+        buckets: dict[ClusterKey, list[tuple[int, int]]] = {}
+        labels = self.vertex_labels
+        for edge in graph.edges():
+            key = cluster_key_for_edge(labels, edge)
+            buckets.setdefault(key, []).append((edge.src, edge.dst))
+        self.clusters: dict[ClusterKey, Cluster] = {
+            key: Cluster(key, pairs, self.num_vertices)
+            for key, pairs in buckets.items()
+        }
+        # Unordered label pair -> cluster keys connecting that pair, for
+        # negation lookups and Algorithm 2 line 8.
+        self._pair_index: dict[frozenset, list[ClusterKey]] = {}
+        for key in self.clusters:
+            pair = frozenset((key.src_label, key.dst_label))
+            self._pair_index.setdefault(pair, []).append(key)
+        self.build_seconds = time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+    def total_column_entries(self) -> int:
+        """Sum of |I_C| over all CSRs; the paper proves this is 2|E|."""
+        total = 0
+        for cluster in self.clusters.values():
+            total += cluster.out_csr.num_entries
+            if cluster.in_csr is not None:
+                total += cluster.in_csr.num_entries
+        return total
+
+    def total_compressed_row_entries(self) -> int:
+        """Integers across all compressed ``I_R`` arrays (bounded by 4|E|)."""
+        total = 0
+        for cluster in self.clusters.values():
+            total += cluster.out_csr.compressed_index_length
+            if cluster.in_csr is not None:
+                total += cluster.in_csr.compressed_index_length
+        return total
+
+    def total_standard_row_entries(self) -> int:
+        """What the uncompressed row indices would cost: 2c(|V|+1)-ish."""
+        total = 0
+        for cluster in self.clusters.values():
+            total += cluster.out_csr.standard_index_length()
+            if cluster.in_csr is not None:
+                total += cluster.in_csr.standard_index_length()
+        return total
+
+    def nbytes(self) -> int:
+        return sum(cluster.nbytes() for cluster in self.clusters.values())
+
+    def cluster_for(
+        self,
+        src_label: Hashable,
+        dst_label: Hashable,
+        edge_label: Hashable,
+        directed: bool,
+    ) -> Cluster | None:
+        key = cluster_key_for_labels(src_label, dst_label, edge_label, directed)
+        return self.clusters.get(key)
+
+    def clusters_connecting(
+        self, label_a: Hashable, label_b: Hashable
+    ) -> list[Cluster]:
+        """All clusters holding edges between two vertex labels — the
+        ``(u_x, u_y)*-clusters`` of Algorithm 1/2."""
+        keys = self._pair_index.get(frozenset((label_a, label_b)), [])
+        return [self.clusters[k] for k in keys]
+
+    def vertices_with_label(self, label: Hashable) -> list[int]:
+        return [v for v, l in enumerate(self.vertex_labels) if l == label]
+
+    # ------------------------------------------------------------------
+    # Incremental updates
+    #
+    # The paper positions CCSR against graph-database storage (Kùzu),
+    # where updates are table stakes. An update touches exactly one
+    # cluster — the heterogeneity index localizes the work — and rebuilds
+    # that cluster's CSR arrays, leaving every other cluster untouched.
+    # ------------------------------------------------------------------
+    def insert_vertex(self, label: Hashable = 0) -> int:
+        """Append a vertex; returns its id. Invalidates decompressed row
+        indices (their length is |V|+1)."""
+        self.vertex_labels.append(label)
+        self.label_frequency[label] += 1
+        self.num_vertices += 1
+        for cluster in self.clusters.values():
+            cluster.out_csr.num_vertices = self.num_vertices
+            cluster.out_csr.full_offsets = None
+            if cluster.in_csr is not None:
+                cluster.in_csr.num_vertices = self.num_vertices
+                cluster.in_csr.full_offsets = None
+        return self.num_vertices - 1
+
+    def _cluster_edges(self, cluster: Cluster) -> list[tuple[int, int]]:
+        """The cluster's edges, one entry per edge (canonical orientation
+        for undirected clusters)."""
+        if cluster.key.directed:
+            return list(cluster.iter_directed_entries())
+        return [
+            (src, dst)
+            for src, dst in cluster.iter_directed_entries()
+            if src < dst
+        ]
+
+    def insert_edge(
+        self,
+        src: int,
+        dst: int,
+        edge_label: Hashable = None,
+        directed: bool = False,
+    ) -> None:
+        """Add one edge, rebuilding only its cluster."""
+        from repro.errors import GraphError
+
+        n = self.num_vertices
+        if not (0 <= src < n and 0 <= dst < n):
+            raise GraphError(f"edge ({src}, {dst}) references a missing vertex")
+        if src == dst:
+            raise GraphError(f"self-loop on vertex {src} is not allowed")
+        key = cluster_key_for_labels(
+            self.vertex_labels[src], self.vertex_labels[dst], edge_label, directed
+        )
+        cluster = self.clusters.get(key)
+        if cluster is not None and cluster.contains_edge(src, dst):
+            raise GraphError(f"duplicate edge ({src}, {dst}, {edge_label!r})")
+        edges = [] if cluster is None else self._cluster_edges(cluster)
+        edges.append((src, dst))
+        self.clusters[key] = Cluster(key, edges, self.num_vertices)
+        if cluster is None:
+            pair = frozenset((key.src_label, key.dst_label))
+            self._pair_index.setdefault(pair, []).append(key)
+        self.num_edges += 1
+
+    def remove_edge(
+        self,
+        src: int,
+        dst: int,
+        edge_label: Hashable = None,
+        directed: bool = False,
+    ) -> None:
+        """Remove one edge, rebuilding only its cluster (dropping the
+        cluster entirely when it empties)."""
+        from repro.errors import GraphError
+
+        key = cluster_key_for_labels(
+            self.vertex_labels[src] if 0 <= src < self.num_vertices else None,
+            self.vertex_labels[dst] if 0 <= dst < self.num_vertices else None,
+            edge_label,
+            directed,
+        )
+        cluster = self.clusters.get(key)
+        if cluster is None or not cluster.contains_edge(src, dst):
+            raise GraphError(
+                f"edge ({src}, {dst}, {edge_label!r}, directed={directed})"
+                " does not exist"
+            )
+        canonical = (src, dst) if directed else (min(src, dst), max(src, dst))
+        edges = [e for e in self._cluster_edges(cluster) if e != canonical]
+        if edges:
+            self.clusters[key] = Cluster(key, edges, self.num_vertices)
+        else:
+            del self.clusters[key]
+            pair = frozenset((key.src_label, key.dst_label))
+            self._pair_index[pair].remove(key)
+            if not self._pair_index[pair]:
+                del self._pair_index[pair]
+        self.num_edges -= 1
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: ReadCSR
+    # ------------------------------------------------------------------
+    def read(self, pattern: Graph, variant) -> TaskClusters:
+        """Select and decompress the clusters this task needs (Alg. 1).
+
+        ``variant`` is a :class:`repro.core.Variant` or its string name; only
+        ``"vertex_induced"`` changes behaviour here, pulling in negation
+        clusters for every pattern vertex pair that is not fully connected
+        by pattern edges.
+        """
+        variant_name = getattr(variant, "value", str(variant))
+        start = time.perf_counter()
+        bytes_read = 0
+        decompressed: set[int] = set()
+
+        def use(cluster: Cluster) -> Cluster:
+            nonlocal bytes_read
+            if id(cluster) not in decompressed:
+                cluster.decompress()
+                decompressed.add(id(cluster))
+                bytes_read += cluster.nbytes()
+            return cluster
+
+        labels = pattern.vertex_labels
+        edge_clusters: dict[Edge, Cluster | None] = {}
+        for edge in pattern.edges():
+            key = cluster_key_for_edge(labels, edge)
+            cluster = self.clusters.get(key)
+            edge_clusters[edge] = use(cluster) if cluster is not None else None
+
+        negation: dict[tuple[int, int], list[NegationCheck]] = {}
+        if variant_name == "vertex_induced":
+            for u_i in pattern.vertices():
+                for u_j in range(u_i + 1, pattern.num_vertices):
+                    checks = self._negation_checks_for_pair(pattern, u_i, u_j, use)
+                    if checks:
+                        negation[(u_i, u_j)] = checks
+
+        return TaskClusters(
+            pattern,
+            variant_name,
+            edge_clusters,
+            negation,
+            read_seconds=time.perf_counter() - start,
+            bytes_read=bytes_read,
+            data_vertex_labels=self.vertex_labels,
+        )
+
+    def _negation_checks_for_pair(
+        self, pattern: Graph, u_i: int, u_j: int, use
+    ) -> list[NegationCheck]:
+        """Build the "must be absent" probes for one pattern vertex pair.
+
+        Every cluster orientation that could connect the pair's labels is
+        forbidden unless a pattern edge between ``u_i`` and ``u_j`` claims
+        exactly that orientation and edge label — strict induced-isomorphism
+        semantics (``(u, u') in E_P`` iff the mapped edge exists, Section II).
+        """
+        label_i = pattern.vertex_label(u_i)
+        label_j = pattern.vertex_label(u_j)
+        # Orientations the pattern itself requires -> exempt from negation.
+        allowed: set[tuple[Hashable, bool, str]] = set()
+        for e in pattern.edges_between(u_i, u_j):
+            if not e.directed:
+                allowed.add((e.label, False, FORWARD))
+                allowed.add((e.label, False, REVERSE))
+            elif (e.src, e.dst) == (u_i, u_j):
+                allowed.add((e.label, True, FORWARD))
+            else:
+                allowed.add((e.label, True, REVERSE))
+
+        checks: list[NegationCheck] = []
+        for key in self._pair_index.get(frozenset((label_i, label_j)), []):
+            cluster = self.clusters[key]
+            if not key.directed:
+                if (key.edge_label, False, FORWARD) not in allowed:
+                    checks.append(NegationCheck(use(cluster), FORWARD))
+                continue
+            if key.src_label == label_i and key.dst_label == label_j:
+                if (key.edge_label, True, FORWARD) not in allowed:
+                    checks.append(NegationCheck(use(cluster), FORWARD))
+            if key.src_label == label_j and key.dst_label == label_i:
+                if (key.edge_label, True, REVERSE) not in allowed:
+                    checks.append(NegationCheck(use(cluster), REVERSE))
+        return checks
+
+    # ------------------------------------------------------------------
+    def iter_all_edges(self) -> Iterable[tuple[int, int, Hashable, bool]]:
+        """Reconstruct the original edge set (G_C is equivalent to G)."""
+        for key, cluster in self.clusters.items():
+            if key.directed:
+                for src, dst in cluster.iter_directed_entries():
+                    yield src, dst, key.edge_label, True
+            else:
+                for src, dst in cluster.iter_directed_entries():
+                    if src < dst:  # each undirected edge is stored twice
+                        yield src, dst, key.edge_label, False
+
+    def to_graph(self) -> Graph:
+        """Rebuild a :class:`Graph` from the clusters (round-trip check)."""
+        graph = Graph(name=self.name)
+        graph.add_vertices(self.vertex_labels)
+        for src, dst, label, directed in self.iter_all_edges():
+            graph.add_edge(src, dst, label, directed)
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"<CCSRStore |V|={self.num_vertices} |E|={self.num_edges}"
+            f" clusters={self.num_clusters}>"
+        )

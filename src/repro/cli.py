@@ -1,0 +1,250 @@
+"""Command-line interface.
+
+Examples::
+
+    csce stats                          # regenerate Table IV
+    csce match --dataset dip --pattern-size 6 --variant edge_induced
+    csce match --data g.graph --pattern p.graph --engine RapidMatch
+    csce capabilities                   # Table III
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import ALL_BASELINES
+from repro.bench.harness import ENGINES, make_engine
+from repro.bench.tables import print_table
+from repro.core.csce import CSCE
+from repro.core.variants import Variant
+from repro.datasets import DATASET_NAMES, dataset_table, load_dataset
+from repro.graph.io import load_graph
+from repro.graph.sampling import sample_pattern
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    rows = dataset_table(scale=args.scale)
+    print_table(
+        rows,
+        [
+            "Data Graph",
+            "Edge Direction",
+            "Vertex Count",
+            "Edge Count",
+            "Label Count",
+            "Average Degree",
+            "Max In Degree",
+            "Max Out Degree",
+        ],
+        title=f"Table IV (scale={args.scale})",
+    )
+    return 0
+
+
+def _cmd_capabilities(_args: argparse.Namespace) -> int:
+    rows = [cls.capability_row() for cls in ALL_BASELINES]
+    rows.append(
+        {
+            "Algorithm": "CSCE",
+            "Variant": "E, H, V",
+            "Vertex Labels": "Yes",
+            "Edge Labels": "Yes",
+            "Edge Direction": "U and D",
+            "Pattern Size": "Up to 2000",
+        }
+    )
+    print_table(rows, title="Table III: algorithm capabilities")
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    if args.data:
+        graph = load_graph(args.data)
+    elif args.dataset:
+        graph = load_dataset(args.dataset, scale=args.scale)
+    else:
+        print("error: provide --data FILE or --dataset NAME", file=sys.stderr)
+        return 2
+    if args.pattern:
+        pattern = load_graph(args.pattern)
+    else:
+        pattern = sample_pattern(
+            graph, args.pattern_size, rng=args.seed, style=args.pattern_style
+        )
+    engine = make_engine(args.engine, graph)
+    result = engine.match(
+        pattern,
+        args.variant,
+        count_only=not args.enumerate,
+        max_embeddings=args.limit,
+        time_limit=args.time_limit,
+    )
+    print(f"engine      : {args.engine}")
+    print(f"variant     : {result.variant}")
+    print(f"pattern     : |V|={pattern.num_vertices} |E|={pattern.num_edges}")
+    print(f"embeddings  : {result.count}"
+          + (" (truncated)" if result.truncated else "")
+          + (" (timed out)" if result.timed_out else ""))
+    print(f"total time  : {result.total_seconds:.4f} s"
+          f" (read {result.read_seconds:.4f}, plan {result.plan_seconds:.4f},"
+          f" execute {result.elapsed:.4f})")
+    if args.enumerate and result.embeddings:
+        shown = result.embeddings[: args.show]
+        for i, embedding in enumerate(shown):
+            print(f"  #{i}: {embedding}")
+        if len(result.embeddings) > len(shown):
+            print(f"  ... {len(result.embeddings) - len(shown)} more")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale)
+    pattern = sample_pattern(
+        graph, args.pattern_size, rng=args.seed, style=args.pattern_style
+    )
+    engine = CSCE(graph)
+    plan = engine.build_plan(pattern, args.variant, planner=args.planner)
+    print(plan.describe())
+    print(f"clusters     : {plan.task_clusters.num_clusters}"
+          f" (read {plan.task_clusters.read_seconds:.4f} s)")
+    print(f"plan time    : {plan.plan_seconds:.4f} s")
+    stats = engine.sce_report(pattern, args.variant)
+    print(f"SCE          : {stats.occurrence:.0%} of pattern vertices,"
+          f" cluster share {stats.cluster_ratio:.0%}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.harness import average_by, sweep
+    from repro.graph.sampling import sample_pattern_suite
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    suite = sample_pattern_suite(
+        graph,
+        args.sizes,
+        per_size=args.patterns,
+        style=args.pattern_style,
+        seed=args.seed,
+    )
+    patterns = [p for size in args.sizes for p in suite[size]]
+    for i, p in enumerate(patterns):
+        p.name = f"{p.name}#{i}"
+    records = sweep(
+        "cli",
+        graph,
+        patterns,
+        args.engines,
+        args.variant,
+        time_limit=args.time_limit,
+        max_embeddings=args.limit,
+    )
+    print_table(
+        [r.row() for r in records],
+        ["engine", "size", "embeddings", "total_s", "throughput", "status"],
+        title=f"{args.dataset} / {args.variant} / sizes {args.sizes}",
+    )
+    summary = average_by(records, key=lambda r: (r.engine, r.pattern_size))
+    rows = [
+        {
+            "engine": engine,
+            "size": size,
+            "mean_total_s": round(stats["total_s"], 4),
+            "mean_throughput": round(stats["throughput"], 1),
+            "timeouts": stats["timeouts"],
+        }
+        for (engine, size), stats in sorted(summary.items())
+    ]
+    print_table(rows, title="averages")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="csce",
+        description="CSCE subgraph matching (ICDE 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="regenerate Table IV dataset statistics")
+    p_stats.add_argument("--scale", type=float, default=0.5)
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_caps = sub.add_parser("capabilities", help="print Table III")
+    p_caps.set_defaults(func=_cmd_capabilities)
+
+    p_match = sub.add_parser("match", help="match a pattern in a data graph")
+    p_match.add_argument("--data", help="data graph file (.graph format)")
+    p_match.add_argument(
+        "--dataset", choices=DATASET_NAMES, help="built-in dataset stand-in"
+    )
+    p_match.add_argument("--scale", type=float, default=0.5)
+    p_match.add_argument("--pattern", help="pattern graph file")
+    p_match.add_argument("--pattern-size", type=int, default=8)
+    p_match.add_argument(
+        "--pattern-style", choices=("induced", "dense", "sparse"), default="induced"
+    )
+    p_match.add_argument("--seed", type=int, default=0)
+    p_match.add_argument(
+        "--variant",
+        default="edge_induced",
+        choices=[v.value for v in Variant],
+    )
+    p_match.add_argument("--engine", default="CSCE", choices=sorted(ENGINES))
+    p_match.add_argument("--enumerate", action="store_true",
+                         help="materialize embeddings instead of counting")
+    p_match.add_argument("--show", type=int, default=5,
+                         help="embeddings to display with --enumerate")
+    p_match.add_argument("--limit", type=int, default=None)
+    p_match.add_argument("--time-limit", type=float, default=60.0)
+    p_match.set_defaults(func=_cmd_match)
+
+    p_plan = sub.add_parser("plan", help="show the optimized matching plan")
+    p_plan.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+    p_plan.add_argument("--scale", type=float, default=0.5)
+    p_plan.add_argument("--pattern-size", type=int, default=8)
+    p_plan.add_argument(
+        "--pattern-style", choices=("induced", "dense", "sparse"), default="induced"
+    )
+    p_plan.add_argument("--seed", type=int, default=0)
+    p_plan.add_argument(
+        "--variant",
+        default="edge_induced",
+        choices=[v.value for v in Variant],
+    )
+    p_plan.add_argument("--planner", default="csce",
+                        choices=("csce", "ri_cluster", "ri", "rm"))
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_bench = sub.add_parser(
+        "bench", help="sweep engines over sampled patterns and print a table"
+    )
+    p_bench.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+    p_bench.add_argument("--scale", type=float, default=0.25)
+    p_bench.add_argument("--sizes", type=int, nargs="+", default=[4, 8])
+    p_bench.add_argument("--patterns", type=int, default=2,
+                         help="patterns sampled per size")
+    p_bench.add_argument(
+        "--pattern-style", choices=("induced", "dense", "sparse"), default="induced"
+    )
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument(
+        "--variant",
+        default="edge_induced",
+        choices=[v.value for v in Variant],
+    )
+    p_bench.add_argument("--engines", nargs="+", default=["CSCE"],
+                         choices=sorted(ENGINES))
+    p_bench.add_argument("--limit", type=int, default=20_000)
+    p_bench.add_argument("--time-limit", type=float, default=2.0)
+    p_bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""CSCE core: variants, dependency DAGs, planning, and execution."""
+
+from repro.core.variants import Variant
+from repro.core.dag import DependencyDAG, build_dag
+from repro.core.descendants import compute_descendants, compute_descendant_sizes
+from repro.core.equivalence import SCEStats, nec_classes, sce_statistics
+from repro.core.gcf import gcf_order, rapidmatch_order
+from repro.core.ldsf import ldsf_order
+from repro.core.plan import Plan, assemble_plan
+from repro.core.executor import MatchOptions, MatchResult, execute
+from repro.core.counting import count_embeddings
+from repro.core.csce import CSCE, PLANNERS
+from repro.core.cost import cost_based_order
+from repro.core.continuous import (
+    ContinuousMatcher,
+    DeltaResult,
+    embeddings_containing_edge,
+)
+
+__all__ = [
+    "Variant",
+    "DependencyDAG",
+    "build_dag",
+    "compute_descendants",
+    "compute_descendant_sizes",
+    "SCEStats",
+    "nec_classes",
+    "sce_statistics",
+    "gcf_order",
+    "rapidmatch_order",
+    "ldsf_order",
+    "Plan",
+    "assemble_plan",
+    "MatchOptions",
+    "MatchResult",
+    "execute",
+    "count_embeddings",
+    "CSCE",
+    "PLANNERS",
+    "cost_based_order",
+    "ContinuousMatcher",
+    "DeltaResult",
+    "embeddings_containing_edge",
+]

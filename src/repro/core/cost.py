@@ -1,0 +1,165 @@
+"""A cost-based matching-order optimizer (the Graphflow family).
+
+Section II describes two optimizer families: heuristic rules (RI/GCF — what
+CSCE uses) and *systematic cost estimation* (Graphflow), which enumerates
+candidate orders and picks the cheapest under a cardinality model. The
+paper's conclusion suggests exploring different heuristics on top of CSCE;
+this module supplies the cost-based alternative as an extra planner
+(``planner="cost"``) so the two families can be compared on identical
+execution machinery (see ``benchmarks/test_ablations.py``).
+
+Model. Matching one more vertex ``x`` after the set ``S`` multiplies the
+partial-embedding cardinality by the expected candidate count ``e(x | S)``,
+estimated from CCSR statistics as the smallest average fan-out among the
+clusters of the backward edges (an intersection is no larger than its
+smallest input). The cost of an order is the sum of intermediate
+cardinalities — the classic join-ordering objective — minimized exactly by
+dynamic programming over vertex subsets for patterns up to
+``max_exact_vertices`` and greedily beyond that.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ccsr.store import TaskClusters
+from repro.errors import PlanError
+from repro.graph.model import Graph
+
+#: Subset DP is O(2^n * n^2); past this size fall back to greedy.
+DEFAULT_MAX_EXACT = 12
+
+_BIG = float("inf")
+
+
+def _expected_candidates(
+    task: TaskClusters, pattern: Graph, prior: int, vertex: int
+) -> float:
+    """E[|candidates of vertex|] given one mapped backward neighbor."""
+    estimates = []
+    for edge in pattern.edges_between(prior, vertex):
+        cluster = task.edge_clusters.get(edge)
+        if cluster is None:
+            return 0.0
+        if not edge.directed:
+            sources = cluster.source_vertices().shape[0]
+        elif edge.src == prior:
+            sources = cluster.source_vertices().shape[0]
+        else:
+            sources = cluster.destination_vertices().shape[0]
+        estimates.append(cluster.num_entries / max(1, sources))
+    return min(estimates) if estimates else _BIG
+
+
+def _start_cardinality(task: TaskClusters, pattern: Graph, vertex: int) -> float:
+    """E[|candidates|] for an order's first vertex (its smallest cluster
+    side, mirroring the executor's first-candidate pool)."""
+    pools = []
+    for edge in pattern.incident_edges(vertex):
+        cluster = task.edge_clusters.get(edge)
+        if cluster is None:
+            return 0.0
+        if not edge.directed or edge.src == vertex:
+            pools.append(cluster.source_vertices().shape[0])
+        else:
+            pools.append(cluster.destination_vertices().shape[0])
+    return min(pools) if pools else float(len(task.data_vertex_labels))
+
+
+def extension_estimate(
+    task: TaskClusters, pattern: Graph, matched: Sequence[int], vertex: int
+) -> float:
+    """E[|candidates of vertex|] given the matched set (min over priors)."""
+    neighbors = [u for u in pattern.neighbors(vertex) if u in set(matched)]
+    if not neighbors:
+        return _start_cardinality(task, pattern, vertex)
+    return min(
+        _expected_candidates(task, pattern, prior, vertex) for prior in neighbors
+    )
+
+
+def _exact_order(pattern: Graph, task: TaskClusters) -> list[int]:
+    """Optimal order under the model, by subset dynamic programming."""
+    n = pattern.num_vertices
+    neighbor_masks = [0] * n
+    for v in range(n):
+        for w in pattern.neighbors(v):
+            neighbor_masks[v] |= 1 << w
+    # Pairwise estimates, precomputed.
+    pair_estimate = [[_BIG] * n for _ in range(n)]
+    for v in range(n):
+        for w in pattern.neighbors(v):
+            pair_estimate[w][v] = _expected_candidates(task, pattern, w, v)
+
+    start = [_start_cardinality(task, pattern, v) for v in range(n)]
+
+    # DP over subsets: best (cost, cardinality, last-added order) per mask.
+    best: dict[int, tuple[float, float, list[int]]] = {}
+    for v in range(n):
+        best[1 << v] = (start[v], start[v], [v])
+    for mask in sorted(best.keys() | set(range(1, 1 << n)), key=int.bit_count):
+        state = best.get(mask)
+        if state is None:
+            continue
+        cost, cardinality, order = state
+        for v in range(n):
+            bit = 1 << v
+            if mask & bit:
+                continue
+            priors = mask & neighbor_masks[v]
+            if priors:
+                estimate = min(
+                    pair_estimate[u][v]
+                    for u in range(n)
+                    if priors & (1 << u)
+                )
+            else:
+                estimate = start[v]
+            new_cardinality = cardinality * estimate
+            new_cost = cost + new_cardinality
+            new_mask = mask | bit
+            existing = best.get(new_mask)
+            if existing is None or new_cost < existing[0]:
+                best[new_mask] = (new_cost, new_cardinality, order + [v])
+    return best[(1 << n) - 1][2]
+
+
+def _greedy_order(pattern: Graph, task: TaskClusters) -> list[int]:
+    """Greedy fallback for large patterns: cheapest extension first."""
+    n = pattern.num_vertices
+    order = [min(range(n), key=lambda v: (_start_cardinality(task, pattern, v), v))]
+    chosen = set(order)
+    while len(order) < n:
+        def key(v: int):
+            return (extension_estimate(task, pattern, order, v), v)
+
+        # Prefer connected extensions; fall back to any remaining vertex.
+        connected = [
+            v
+            for v in range(n)
+            if v not in chosen and set(pattern.neighbors(v)) & chosen
+        ]
+        pool = connected or [v for v in range(n) if v not in chosen]
+        nxt = min(pool, key=key)
+        order.append(nxt)
+        chosen.add(nxt)
+    return order
+
+
+def cost_based_order(
+    pattern: Graph,
+    task: TaskClusters,
+    max_exact_vertices: int = DEFAULT_MAX_EXACT,
+) -> list[int]:
+    """A matching order from systematic cost estimation.
+
+    Exact subset-DP for small patterns, greedy beyond ``max_exact_vertices``
+    (Graphflow similarly bounds its enumeration — systematic search "becomes
+    very expensive" as Section VI notes, which is the trade-off this planner
+    exists to demonstrate).
+    """
+    if pattern.num_vertices == 0:
+        raise PlanError("cannot order an empty pattern")
+    if pattern.num_vertices <= max_exact_vertices:
+        return _exact_order(pattern, task)
+    return _greedy_order(pattern, task)

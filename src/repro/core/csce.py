@@ -1,0 +1,198 @@
+"""The CSCE facade — the library's primary public entry point.
+
+Usage::
+
+    from repro import CSCE, Variant
+
+    engine = CSCE(data_graph)            # offline: builds the CCSR store
+    result = engine.match(pattern)       # online: read + plan + execute
+    print(result.count, result.total_seconds)
+
+Planner configurations reproduce Fig. 13's ablation:
+
+* ``"csce"`` — GCF with cluster tie-breaks, then LDSF fine-tuning (default);
+* ``"ri_cluster"`` — GCF with cluster tie-breaks, no LDSF;
+* ``"ri"`` — plain RI rules, no data-graph knowledge;
+* ``"rm"`` — RapidMatch-style backward-connectivity ordering;
+* ``"cost"`` — Graphflow-style systematic cost estimation (an extension
+  beyond the paper's heuristics, see :mod:`repro.core.cost`).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.ccsr.store import CCSRStore
+from repro.core.dag import build_dag
+from repro.core.descendants import compute_descendant_sizes
+from repro.core.executor import MatchOptions, MatchResult, execute
+from repro.core.gcf import gcf_order, rapidmatch_order
+from repro.core.ldsf import ldsf_order
+from repro.core.plan import Plan, assemble_plan
+from repro.core.variants import Variant
+from repro.errors import PlanError
+from repro.graph.model import Graph
+
+PLANNERS = ("csce", "ri_cluster", "ri", "rm", "cost")
+
+
+class CSCE:
+    """Clustered-CSR + Sequential-Candidate-Equivalence matching engine."""
+
+    def __init__(self, graph: Graph | CCSRStore):
+        """Build (or adopt) the CCSR store for a data graph.
+
+        Passing a :class:`Graph` runs the offline clustering stage; passing
+        a prebuilt :class:`CCSRStore` shares it across engines.
+        """
+        if isinstance(graph, CCSRStore):
+            self.store = graph
+        else:
+            self.store = CCSRStore(graph)
+
+    # ------------------------------------------------------------------
+    def build_plan(
+        self,
+        pattern: Graph,
+        variant: Variant | str = Variant.EDGE_INDUCED,
+        planner: str = "csce",
+    ) -> Plan:
+        """Read clusters and optimize a matching plan (Sections IV–VI)."""
+        if planner not in PLANNERS:
+            raise PlanError(f"unknown planner {planner!r}; choose from {PLANNERS}")
+        variant = Variant.parse(variant)
+        start = time.perf_counter()
+        task = self.store.read(pattern, variant)
+
+        if planner == "rm":
+            order = rapidmatch_order(pattern, task)
+        elif planner == "cost":
+            from repro.core.cost import cost_based_order
+
+            order = cost_based_order(pattern, task)
+        else:
+            order = gcf_order(
+                pattern,
+                task,
+                use_cluster_tiebreak=planner in ("csce", "ri_cluster"),
+            )
+        dag = build_dag(pattern, order, variant, task)
+        descendant_sizes = compute_descendant_sizes(dag)
+        if planner == "csce":
+            order = ldsf_order(
+                dag,
+                pattern,
+                task,
+                label_frequency=self.store.label_frequency,
+                descendant_sizes=descendant_sizes,
+            )
+            dag = build_dag(pattern, order, variant, task)
+        plan = assemble_plan(
+            self.store,
+            task,
+            pattern,
+            order,
+            dag,
+            variant,
+            planner_name=planner,
+            descendant_sizes=descendant_sizes,
+        )
+        plan.plan_seconds = time.perf_counter() - start - task.read_seconds
+        return plan
+
+    # ------------------------------------------------------------------
+    def match(
+        self,
+        pattern: Graph,
+        variant: Variant | str = Variant.EDGE_INDUCED,
+        count_only: bool = False,
+        max_embeddings: int | None = None,
+        time_limit: float | None = None,
+        use_sce: bool = True,
+        planner: str = "csce",
+        plan: Plan | None = None,
+        restrictions: tuple[tuple[int, int], ...] | None = None,
+        seed: dict[int, int] | None = None,
+    ) -> MatchResult:
+        """Find embeddings of ``pattern`` in the data graph.
+
+        Parameters
+        ----------
+        variant:
+            ``"edge_induced"`` (default), ``"vertex_induced"``, or
+            ``"homomorphic"`` — or a :class:`Variant`.
+        count_only:
+            Count embeddings without materializing them; enables the SCE
+            count factorization.
+        max_embeddings / time_limit:
+            Resource caps; exceeding them returns a truncated result.
+        use_sce:
+            Ablation switch for candidate memoization + factorization.
+        plan:
+            A prebuilt plan to execute (skips planning); its variant must
+            agree with ``variant``.
+        restrictions:
+            Symmetry restrictions ``(u, v)`` forcing ``f(u) < f(v)``; with a
+            full restriction chain each automorphism orbit is found once.
+        seed:
+            Pinned mappings ``{pattern vertex: data vertex}``; only
+            embeddings extending the seed are produced (delta matching).
+        """
+        variant = Variant.parse(variant)
+        if plan is None:
+            plan = self.build_plan(pattern, variant, planner=planner)
+        elif plan.variant is not variant:
+            raise PlanError(
+                f"plan was built for {plan.variant}, not {variant}"
+            )
+        options = MatchOptions(
+            count_only=count_only,
+            max_embeddings=max_embeddings,
+            time_limit=time_limit,
+            use_sce=use_sce,
+            restrictions=tuple(restrictions) if restrictions else None,
+            seed=dict(seed) if seed else None,
+        )
+        return execute(plan, options)
+
+    def count(self, pattern: Graph, variant: Variant | str = Variant.EDGE_INDUCED, **kwargs) -> int:
+        """Shorthand: the embedding count (``count_only`` matching)."""
+        return self.match(pattern, variant, count_only=True, **kwargs).count
+
+    def query(
+        self,
+        text: str,
+        variant: Variant | str = Variant.EDGE_INDUCED,
+        **match_kwargs,
+    ):
+        """Run a DSL pattern expression and get named rows back.
+
+        >>> engine.query("(a:P)-[:knows]-(b:P)").rows
+        [{'a': 0, 'b': 1}, {'a': 1, 'b': 0}]
+        """
+        from repro.core.query import run_query
+
+        return run_query(self, text, variant, **match_kwargs)
+
+    def sce_report(
+        self,
+        pattern: Graph,
+        variant: Variant | str = Variant.EDGE_INDUCED,
+        paper_faithful: bool = True,
+    ):
+        """How much Sequential Candidate Equivalence this task exhibits.
+
+        Returns the :class:`~repro.core.equivalence.SCEStats` measured on
+        the GCF order's dependency DAG — the Fig. 12 metric, available for
+        any (pattern, variant) without running the match.
+        """
+        from repro.core.equivalence import sce_statistics
+
+        variant = Variant.parse(variant)
+        task = self.store.read(pattern, variant)
+        order = gcf_order(pattern, task)
+        dag = build_dag(pattern, order, variant, task, paper_faithful=paper_faithful)
+        return sce_statistics(pattern, dag)
+
+    def __repr__(self) -> str:
+        return f"<CSCE over {self.store!r}>"

@@ -1,0 +1,182 @@
+"""Candidate-dependency DAGs and ``BuildDAG`` (Algorithm 2).
+
+Given a matching order, candidates of a later pattern vertex may depend on
+the mapping chosen for an earlier one; each such dependency is a directed
+edge of the DAG ``H``. Two pattern vertices with *no path between them* in
+``H`` have sequentially equivalent candidates (Definition 1) — the engine
+exploits that for candidate reuse and count factorization.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.variants import Variant
+from repro.errors import PlanError
+from repro.graph.model import Graph
+
+
+class DependencyDAG:
+    """A DAG over pattern vertices, stored as in/out adjacency sets.
+
+    The paper represents edges as a hash map from each vertex to its
+    outgoing neighbor set (Section V complexity analysis); we keep the
+    incoming map too because LDSF consumes in-degrees.
+    """
+
+    def __init__(self, vertices: Iterable[int]):
+        self.vertices: list[int] = list(vertices)
+        self.out: dict[int, set[int]] = {v: set() for v in self.vertices}
+        self.inc: dict[int, set[int]] = {v: set() for v in self.vertices}
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if src == dst:
+            raise PlanError(f"dependency self-loop on {src}")
+        self.out[src].add(dst)
+        self.inc[dst].add(src)
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return dst in self.out[src]
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self.out.values())
+
+    def copy(self) -> "DependencyDAG":
+        dag = DependencyDAG(self.vertices)
+        for src, dsts in self.out.items():
+            for dst in dsts:
+                dag.add_edge(src, dst)
+        return dag
+
+    def sources(self) -> list[int]:
+        """Vertices with no incoming dependency."""
+        return [v for v in self.vertices if not self.inc[v]]
+
+    def sinks(self) -> list[int]:
+        """Vertices with no outgoing dependency (no children)."""
+        return [v for v in self.vertices if not self.out[v]]
+
+    def is_topological_order(self, order: Sequence[int]) -> bool:
+        """True when ``order`` visits every parent before its children."""
+        if sorted(order) != sorted(self.vertices):
+            return False
+        position = {v: i for i, v in enumerate(order)}
+        return all(
+            position[src] < position[dst]
+            for src, dsts in self.out.items()
+            for dst in dsts
+        )
+
+    def reachability(self) -> dict[int, int]:
+        """Per-vertex descendant bitmasks (bit ``v`` set when ``v`` is
+        reachable). Bitmask ints keep this fast up to 2000-vertex patterns."""
+        order = list(self.topological_order())
+        reach: dict[int, int] = {v: 0 for v in self.vertices}
+        for v in reversed(order):
+            mask = 0
+            for child in self.out[v]:
+                mask |= (1 << child) | reach[child]
+            reach[v] = mask
+        return reach
+
+    def independent_pairs(self) -> Iterator[tuple[int, int]]:
+        """Unordered vertex pairs with no path in either direction —
+        exactly the pairs Definition 1 declares sequentially equivalent."""
+        reach = self.reachability()
+        verts = sorted(self.vertices)
+        for i, a in enumerate(verts):
+            for b in verts[i + 1 :]:
+                if not (reach[a] >> b) & 1 and not (reach[b] >> a) & 1:
+                    yield a, b
+
+    def topological_order(self) -> Iterator[int]:
+        """Kahn's algorithm; raises :class:`PlanError` on a cycle."""
+        in_degree = {v: len(self.inc[v]) for v in self.vertices}
+        ready = [v for v in self.vertices if in_degree[v] == 0]
+        emitted = 0
+        while ready:
+            v = ready.pop()
+            emitted += 1
+            yield v
+            for child in self.out[v]:
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    ready.append(child)
+        if emitted != len(self.vertices):
+            raise PlanError("dependency graph contains a cycle")
+
+    def undirected_components(self, vertices: Iterable[int]) -> list[list[int]]:
+        """Connected components of the undirected view restricted to
+        ``vertices`` — the conditionally independent regions of a suffix."""
+        members = set(vertices)
+        seen: set[int] = set()
+        components: list[list[int]] = []
+        for start in members:
+            if start in seen:
+                continue
+            stack = [start]
+            seen.add(start)
+            component = []
+            while stack:
+                v = stack.pop()
+                component.append(v)
+                for w in self.out[v] | self.inc[v]:
+                    if w in members and w not in seen:
+                        seen.add(w)
+                        stack.append(w)
+            components.append(sorted(component))
+        return components
+
+    def __repr__(self) -> str:
+        return f"<DependencyDAG |V|={len(self.vertices)} |E|={self.num_edges}>"
+
+
+def build_dag(
+    pattern: Graph,
+    order: Sequence[int],
+    variant: Variant,
+    task_clusters=None,
+    paper_faithful: bool = False,
+) -> DependencyDAG:
+    """``BuildDAG`` (Algorithm 2): the candidate-dependency DAG for a plan.
+
+    For every pair of positions ``i < j``: pattern adjacency always adds the
+    dependency ``(order[i], order[j])``. Under the vertex-induced variant,
+    *negation* between non-adjacent pattern vertices also creates a
+    dependency whenever the data graph has clusters connecting their labels
+    (Algorithm 2 line 8, checked through ``task_clusters``).
+
+    ``paper_faithful`` reproduces Algorithm 2 exactly, including its line-7
+    guard (only add the negation edge ``(order[i], order[j])`` when some
+    position ``k < i`` is a pattern neighbor of ``order[j]``). The engine
+    default (``False``) drops that guard and records every real negation
+    dependency, which is the conservative choice our executor's reuse
+    machinery requires for soundness; the metrics code (Fig. 12) uses the
+    faithful form.
+    """
+    variant = Variant.parse(variant)
+    n = pattern.num_vertices
+    if sorted(order) != list(range(n)):
+        raise PlanError("matching order must be a permutation of pattern vertices")
+    if variant.induced and task_clusters is None:
+        raise PlanError("vertex-induced BuildDAG needs task clusters (Alg. 2 line 8)")
+
+    dag = DependencyDAG(range(n))
+    neighbor_sets = [set(pattern.neighbors(v)) for v in range(n)]
+    for j in range(1, n):
+        u_j = order[j]
+        for i in range(j):
+            u_i = order[i]
+            if u_i in neighbor_sets[u_j]:
+                dag.add_edge(u_i, u_j)
+            elif variant.induced:
+                if paper_faithful:
+                    has_earlier_neighbor = any(
+                        order[k] in neighbor_sets[u_j] for k in range(i)
+                    )
+                    if not has_earlier_neighbor:
+                        continue
+                if task_clusters.has_negation_between(u_i, u_j):
+                    dag.add_edge(u_i, u_j)
+    return dag

@@ -1,0 +1,49 @@
+"""``ComputeDescendant`` (Algorithm 3).
+
+The descendant size of a DAG vertex counts its direct and indirect children.
+It measures how many later mappings depend on the vertex, which is what the
+LDSF heuristic maximizes. Vertices share descendants, so the dynamic program
+unions descendant *sets* bottom-up (as bitmasks) and only counts at the end —
+exactly the paper's ``A_D``/``A_S`` split.
+"""
+
+from __future__ import annotations
+
+from repro.core.dag import DependencyDAG
+
+
+def compute_descendants(dag: DependencyDAG) -> dict[int, int]:
+    """Descendant-set bitmask per vertex (bit ``v`` set when ``v`` is a
+    direct or indirect child)."""
+    in_remaining = {v: len(dag.out[v]) for v in dag.vertices}
+    descendants: dict[int, int] = {v: 0 for v in dag.vertices}
+    # Peel from the children upward, mirroring Algorithm 3: start at
+    # vertices with no children; once all of a vertex's children are
+    # resolved, it becomes ready.
+    ready = [v for v in dag.vertices if in_remaining[v] == 0]
+    processed = 0
+    while ready:
+        next_ready: list[int] = []
+        for v in ready:
+            mask = 0
+            for child in dag.out[v]:
+                mask |= (1 << child) | descendants[child]
+            descendants[v] = mask
+            processed += 1
+            for parent in dag.inc[v]:
+                in_remaining[parent] -= 1
+                if in_remaining[parent] == 0:
+                    next_ready.append(parent)
+        ready = next_ready
+    if processed != len(dag.vertices):
+        # A cycle would leave vertices unprocessed; DependencyDAG
+        # construction should make this impossible.
+        raise AssertionError("descendant computation did not converge")
+    return descendants
+
+
+def compute_descendant_sizes(dag: DependencyDAG) -> dict[int, int]:
+    """Algorithm 3's output ``A_S``: descendant counts per vertex."""
+    return {
+        v: mask.bit_count() for v, mask in compute_descendants(dag).items()
+    }

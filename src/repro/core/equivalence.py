@@ -1,0 +1,102 @@
+"""Equivalence concepts: NEC classes and SCE occurrence metrics.
+
+*Neighborhood equivalence classes* (TurboISO) group pattern vertices whose
+swap is an automorphism — their candidate sets are interchangeable. The
+engine gets NEC sharing implicitly through memo specs
+(:mod:`repro.core.plan`); this module exposes the classes for inspection
+and for the explicit reporting in the method overview (Section III).
+
+*SCE occurrence* quantifies how often Sequential Candidate Equivalence
+fires in a plan (Fig. 12): the share of pattern vertices that are
+independent of at least one other vertex under the dependency DAG, and how
+much of that independence is supplied by clusters (the injectivity-free
+``C \\ {v_x} = C`` case of Definition 1, which holds when labels differ and
+the vertex-induced negation edges of Algorithm 2 lines 7–8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dag import DependencyDAG
+from repro.graph.algorithms import _edge_descriptor
+from repro.graph.model import Graph
+
+
+def nec_classes(pattern: Graph) -> list[list[int]]:
+    """Partition pattern vertices into neighborhood equivalence classes.
+
+    Two vertices are NEC-equivalent when they share a label and relate
+    identically (edge presence, direction, and labels) to every third
+    vertex — i.e. the transposition swapping them is an automorphism.
+    """
+    n = pattern.num_vertices
+    classes: list[list[int]] = []
+    for v in range(n):
+        placed = False
+        for cls in classes:
+            if _nec_equivalent(pattern, cls[0], v):
+                cls.append(v)
+                placed = True
+                break
+        if not placed:
+            classes.append([v])
+    return classes
+
+
+def _nec_equivalent(pattern: Graph, a: int, b: int) -> bool:
+    if a == b:
+        return True
+    if pattern.vertex_label(a) != pattern.vertex_label(b):
+        return False
+    for w in pattern.vertices():
+        if w in (a, b):
+            continue
+        if _edge_descriptor(pattern, a, w) != _edge_descriptor(pattern, b, w):
+            return False
+    # Edges between the pair must be symmetric for the swap to preserve them.
+    return _edge_descriptor(pattern, a, b) == _edge_descriptor(pattern, b, a)
+
+
+@dataclass(frozen=True)
+class SCEStats:
+    """The Fig. 12 measurements for one plan."""
+
+    num_vertices: int
+    sce_vertices: int
+    sce_pairs: int
+    cluster_pairs: int
+
+    @property
+    def occurrence(self) -> float:
+        """Fraction of pattern vertices independent of >= 1 other vertex."""
+        if self.num_vertices == 0:
+            return 0.0
+        return self.sce_vertices / self.num_vertices
+
+    @property
+    def cluster_ratio(self) -> float:
+        """Share of SCE pairs whose injectivity clause is satisfied
+        label-wise / cluster-wise (the figure's cluster sub-bars)."""
+        if self.sce_pairs == 0:
+            return 0.0
+        return self.cluster_pairs / self.sce_pairs
+
+
+def sce_statistics(pattern: Graph, dag: DependencyDAG) -> SCEStats:
+    """Measure SCE occurrence for a pattern under a dependency DAG."""
+    sce_vertices: set[int] = set()
+    sce_pairs = 0
+    cluster_pairs = 0
+    for a, b in dag.independent_pairs():
+        sce_pairs += 1
+        sce_vertices.add(a)
+        sce_vertices.add(b)
+        if pattern.vertex_label(a) != pattern.vertex_label(b):
+            cluster_pairs += 1
+    return SCEStats(
+        num_vertices=pattern.num_vertices,
+        sce_vertices=len(sce_vertices),
+        sce_pairs=sce_pairs,
+        cluster_pairs=cluster_pairs,
+    )

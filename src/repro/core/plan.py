@@ -1,0 +1,332 @@
+"""Executable matching plans.
+
+A :class:`Plan` is the contract between the optimizer and the executor: the
+final matching order ``Phi*``, the dependency DAG ``H`` built on it, and —
+per order position — the concrete cluster probes the executor runs:
+
+* *edge constraints*: which cluster neighbor list of which already-matched
+  vertex to intersect (the pipelined-WCOJ step);
+* *negation constraints*: which cluster edges must be absent
+  (vertex-induced only);
+* *first candidates*: the static candidate pool for positions with no
+  backward edge (the order's first vertex, or the first vertex of a new
+  pattern component).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.ccsr.cluster import Cluster
+from repro.ccsr.store import CCSRStore, NegationCheck, TaskClusters
+from repro.core.dag import DependencyDAG
+from repro.core.variants import Variant
+from repro.errors import PlanError
+from repro.graph.model import Graph
+
+SUCCESSORS = "succ"
+PREDECESSORS = "pred"
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class EdgeConstraint:
+    """One backward pattern edge: intersect candidates with a neighbor list.
+
+    ``direction`` selects ``cluster.successors(f(prior))`` or
+    ``cluster.predecessors(f(prior))``.
+    """
+
+    prior: int
+    cluster: Cluster
+    direction: str
+
+    def neighbor_array(self, mapped_prior: int) -> np.ndarray:
+        if self.direction == SUCCESSORS:
+            return self.cluster.successors(mapped_prior)
+        return self.cluster.predecessors(mapped_prior)
+
+
+@dataclass(frozen=True)
+class NegationConstraint:
+    """One "edge must be absent" probe against an earlier mapping.
+
+    ``swap`` encodes argument order: the underlying :class:`NegationCheck`
+    was registered for the pattern pair in ascending vertex-id order, which
+    may be the reverse of (prior, current).
+    """
+
+    prior: int
+    check: NegationCheck
+    swap: bool
+
+    def violated(self, mapped_prior: int, candidate: int) -> bool:
+        if self.swap:
+            return self.check.violated(candidate, mapped_prior)
+        return self.check.violated(mapped_prior, candidate)
+
+    def exclusion_array(self, mapped_prior: int) -> np.ndarray:
+        """All candidates this probe forbids, as a sorted array.
+
+        The probe "no cluster edge between f(prior) and the candidate in
+        direction X" excludes exactly one neighbor list of ``f(prior)``,
+        which lets the executor filter candidates vectorized instead of
+        binary-searching per candidate.
+        """
+        from repro.ccsr.store import FORWARD
+
+        use_successors = (self.check.mode == FORWARD) != self.swap
+        cluster = self.check.cluster
+        if use_successors:
+            return cluster.successors(mapped_prior)
+        return cluster.predecessors(mapped_prior)
+
+
+@dataclass
+class Plan:
+    """A fully assembled matching plan (the paper's optimized ``Phi*``)."""
+
+    pattern: Graph
+    variant: Variant
+    order: list[int]
+    dag: DependencyDAG
+    task_clusters: TaskClusters
+    backward: list[list[EdgeConstraint]]
+    negations: list[list[NegationConstraint]]
+    first_candidates: list[np.ndarray | None]
+    memo_priors: list[tuple[int, ...]]
+    memo_specs: list[tuple]
+    planner_name: str = "csce"
+    plan_seconds: float = 0.0
+    descendant_sizes: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.order)
+
+    @property
+    def position(self) -> dict[int, int]:
+        return {v: i for i, v in enumerate(self.order)}
+
+    def validate(self) -> None:
+        """Sanity-check internal consistency; raises :class:`PlanError`."""
+        n = self.pattern.num_vertices
+        if sorted(self.order) != list(range(n)):
+            raise PlanError("plan order is not a permutation")
+        if not self.dag.is_topological_order(self.order):
+            raise PlanError("plan order is not a topological order of H")
+        position = self.position
+        for pos, constraints in enumerate(self.backward):
+            for c in constraints:
+                if position[c.prior] >= pos:
+                    raise PlanError(
+                        f"constraint at position {pos} references later vertex"
+                    )
+        for pos, constraints in enumerate(self.negations):
+            for c in constraints:
+                if position[c.prior] >= pos:
+                    raise PlanError(
+                        f"negation at position {pos} references later vertex"
+                    )
+
+    def impossible(self) -> bool:
+        """True when a pattern edge has no cluster: zero embeddings."""
+        return self.task_clusters.has_impossible_edge()
+
+    def describe(self) -> str:
+        """A human-readable explanation of the plan (CLI ``plan`` output)."""
+        lines = [
+            f"planner      : {self.planner_name}",
+            f"variant      : {self.variant}",
+            f"order (Phi*) : {self.order}",
+            f"DAG          : {self.dag.num_edges} dependency edges",
+        ]
+        for pos, u in enumerate(self.order):
+            parts = []
+            for c in self.backward[pos]:
+                arrow = "->" if c.direction == SUCCESSORS else "<-"
+                parts.append(f"u{c.prior}{arrow}u{u} via {c.cluster.key}")
+            if self.negations[pos]:
+                parts.append(f"{len(self.negations[pos])} negation probes")
+            if not parts:
+                pool = self.first_candidates[pos]
+                pool_size = 0 if pool is None else len(pool)
+                parts.append(f"static pool of {pool_size} candidates")
+            descendant = self.descendant_sizes.get(u, 0)
+            lines.append(
+                f"  step {pos}: u{u} (descendants={descendant}) <- "
+                + "; ".join(parts)
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Plan {self.planner_name} order={self.order}"
+            f" variant={self.variant}>"
+        )
+
+
+def _first_candidate_pool(
+    store: CCSRStore,
+    task: TaskClusters,
+    pattern: Graph,
+    vertex: int,
+) -> np.ndarray:
+    """The smallest static candidate pool for an unconstrained position.
+
+    Every incident pattern edge restricts ``vertex`` to one side of its
+    cluster; the smallest such side wins. A vertex with no incident edges
+    (disconnected pattern) falls back to all data vertices with its label.
+    """
+    label: Hashable = pattern.vertex_label(vertex)
+    pools: list[np.ndarray] = []
+    for edge in pattern.incident_edges(vertex):
+        cluster = task.edge_clusters.get(edge)
+        if cluster is None:
+            return _EMPTY
+        if edge.directed:
+            pool = (
+                cluster.source_vertices()
+                if edge.src == vertex
+                else cluster.destination_vertices()
+            )
+        else:
+            endpoints = cluster.source_vertices()
+            if cluster.key.src_label == cluster.key.dst_label:
+                pool = endpoints
+            else:
+                labels = store.vertex_labels
+                pool = np.asarray(
+                    [v for v in endpoints.tolist() if labels[v] == label],
+                    dtype=np.int64,
+                )
+        pools.append(pool)
+    if pools:
+        return min(pools, key=len)
+    return np.asarray(store.vertices_with_label(label), dtype=np.int64)
+
+
+def assemble_plan(
+    store: CCSRStore,
+    task: TaskClusters,
+    pattern: Graph,
+    order: Sequence[int],
+    dag: DependencyDAG,
+    variant: Variant,
+    planner_name: str,
+    descendant_sizes: dict[int, int] | None = None,
+) -> Plan:
+    """Turn an order + DAG into the per-position constraint lists."""
+    start = time.perf_counter()
+    n = pattern.num_vertices
+    position = {v: i for i, v in enumerate(order)}
+    backward: list[list[EdgeConstraint]] = [[] for _ in range(n)]
+    negations: list[list[NegationConstraint]] = [[] for _ in range(n)]
+    first_candidates: list[np.ndarray | None] = [None] * n
+
+    for edge in pattern.edges():
+        cluster = task.edge_clusters.get(edge)
+        src_pos, dst_pos = position[edge.src], position[edge.dst]
+        early, late = (edge.src, edge.dst) if src_pos < dst_pos else (edge.dst, edge.src)
+        late_pos = max(src_pos, dst_pos)
+        if cluster is None:
+            # Impossible edge: pin an always-empty constraint on the later
+            # endpoint so execution terminates immediately.
+            backward[late_pos].append(
+                EdgeConstraint(early, _EMPTY_CLUSTER, SUCCESSORS)
+            )
+            continue
+        if not edge.directed:
+            direction = SUCCESSORS  # undirected CSR is symmetric
+        elif early == edge.src:
+            direction = SUCCESSORS
+        else:
+            direction = PREDECESSORS
+        backward[late_pos].append(EdgeConstraint(early, cluster, direction))
+
+    if variant.induced:
+        for (u_a, u_b), checks in task.negation_checks.items():
+            pos_a, pos_b = position[u_a], position[u_b]
+            early, late = (u_a, u_b) if pos_a < pos_b else (u_b, u_a)
+            late_pos = max(pos_a, pos_b)
+            # Checks were registered on (u_a, u_b) with u_a < u_b by id;
+            # swap when the later-matched vertex is the pair's first slot.
+            swap = late == u_a
+            for check in checks:
+                negations[late_pos].append(NegationConstraint(early, check, swap))
+
+    memo_priors: list[tuple[int, ...]] = []
+    memo_specs: list[tuple] = []
+    for pos in range(n):
+        priors = sorted(
+            {c.prior for c in backward[pos]} | {c.prior for c in negations[pos]}
+        )
+        memo_priors.append(tuple(priors))
+        if not backward[pos]:
+            first_candidates[pos] = _first_candidate_pool(
+                store, task, pattern, order[pos]
+            )
+        # The spec identifies *what* is computed, independent of the pattern
+        # vertex id — NEC-equivalent vertices share specs and hence share
+        # memoized candidate sets.
+        edge_spec = tuple(
+            sorted((c.prior, id(c.cluster), c.direction) for c in backward[pos])
+        )
+        neg_spec = tuple(
+            sorted(
+                (c.prior, id(c.check.cluster), c.check.mode, c.swap)
+                for c in negations[pos]
+            )
+        )
+        label = pattern.vertex_label(order[pos])
+        # Unconstrained positions read from a static pool; the pool's
+        # identity must be part of the spec, or two same-label pattern
+        # vertices with *different* pools would wrongly share cache entries.
+        pool_id = (
+            id(first_candidates[pos]) if first_candidates[pos] is not None else None
+        )
+        memo_specs.append((label, edge_spec, neg_spec, pool_id))
+
+    plan = Plan(
+        pattern=pattern,
+        variant=variant,
+        order=list(order),
+        dag=dag,
+        task_clusters=task,
+        backward=backward,
+        negations=negations,
+        first_candidates=first_candidates,
+        memo_priors=memo_priors,
+        memo_specs=memo_specs,
+        planner_name=planner_name,
+        plan_seconds=time.perf_counter() - start,
+        descendant_sizes=descendant_sizes or {},
+    )
+    plan.validate()
+    return plan
+
+
+class _AlwaysEmptyCluster:
+    """Sentinel cluster used for pattern edges with no matching data edges."""
+
+    key = None
+
+    @staticmethod
+    def successors(_v: int) -> np.ndarray:
+        return _EMPTY
+
+    @staticmethod
+    def predecessors(_v: int) -> np.ndarray:
+        return _EMPTY
+
+    @property
+    def num_entries(self) -> int:
+        return 0
+
+
+_EMPTY_CLUSTER = _AlwaysEmptyCluster()

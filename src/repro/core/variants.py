@@ -1,0 +1,62 @@
+"""The three subgraph-matching variants (Section II, problem statement).
+
+* **edge-induced** (non-induced / monomorphism): an injective vertex mapping
+  under which every pattern edge maps to a data edge with the same labels
+  and direction; extra data edges among the mapped vertices are allowed.
+* **vertex-induced** (induced): edge-induced plus the converse — *no* data
+  edge may exist between mapped vertices unless the pattern has the
+  corresponding edge.
+* **homomorphic**: like edge-induced but without injectivity — distinct
+  pattern vertices may map to the same data vertex.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import VariantError
+
+
+class Variant(Enum):
+    """A subgraph-matching variant (the paper's theta)."""
+
+    EDGE_INDUCED = "edge_induced"
+    VERTEX_INDUCED = "vertex_induced"
+    HOMOMORPHIC = "homomorphic"
+
+    @property
+    def injective(self) -> bool:
+        """Whether distinct pattern vertices need distinct images."""
+        return self is not Variant.HOMOMORPHIC
+
+    @property
+    def induced(self) -> bool:
+        """Whether absent pattern edges forbid data edges."""
+        return self is Variant.VERTEX_INDUCED
+
+    @classmethod
+    def parse(cls, value: "Variant | str") -> "Variant":
+        """Accept a Variant, its value string, or common aliases."""
+        if isinstance(value, Variant):
+            return value
+        aliases = {
+            "edge_induced": cls.EDGE_INDUCED,
+            "edge-induced": cls.EDGE_INDUCED,
+            "non_induced": cls.EDGE_INDUCED,
+            "monomorphism": cls.EDGE_INDUCED,
+            "e": cls.EDGE_INDUCED,
+            "vertex_induced": cls.VERTEX_INDUCED,
+            "vertex-induced": cls.VERTEX_INDUCED,
+            "induced": cls.VERTEX_INDUCED,
+            "v": cls.VERTEX_INDUCED,
+            "homomorphic": cls.HOMOMORPHIC,
+            "homomorphism": cls.HOMOMORPHIC,
+            "h": cls.HOMOMORPHIC,
+        }
+        try:
+            return aliases[str(value).lower()]
+        except KeyError:
+            raise VariantError(f"unknown subgraph matching variant {value!r}") from None
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,28 @@
+"""Dataset stand-ins for the paper's evaluation graphs (Table IV).
+
+The paper evaluates on nine public real-world graphs plus EMAIL-EU. Without
+network access (and without a C++ engine able to chew through millions of
+vertices), each dataset is replaced by a *seeded synthetic generator that
+reproduces its shape*: degree-distribution class, vertex-label count,
+directedness, and relative density — the properties the evaluation actually
+varies. Scales default to a few thousand vertices (documented per dataset)
+and every builder accepts a ``scale`` factor.
+"""
+
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    DatasetSpec,
+    dataset_table,
+    get_spec,
+    load_dataset,
+)
+from repro.datasets.email import email_eu
+
+__all__ = [
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "dataset_table",
+    "get_spec",
+    "load_dataset",
+    "email_eu",
+]

@@ -1,0 +1,35 @@
+"""Citation-network stand-ins: Patent and Subcategory.
+
+Patent (paper: 3.77M V / 33M E, 20 labels, undirected in the RM suite) and
+Subcategory (2.75M V / 14M E, 36 labels, directed, from the Graphflow
+suite) are preferential-attachment shaped. Subcategory additionally carries
+edge labels in the Graphflow workloads, which ``subcategory`` reproduces.
+Patent is also the paper's relabeling substrate for Figs. 10–13
+(20/200/2000 labels), so it exposes ``num_labels``.
+"""
+
+from __future__ import annotations
+
+from repro.graph.generators import power_law_graph, random_edge_labels
+from repro.graph.model import Graph
+
+
+def patent(scale: float = 1.0, seed: int = 106, num_labels: int = 20) -> Graph:
+    """Patent stand-in: 20 labels by default, avg degree ~8, undirected."""
+    n = max(40, int(3000 * scale))
+    return power_law_graph(
+        n, 4, num_labels=num_labels, seed=seed, name=f"patent-{num_labels}"
+    )
+
+
+def subcategory(scale: float = 1.0, seed: int = 107, num_edge_labels: int = 3) -> Graph:
+    """Subcategory stand-in: directed, 36 vertex labels, labeled edges."""
+    n = max(40, int(2500 * scale))
+    graph = power_law_graph(
+        n, 5, num_labels=36, directed=True, seed=seed, name="subcategory"
+    )
+    if num_edge_labels > 1:
+        graph = random_edge_labels(
+            graph, num_edge_labels, seed=seed, name="subcategory"
+        )
+    return graph

@@ -1,0 +1,32 @@
+"""EMAIL-EU stand-in for the clustering case study (Section VII-G).
+
+EMAIL-EU records email traffic inside a European research institution, with
+each member's department as ground truth. The case study clusters members
+by communication patterns: an edge-based approach reaches F1 ≈ 0.4, while
+higher-order clustering over 8-clique co-membership reaches ≈ 0.5.
+
+A planted partition supplies the same two ingredients — community ground
+truth and within-community clique structure — at a scale the pure-Python
+engine can enumerate 8-cliques on. ``p_in`` is high because real
+departments' email cores are near-cliques; ``p_out`` adds the cross-
+department noise that degrades edge-based clustering.
+"""
+
+from __future__ import annotations
+
+from repro.graph.generators import planted_partition
+from repro.graph.model import Graph
+
+
+def email_eu(
+    num_departments: int = 6,
+    department_size: int = 14,
+    p_in: float = 0.85,
+    p_out: float = 0.15,
+    seed: int = 110,
+) -> tuple[Graph, list[int]]:
+    """The email graph and its ground-truth department per vertex."""
+    graph, membership = planted_partition(
+        num_departments, department_size, p_in, p_out, seed=seed, name="email-eu"
+    )
+    return graph, membership

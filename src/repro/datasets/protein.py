@@ -1,0 +1,37 @@
+"""Protein-interaction network stand-ins: DIP, Yeast, Human, HPRD.
+
+All four originals are undirected with heavy-tailed degree distributions;
+they differ in density and vertex-label count (Table IV): DIP is unlabeled
+(avg degree 8.9), Yeast has 71 labels (8.1), Human is dense with 44 labels
+(36.9), HPRD has 304 labels (7.5). The builders keep those label counts and
+density classes at ~1/4 to ~1/2 scale in vertices.
+"""
+
+from __future__ import annotations
+
+from repro.graph.generators import power_law_graph
+from repro.graph.model import Graph
+
+
+def dip(scale: float = 1.0, seed: int = 101) -> Graph:
+    """DIP stand-in: unlabeled, avg degree ~9 (paper: 4,935 V / 21,975 E)."""
+    n = max(20, int(1200 * scale))
+    return power_law_graph(n, 4, num_labels=0, seed=seed, name="dip")
+
+
+def yeast(scale: float = 1.0, seed: int = 102) -> Graph:
+    """Yeast stand-in: 71 labels, avg degree ~8 (paper: 3,101 V / 12,519 E)."""
+    n = max(20, int(800 * scale))
+    return power_law_graph(n, 4, num_labels=71, seed=seed, name="yeast")
+
+
+def human(scale: float = 1.0, seed: int = 103) -> Graph:
+    """Human stand-in: 44 labels, dense (paper: 4,674 V / 86,282 E, deg 36.9)."""
+    n = max(30, int(1000 * scale))
+    return power_law_graph(n, 9, num_labels=44, seed=seed, name="human")
+
+
+def hprd(scale: float = 1.0, seed: int = 104) -> Graph:
+    """HPRD stand-in: 304 labels, sparse (paper: 9,303 V / 34,998 E)."""
+    n = max(40, int(2000 * scale))
+    return power_law_graph(n, 4, num_labels=304, seed=seed, name="hprd")

@@ -1,0 +1,19 @@
+"""Road-network stand-in: RoadCA.
+
+RoadCA (paper: 1,965,206 V / 2,766,607 E, avg degree 2.8, unlabeled) is a
+near-planar grid-like graph with tiny maximum degree — the shape that makes
+pattern matching fast per embedding but gives sparse patterns enormous
+counts. A perturbed lattice reproduces both properties.
+"""
+
+from __future__ import annotations
+
+from repro.graph.generators import grid_graph
+from repro.graph.model import Graph
+
+
+def roadca(scale: float = 1.0, seed: int = 105) -> Graph:
+    """RoadCA stand-in: perturbed lattice, avg degree ~2.8, unlabeled."""
+    side = max(6, int(55 * (scale**0.5)))
+    graph = grid_graph(side, side, extra_edge_prob=0.05, seed=seed, name="roadca")
+    return graph

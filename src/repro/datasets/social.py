@@ -1,0 +1,27 @@
+"""Online-social-network stand-ins: LiveJournal and Orkut.
+
+Both originals are massive and heavy-tailed. LiveJournal (paper: 4.0M V /
+34.7M E, directed, unlabeled, max out-degree 14,703) comes from the
+Graphflow suite; Orkut (3.1M V / 117M E, 50 labels, undirected, from
+GraphPi) is the densest dataset in the evaluation. The stand-ins keep
+directedness, label counts, and the dense/heavy-tailed shape.
+"""
+
+from __future__ import annotations
+
+from repro.graph.generators import power_law_graph
+from repro.graph.model import Graph
+
+
+def livejournal(scale: float = 1.0, seed: int = 108) -> Graph:
+    """LiveJournal stand-in: directed, unlabeled, heavy-tailed."""
+    n = max(50, int(3000 * scale))
+    return power_law_graph(
+        n, 8, num_labels=0, directed=True, seed=seed, name="livejournal"
+    )
+
+
+def orkut(scale: float = 1.0, seed: int = 109) -> Graph:
+    """Orkut stand-in: undirected, 50 labels, densest of the suite."""
+    n = max(60, int(2000 * scale))
+    return power_law_graph(n, 15, num_labels=50, seed=seed, name="orkut")

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the CSCE reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common cases (bad graph input, bad plan, resource
+limits) when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """An operation on a :class:`~repro.graph.Graph` received invalid input.
+
+    Examples: adding an edge whose endpoint does not exist, self-loops
+    (disallowed by the paper's graph model), or duplicate parallel edges
+    with the same label and direction.
+    """
+
+
+class FormatError(ReproError):
+    """A graph file could not be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class PlanError(ReproError):
+    """Plan construction or validation failed.
+
+    Raised when a matching order is not a permutation of the pattern
+    vertices, is not connected where connectivity is required, or is not a
+    topological order of the dependency DAG.
+    """
+
+
+class VariantError(ReproError):
+    """An engine was asked to solve a subgraph-matching variant it does not
+    support (used mainly by the baseline matchers, mirroring Table III)."""
+
+
+class LimitExceeded(ReproError):
+    """A configured resource limit was hit during matching.
+
+    Attributes
+    ----------
+    partial_count:
+        Number of embeddings found before the limit triggered.
+    """
+
+    def __init__(self, message: str, partial_count: int = 0):
+        super().__init__(message)
+        self.partial_count = partial_count
+
+
+class TimeLimitExceeded(LimitExceeded):
+    """The wall-clock time limit was exceeded during matching."""
+
+
+class EmbeddingLimitExceeded(LimitExceeded):
+    """The configured maximum number of embeddings was produced.
+
+    This is not a failure in the usual sense: the engine uses it internally
+    to stop early, and the public API converts it into a truncated result.
+    """

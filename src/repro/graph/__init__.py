@@ -1,0 +1,41 @@
+"""Heterogeneous graph substrate.
+
+This subpackage provides everything the matching engines need from a graph:
+the :class:`Graph` model itself (vertex labels, edge labels, per-edge
+direction), text I/O, synthetic generators standing in for the paper's
+datasets, random-walk pattern sampling, and small graph algorithms
+(degrees, connectivity, automorphism counting).
+"""
+
+from repro.graph.model import Edge, Graph
+from repro.graph.io import load_graph, save_graph, parse_graph_text
+from repro.graph.dsl import format_pattern, parse_pattern, pattern
+from repro.graph.sampling import sample_pattern, pattern_density, is_dense_pattern
+from repro.graph.algorithms import (
+    average_degree,
+    connected_components,
+    count_automorphisms,
+    degree_statistics,
+    is_connected,
+    label_frequencies,
+)
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "load_graph",
+    "save_graph",
+    "parse_graph_text",
+    "format_pattern",
+    "parse_pattern",
+    "pattern",
+    "sample_pattern",
+    "pattern_density",
+    "is_dense_pattern",
+    "average_degree",
+    "connected_components",
+    "count_automorphisms",
+    "degree_statistics",
+    "is_connected",
+    "label_frequencies",
+]

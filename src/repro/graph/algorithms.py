@@ -1,0 +1,145 @@
+"""Small graph algorithms used across the library.
+
+These operate on :class:`~repro.graph.Graph` directly and are intended for
+pattern-sized graphs or one-off dataset statistics — the hot matching path
+never goes through this module.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.graph.model import Graph
+
+
+@dataclass(frozen=True)
+class DegreeStatistics:
+    """The per-graph degree columns of Table IV."""
+
+    average_degree: float
+    max_in_degree: int
+    max_out_degree: int
+    max_degree: int
+
+
+def degree_statistics(graph: Graph) -> DegreeStatistics:
+    """Compute the degree statistics the paper reports per dataset."""
+    n = graph.num_vertices
+    if n == 0:
+        return DegreeStatistics(0.0, 0, 0, 0)
+    degrees = [graph.degree(v) for v in graph.vertices()]
+    return DegreeStatistics(
+        average_degree=sum(degrees) / n,
+        max_in_degree=max(graph.in_degree(v) for v in graph.vertices()),
+        max_out_degree=max(graph.out_degree(v) for v in graph.vertices()),
+        max_degree=max(degrees),
+    )
+
+
+def average_degree(graph: Graph) -> float:
+    """Average number of distinct neighbors per vertex."""
+    if graph.num_vertices == 0:
+        return 0.0
+    return sum(graph.degree(v) for v in graph.vertices()) / graph.num_vertices
+
+
+def label_frequencies(graph: Graph) -> Counter:
+    """How many vertices carry each vertex label."""
+    return Counter(graph.vertex_labels)
+
+
+def connected_components(graph: Graph) -> list[list[int]]:
+    """Connected components of the undirected view, as sorted vertex lists."""
+    seen = [False] * graph.num_vertices
+    components: list[list[int]] = []
+    for start in graph.vertices():
+        if seen[start]:
+            continue
+        queue = deque([start])
+        seen[start] = True
+        component = []
+        while queue:
+            v = queue.popleft()
+            component.append(v)
+            for w in graph.neighbors(v):
+                if not seen[w]:
+                    seen[w] = True
+                    queue.append(w)
+        components.append(sorted(component))
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """True when the undirected view has exactly one component (or is empty)."""
+    if graph.num_vertices == 0:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def _edge_descriptor(graph: Graph, a: int, b: int) -> frozenset | None:
+    """A direction/label-exact summary of the edges between ``a`` and ``b``.
+
+    Two vertex pairs are interchangeable under isomorphism iff their
+    descriptors are equal. ``None`` means "no edge".
+    """
+    edges = graph.edges_between(a, b)
+    if not edges:
+        return None
+    summary = []
+    for e in edges:
+        if e.directed:
+            orient = "fwd" if (e.src, e.dst) == (a, b) else "rev"
+        else:
+            orient = "und"
+        summary.append((orient, e.label))
+    return frozenset(Counter(summary).items())
+
+
+def iter_automorphisms(graph: Graph) -> Iterator[dict[int, int]]:
+    """Yield every automorphism of ``graph`` as a vertex mapping.
+
+    Exact on labels, edge labels, and direction. Exponential in the worst
+    case — callers use it on pattern-sized graphs only (the symmetry-breaking
+    baseline and Fig. 14).
+    """
+    n = graph.num_vertices
+    order = sorted(graph.vertices(), key=lambda v: -graph.degree(v))
+    signature = [
+        (graph.vertex_label(v), graph.degree(v), graph.in_degree(v), graph.out_degree(v))
+        for v in graph.vertices()
+    ]
+
+    mapping: dict[int, int] = {}
+    used = [False] * n
+
+    def backtrack(position: int) -> Iterator[dict[int, int]]:
+        if position == n:
+            yield dict(mapping)
+            return
+        u = order[position]
+        for v in graph.vertices():
+            if used[v] or signature[u] != signature[v]:
+                continue
+            ok = True
+            for prior in order[:position]:
+                if _edge_descriptor(graph, u, prior) != _edge_descriptor(
+                    graph, v, mapping[prior]
+                ):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            mapping[u] = v
+            used[v] = True
+            yield from backtrack(position + 1)
+            used[v] = False
+            del mapping[u]
+
+    yield from backtrack(0)
+
+
+def count_automorphisms(graph: Graph) -> int:
+    """The size of the automorphism group of ``graph``."""
+    return sum(1 for _ in iter_automorphisms(graph))

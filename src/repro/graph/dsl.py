@@ -1,0 +1,276 @@
+"""A Cypher-flavored pattern DSL.
+
+Subgraph matching is the core of graph query languages (Section II cites
+M-Cypher and Kùzu); writing patterns as ASCII art is far more readable than
+``add_vertex``/``add_edge`` calls:
+
+.. code-block:: text
+
+    (a:Person)-[:knows]-(b:Person), (a)-[:works_on]->(p:Project),
+    (b)-[:works_on]->(p)
+
+Grammar (whitespace-insensitive)::
+
+    pattern   := clause (',' clause)*
+    clause    := node (edge node)*
+    node      := '(' [name] [':' label] ')'
+    edge      := '-' [body] '->'          directed, left to right
+               | '<-' [body] '-'          directed, right to left
+               | '-' [body] '-'           undirected
+    body      := '[' [name] [':' label] ']'
+    name      := identifier               binds/reuses a pattern vertex
+    label     := identifier | integer
+
+* A named node (``(a)``) may appear in many clauses and always denotes the
+  same pattern vertex; its label must be given at most once.
+* An anonymous node (``()``) is a fresh vertex each time.
+* Omitted node labels default to ``0`` (the unlabeled convention); omitted
+  edge labels default to ``None``. Matching is label-exact — unlike
+  Cypher, ``()`` is *not* a wildcard, so anonymous nodes in heterogeneous
+  graphs should still carry a label (``(:Project)``).
+* Edge-body names (``[r:x]``) are accepted for Cypher familiarity but not
+  bound to anything — subgraph matching has no edge variables.
+
+:func:`parse_pattern` returns ``(Graph, bindings)`` where ``bindings`` maps
+names to vertex ids; :func:`pattern` returns just the graph.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Hashable, NamedTuple
+
+from repro.errors import FormatError
+from repro.graph.model import Graph
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<arrow_right>->)
+  | (?P<arrow_left><-)
+  | (?P<dash>-)
+  | (?P<colon>:)
+  | (?P<comma>,)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<number>\d+)
+  | (?P<space>\s+)
+""",
+    re.VERBOSE,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens = []
+    index = 0
+    while index < len(text):
+        match = _TOKEN_RE.match(text, index)
+        if match is None:
+            raise FormatError(
+                f"unexpected character {text[index]!r} at position {index}"
+            )
+        kind = match.lastgroup
+        if kind != "space":
+            tokens.append(_Token(kind, match.group(), index))
+        index = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.graph = Graph(name="pattern")
+        self.bindings: dict[str, int] = {}
+        self.labeled: set[str] = set()
+
+    # -- token helpers -------------------------------------------------
+    def _peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise FormatError("unexpected end of pattern")
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise FormatError(
+                f"expected {kind} at position {token.position},"
+                f" found {token.text!r}"
+            )
+        return token
+
+    def _accept(self, kind: str) -> _Token | None:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self.index += 1
+            return token
+        return None
+
+    # -- grammar -------------------------------------------------------
+    def parse(self) -> tuple[Graph, dict[str, int]]:
+        if not self.tokens:
+            raise FormatError("empty pattern")
+        self._clause()
+        while self._accept("comma"):
+            self._clause()
+        trailing = self._peek()
+        if trailing is not None:
+            raise FormatError(
+                f"unexpected {trailing.text!r} at position {trailing.position}"
+            )
+        return self.graph, self.bindings
+
+    def _clause(self) -> None:
+        left = self._node()
+        while True:
+            token = self._peek()
+            if token is None or token.kind == "comma":
+                return
+            direction, label = self._edge()
+            right = self._node()
+            if direction == "right":
+                self._add_edge(left, right, label, directed=True)
+            elif direction == "left":
+                self._add_edge(right, left, label, directed=True)
+            else:
+                self._add_edge(left, right, label, directed=False)
+            left = right
+
+    def _node(self) -> int:
+        self._expect("lparen")
+        name_token = self._accept("name")
+        label: Hashable | None = None
+        if self._accept("colon"):
+            label = self._label()
+        self._expect("rparen")
+
+        if name_token is None:
+            return self.graph.add_vertex(label if label is not None else 0)
+        name = name_token.text
+        if name not in self.bindings:
+            self.bindings[name] = self.graph.add_vertex(
+                label if label is not None else 0
+            )
+            if label is not None:
+                self.labeled.add(name)
+            return self.bindings[name]
+        vertex = self.bindings[name]
+        if label is not None:
+            if name in self.labeled and self.graph.vertex_label(vertex) != label:
+                raise FormatError(
+                    f"node {name!r} labeled twice with different labels"
+                )
+            if name not in self.labeled:
+                # Late labeling: patch the earlier default.
+                self.graph.vertex_labels[vertex] = label
+                self.labeled.add(name)
+        return vertex
+
+    def _edge(self) -> tuple[str, Hashable]:
+        """Returns (direction, edge_label); direction in right/left/none."""
+        token = self._next()
+        if token.kind == "arrow_left":
+            label = self._edge_body()
+            self._expect("dash")
+            return "left", label
+        if token.kind != "dash":
+            raise FormatError(
+                f"expected an edge at position {token.position},"
+                f" found {token.text!r}"
+            )
+        label = self._edge_body()
+        closing = self._next()
+        if closing.kind == "arrow_right":
+            return "right", label
+        if closing.kind == "dash":
+            return "none", label
+        raise FormatError(
+            f"unterminated edge at position {closing.position}:"
+            f" expected '-' or '->', found {closing.text!r}"
+        )
+
+    def _edge_body(self) -> Hashable:
+        if not self._accept("lbracket"):
+            return None
+        self._accept("name")  # optional edge variable, ignored
+        label: Hashable = None
+        if self._accept("colon"):
+            label = self._label()
+        self._expect("rbracket")
+        return label
+
+    def _label(self) -> Hashable:
+        token = self._next()
+        if token.kind == "name":
+            return token.text
+        if token.kind == "number":
+            return int(token.text)
+        raise FormatError(
+            f"expected a label at position {token.position},"
+            f" found {token.text!r}"
+        )
+
+    def _add_edge(
+        self, src: int, dst: int, label: Hashable, directed: bool
+    ) -> None:
+        try:
+            self.graph.add_edge(src, dst, label=label, directed=directed)
+        except Exception as exc:
+            raise FormatError(str(exc)) from exc
+
+
+def parse_pattern(text: str) -> tuple[Graph, dict[str, int]]:
+    """Parse a pattern expression; returns (graph, name -> vertex id)."""
+    return _Parser(text).parse()
+
+
+def pattern(text: str) -> Graph:
+    """Parse a pattern expression and return just the graph."""
+    graph, _ = parse_pattern(text)
+    return graph
+
+
+def format_pattern(graph: Graph, names: dict[int, str] | None = None) -> str:
+    """Render a pattern graph back into DSL text (one clause per edge,
+    isolated vertices as bare nodes). Inverse of :func:`parse_pattern` up
+    to clause grouping."""
+    if names is None:
+        names = {v: f"v{v}" for v in graph.vertices()}
+
+    def node(v: int) -> str:
+        label = graph.vertex_label(v)
+        if label == 0:
+            return f"({names[v]})"
+        return f"({names[v]}:{label})"
+
+    def body(label: Hashable) -> str:
+        return "" if label is None else f"[:{label}]"
+
+    clauses = []
+    touched: set[int] = set()
+    for e in graph.edges():
+        touched.update(e.endpoints())
+        if e.directed:
+            clauses.append(f"{node(e.src)}-{body(e.label)}->{node(e.dst)}")
+        else:
+            clauses.append(f"{node(e.src)}-{body(e.label)}-{node(e.dst)}")
+    for v in graph.vertices():
+        if v not in touched:
+            clauses.append(node(v))
+    return ", ".join(clauses)

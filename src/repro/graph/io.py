@@ -1,0 +1,195 @@
+"""Text I/O for graphs.
+
+The on-disk format extends the de-facto ``.graph`` format used by VEQ and
+RapidMatch so that it can carry heterogeneity:
+
+.. code-block:: text
+
+    t <num_vertices> <num_edges>
+    v <id> <label>
+    e <src> <dst> [<edge_label>] [d|u]
+
+* vertex ids must be ``0 .. n-1`` and appear in order;
+* ``<edge_label>`` is optional; ``-`` (or omission) means "no label";
+* the trailing ``d``/``u`` flag marks the edge directed/undirected and
+  defaults to undirected;
+* blank lines and lines starting with ``#`` are ignored.
+
+Labels that look like integers are parsed as ``int``; anything else is kept
+as ``str``. This matches how the public datasets ship integer labels while
+letting users write symbolic ones.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Hashable, Iterable
+
+from repro.errors import FormatError
+from repro.graph.model import Graph
+
+
+def _parse_label(token: str) -> Hashable:
+    if token == "-":
+        return None
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _format_label(label: Hashable) -> str:
+    if label is None:
+        return "-"
+    return str(label)
+
+
+def parse_graph_text(text: str, name: str = "") -> Graph:
+    """Parse a graph from the text format described in the module docstring."""
+    graph = Graph(name=name)
+    declared: tuple[int, int] | None = None
+    next_vertex = 0
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        kind = fields[0]
+        if kind == "t":
+            if declared is not None:
+                raise FormatError("duplicate 't' header", line_number)
+            if len(fields) < 3:
+                raise FormatError("'t' header needs vertex and edge counts", line_number)
+            try:
+                declared = (int(fields[1]), int(fields[2]))
+            except ValueError as exc:
+                raise FormatError(f"bad 't' header: {exc}", line_number) from exc
+        elif kind == "v":
+            if len(fields) < 2:
+                raise FormatError("'v' line needs an id", line_number)
+            try:
+                vertex_id = int(fields[1])
+            except ValueError as exc:
+                raise FormatError(f"bad vertex id: {exc}", line_number) from exc
+            if vertex_id != next_vertex:
+                raise FormatError(
+                    f"vertex ids must be consecutive; expected {next_vertex},"
+                    f" got {vertex_id}",
+                    line_number,
+                )
+            label = _parse_label(fields[2]) if len(fields) > 2 else 0
+            graph.add_vertex(label if label is not None else 0)
+            next_vertex += 1
+        elif kind == "e":
+            if len(fields) < 3:
+                raise FormatError("'e' line needs two endpoints", line_number)
+            try:
+                src, dst = int(fields[1]), int(fields[2])
+            except ValueError as exc:
+                raise FormatError(f"bad edge endpoints: {exc}", line_number) from exc
+            label: Hashable = None
+            directed = False
+            for token in fields[3:]:
+                if token == "d":
+                    directed = True
+                elif token == "u":
+                    directed = False
+                else:
+                    label = _parse_label(token)
+            try:
+                graph.add_edge(src, dst, label=label, directed=directed)
+            except Exception as exc:
+                raise FormatError(str(exc), line_number) from exc
+        else:
+            raise FormatError(f"unknown record type {kind!r}", line_number)
+    if declared is not None:
+        n, m = declared
+        if graph.num_vertices != n:
+            raise FormatError(
+                f"header declared {n} vertices but file has {graph.num_vertices}"
+            )
+        if graph.num_edges != m:
+            raise FormatError(
+                f"header declared {m} edges but file has {graph.num_edges}"
+            )
+    return graph
+
+
+def format_graph_text(graph: Graph) -> str:
+    """Serialize a graph to the text format (inverse of parse_graph_text)."""
+    lines = [f"t {graph.num_vertices} {graph.num_edges}"]
+    for v in graph.vertices():
+        lines.append(f"v {v} {_format_label(graph.vertex_label(v))}")
+    for e in graph.edges():
+        flag = "d" if e.directed else "u"
+        lines.append(f"e {e.src} {e.dst} {_format_label(e.label)} {flag}")
+    return "\n".join(lines) + "\n"
+
+
+def load_graph(path: str | os.PathLike, name: str = "") -> Graph:
+    """Load a graph from a file in the library text format."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    return parse_graph_text(text, name=name or os.path.basename(str(path)))
+
+
+def save_graph(graph: Graph, path: str | os.PathLike) -> None:
+    """Write a graph to ``path`` in the library text format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(format_graph_text(graph))
+
+
+def load_edge_list(
+    path: str | os.PathLike,
+    directed: bool = False,
+    name: str = "",
+) -> Graph:
+    """Load a SNAP-style whitespace edge list (one ``src dst`` pair per line).
+
+    Vertex ids are compacted to ``0 .. n-1`` in first-appearance order and
+    all vertices get label ``0``. Duplicate pairs and self-loops are skipped,
+    matching how the paper's datasets are cleaned.
+    """
+    pairs: list[tuple[int, int]] = []
+    index: dict[int, int] = {}
+    seen: set[tuple[int, int]] = set()
+    with open(path, encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) < 2:
+                raise FormatError("edge list line needs two fields", line_number)
+            try:
+                a, b = int(fields[0]), int(fields[1])
+            except ValueError as exc:
+                raise FormatError(f"bad edge: {exc}", line_number) from exc
+            if a == b:
+                continue
+            for v in (a, b):
+                if v not in index:
+                    index[v] = len(index)
+            a, b = index[a], index[b]
+            key = (a, b) if directed else (min(a, b), max(a, b))
+            if key in seen:
+                continue
+            seen.add(key)
+            pairs.append((a, b))
+    return Graph.from_edges(
+        len(index), pairs, directed=directed, name=name or os.path.basename(str(path))
+    )
+
+
+def write_edge_list(graph: Graph, path: str | os.PathLike) -> None:
+    """Write the bare edge list (labels are dropped)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for e in graph.edges():
+            handle.write(f"{e.src} {e.dst}\n")
+
+
+def iter_graph_files(directory: str | os.PathLike, suffix: str = ".graph") -> Iterable[str]:
+    """Yield graph file paths under ``directory`` (sorted, non-recursive)."""
+    for entry in sorted(os.listdir(directory)):
+        if entry.endswith(suffix):
+            yield os.path.join(str(directory), entry)

@@ -1,0 +1,366 @@
+"""The heterogeneous graph model.
+
+The paper's graph definition (Section II): a graph is a set of vertices and
+edges with label functions on both; an undirected edge ``v_a - v_b`` behaves
+like the pair of directed edges ``(v_a, v_b)`` and ``(v_b, v_a)``; graphs may
+mix directed and undirected edges; self-loops are disallowed. A graph with
+more than one vertex label or any edge label is *heterogeneous*.
+
+Vertices are dense integers ``0 .. n-1`` so that downstream structures (CCSR
+arrays) can index them directly. Labels are arbitrary hashable values;
+``0`` is the conventional label of "unlabeled" graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, NamedTuple, Sequence
+
+from repro.errors import GraphError
+
+
+class Edge(NamedTuple):
+    """One edge of a :class:`Graph`.
+
+    ``directed`` distinguishes ``src -> dst`` from ``src - dst``. For an
+    undirected edge the (src, dst) order is storage order only and carries
+    no meaning.
+    """
+
+    src: int
+    dst: int
+    label: Hashable
+    directed: bool
+
+    def endpoints(self) -> tuple[int, int]:
+        return self.src, self.dst
+
+    def reversed(self) -> "Edge":
+        return Edge(self.dst, self.src, self.label, self.directed)
+
+
+class Graph:
+    """A heterogeneous graph with labeled vertices and labeled, optionally
+    directed edges.
+
+    The class is a construction-time container: the matching engines convert
+    data graphs into :class:`~repro.ccsr.CCSRStore` and never touch ``Graph``
+    again, while small pattern graphs are used directly through the adjacency
+    accessors below.
+
+    Parameters
+    ----------
+    name:
+        Optional human-readable name, shown in dataset tables.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._vertex_labels: list[Hashable] = []
+        self._edges: list[Edge] = []
+        # (src, dst, label, directed) for directed edges and both
+        # orientations of undirected edges; used for duplicate detection and
+        # has_edge queries.
+        self._edge_keys: set[tuple[int, int, Hashable, bool]] = set()
+        # v -> sorted later; built lazily, invalidated on mutation.
+        self._out: list[list[int]] | None = None
+        self._in: list[list[int]] | None = None
+        self._nbr: list[list[int]] | None = None
+        self._incident: list[list[int]] | None = None  # edge indices per vertex
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, label: Hashable = 0) -> int:
+        """Append a vertex with the given label and return its id."""
+        self._vertex_labels.append(label)
+        self._invalidate()
+        return len(self._vertex_labels) - 1
+
+    def add_vertices(self, labels: Iterable[Hashable]) -> list[int]:
+        """Append one vertex per label; return the new vertex ids."""
+        start = len(self._vertex_labels)
+        self._vertex_labels.extend(labels)
+        self._invalidate()
+        return list(range(start, len(self._vertex_labels)))
+
+    def add_edge(
+        self,
+        src: int,
+        dst: int,
+        label: Hashable = None,
+        directed: bool = False,
+    ) -> Edge:
+        """Add an edge between existing vertices.
+
+        Raises
+        ------
+        GraphError
+            If an endpoint does not exist, the edge is a self-loop, or an
+            identical edge (same endpoints, label, and direction) already
+            exists.
+        """
+        n = len(self._vertex_labels)
+        if not (0 <= src < n and 0 <= dst < n):
+            raise GraphError(f"edge ({src}, {dst}) references a missing vertex")
+        if src == dst:
+            raise GraphError(f"self-loop on vertex {src} is not allowed")
+        key = (src, dst, label, directed)
+        if key in self._edge_keys:
+            raise GraphError(f"duplicate edge {key}")
+        if not directed and (dst, src, label, False) in self._edge_keys:
+            raise GraphError(f"duplicate undirected edge ({src}, {dst}, {label!r})")
+        edge = Edge(src, dst, label, directed)
+        self._edges.append(edge)
+        self._edge_keys.add(key)
+        if not directed:
+            self._edge_keys.add((dst, src, label, False))
+        self._invalidate()
+        return edge
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        edges: Iterable[tuple[int, int]],
+        vertex_labels: Sequence[Hashable] | None = None,
+        edge_labels: Sequence[Hashable] | None = None,
+        directed: bool = False,
+        name: str = "",
+    ) -> "Graph":
+        """Build a graph from an edge list in one call.
+
+        ``vertex_labels`` defaults to all-``0``; ``edge_labels`` defaults to
+        all-``None``; ``directed`` applies to every edge.
+        """
+        graph = cls(name=name)
+        if vertex_labels is None:
+            graph.add_vertices([0] * num_vertices)
+        else:
+            if len(vertex_labels) != num_vertices:
+                raise GraphError(
+                    f"{len(vertex_labels)} labels given for {num_vertices} vertices"
+                )
+            graph.add_vertices(vertex_labels)
+        edges = list(edges)
+        if edge_labels is None:
+            edge_labels = [None] * len(edges)
+        elif len(edge_labels) != len(edges):
+            raise GraphError(
+                f"{len(edge_labels)} edge labels given for {len(edges)} edges"
+            )
+        for (src, dst), label in zip(edges, edge_labels):
+            graph.add_edge(src, dst, label=label, directed=directed)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertex_labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges; an undirected edge counts once (Table IV)."""
+        return len(self._edges)
+
+    def vertices(self) -> range:
+        return range(len(self._vertex_labels))
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._edges)
+
+    def vertex_label(self, v: int) -> Hashable:
+        return self._vertex_labels[v]
+
+    @property
+    def vertex_labels(self) -> list[Hashable]:
+        """The label list, indexable by vertex id (read-only by convention)."""
+        return self._vertex_labels
+
+    def distinct_vertex_labels(self) -> set[Hashable]:
+        return set(self._vertex_labels)
+
+    def distinct_edge_labels(self) -> set[Hashable]:
+        return {e.label for e in self._edges}
+
+    @property
+    def is_directed(self) -> bool:
+        """True if any edge is directed (the paper's graph-level notion)."""
+        return any(e.directed for e in self._edges)
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """True when l_v + l_e > 2 (Section II)."""
+        return len(self.distinct_vertex_labels()) + len(self.distinct_edge_labels()) > 2
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        """True if some edge allows travel ``src -> dst`` (any label)."""
+        self._build_adjacency()
+        return dst in self._out_sets[src]
+
+    def edges_between(self, a: int, b: int) -> list[Edge]:
+        """All edges connecting ``a`` and ``b`` in either direction."""
+        result = []
+        for idx in self._incident_edges(a):
+            e = self._edges[idx]
+            if (e.src, e.dst) in ((a, b), (b, a)):
+                result.append(e)
+        return result
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def out_neighbors(self, v: int) -> list[int]:
+        """Vertices reachable from ``v`` over one edge (undirected counts)."""
+        self._build_adjacency()
+        return self._out[v]
+
+    def in_neighbors(self, v: int) -> list[int]:
+        """Vertices with an edge into ``v`` (undirected counts)."""
+        self._build_adjacency()
+        return self._in[v]
+
+    def neighbors(self, v: int) -> list[int]:
+        """All distinct vertices adjacent to ``v`` in either direction."""
+        self._build_adjacency()
+        return self._nbr[v]
+
+    def degree(self, v: int) -> int:
+        """Number of distinct neighbor vertices (paper's d(v))."""
+        return len(self.neighbors(v))
+
+    def in_degree(self, v: int) -> int:
+        return len(self.in_neighbors(v))
+
+    def out_degree(self, v: int) -> int:
+        return len(self.out_neighbors(v))
+
+    def incident_edges(self, v: int) -> list[Edge]:
+        """All edges touching ``v``."""
+        return [self._edges[i] for i in self._incident_edges(v)]
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, vertices: Sequence[int], name: str = "") -> "Graph":
+        """The vertex-induced subgraph G[vertices].
+
+        Vertices are renumbered ``0 .. len(vertices)-1`` in the order given.
+        """
+        index = {v: i for i, v in enumerate(vertices)}
+        if len(index) != len(vertices):
+            raise GraphError("duplicate vertices in induced_subgraph")
+        sub = Graph(name=name)
+        sub.add_vertices(self._vertex_labels[v] for v in vertices)
+        for e in self._edges:
+            if e.src in index and e.dst in index:
+                sub.add_edge(index[e.src], index[e.dst], e.label, e.directed)
+        return sub
+
+    def edge_subgraph(self, edges: Sequence[Edge], name: str = "") -> "Graph":
+        """The edge-induced subgraph over the given edges.
+
+        Vertices are renumbered in first-appearance order.
+        """
+        index: dict[int, int] = {}
+        for e in edges:
+            for v in e.endpoints():
+                if v not in index:
+                    index[v] = len(index)
+        order = sorted(index, key=index.get)
+        sub = Graph(name=name)
+        sub.add_vertices(self._vertex_labels[v] for v in order)
+        for e in edges:
+            sub.add_edge(index[e.src], index[e.dst], e.label, e.directed)
+        return sub
+
+    def relabeled(self, labels: Sequence[Hashable], name: str = "") -> "Graph":
+        """A copy of this graph with new vertex labels (Fig. 11 sweeps)."""
+        if len(labels) != self.num_vertices:
+            raise GraphError("relabeled() needs one label per vertex")
+        out = Graph(name=name or self.name)
+        out.add_vertices(labels)
+        for e in self._edges:
+            out.add_edge(e.src, e.dst, e.label, e.directed)
+        return out
+
+    def copy(self) -> "Graph":
+        out = Graph(name=self.name)
+        out.add_vertices(self._vertex_labels)
+        for e in self._edges:
+            out.add_edge(e.src, e.dst, e.label, e.directed)
+        return out
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        self._out = None
+        self._in = None
+        self._nbr = None
+        self._incident = None
+
+    def _build_adjacency(self) -> None:
+        if self._out is not None:
+            return
+        n = len(self._vertex_labels)
+        out_sets: list[set[int]] = [set() for _ in range(n)]
+        in_sets: list[set[int]] = [set() for _ in range(n)]
+        incident: list[list[int]] = [[] for _ in range(n)]
+        for idx, e in enumerate(self._edges):
+            out_sets[e.src].add(e.dst)
+            in_sets[e.dst].add(e.src)
+            incident[e.src].append(idx)
+            incident[e.dst].append(idx)
+            if not e.directed:
+                out_sets[e.dst].add(e.src)
+                in_sets[e.src].add(e.dst)
+        self._out_sets = out_sets
+        self._out = [sorted(s) for s in out_sets]
+        self._in = [sorted(s) for s in in_sets]
+        self._nbr = [sorted(o | i) for o, i in zip(out_sets, in_sets)]
+        self._incident = incident
+
+    def _incident_edges(self, v: int) -> list[int]:
+        self._build_adjacency()
+        return self._incident[v]
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __repr__(self) -> str:
+        tag = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Graph{tag} |V|={self.num_vertices} |E|={self.num_edges}"
+            f" directed={self.is_directed}>"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same labels and the same edge set.
+
+        Undirected edges compare orientation-insensitively. This is identity
+        up to nothing — not isomorphism — and exists mainly for I/O
+        round-trip tests.
+        """
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if self._vertex_labels != other._vertex_labels:
+            return False
+        return self._canonical_edge_set() == other._canonical_edge_set()
+
+    def __hash__(self):  # graphs are mutable
+        raise TypeError("Graph objects are unhashable")
+
+    def _canonical_edge_set(self) -> set[tuple]:
+        canon = set()
+        for e in self._edges:
+            if e.directed:
+                canon.add((e.src, e.dst, e.label, True))
+            else:
+                a, b = sorted((e.src, e.dst))
+                canon.add((a, b, e.label, False))
+        return canon

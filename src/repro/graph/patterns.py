@@ -1,0 +1,160 @@
+"""A catalog of standard benchmark patterns.
+
+The subgraph-matching literature reuses a small zoo of structural patterns
+(paths, cycles, cliques, stars, trees, and the "house"/"double-triangle"
+shapes of the GraphPi/Peregrine suites). These builders construct them as
+:class:`~repro.graph.Graph` objects, optionally labeled, so examples,
+tests, and benchmarks share one source of truth.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Hashable, Sequence
+
+from repro.errors import GraphError
+from repro.graph.model import Graph
+
+
+def _apply_labels(
+    graph: Graph, labels: Sequence[Hashable] | None, name: str
+) -> Graph:
+    if labels is None:
+        graph.name = name
+        return graph
+    if len(labels) != graph.num_vertices:
+        raise GraphError(
+            f"{name} needs {graph.num_vertices} labels, got {len(labels)}"
+        )
+    out = graph.relabeled(labels, name=name)
+    return out
+
+
+def path(k: int, labels: Sequence[Hashable] | None = None) -> Graph:
+    """The path P_k on k vertices."""
+    if k < 1:
+        raise GraphError("paths need at least one vertex")
+    g = Graph.from_edges(k, [(i, i + 1) for i in range(k - 1)])
+    return _apply_labels(g, labels, f"path-{k}")
+
+
+def cycle(k: int, labels: Sequence[Hashable] | None = None) -> Graph:
+    """The cycle C_k on k >= 3 vertices."""
+    if k < 3:
+        raise GraphError("cycles need at least three vertices")
+    edges = [(i, (i + 1) % k) for i in range(k)]
+    g = Graph.from_edges(k, edges)
+    return _apply_labels(g, labels, f"cycle-{k}")
+
+
+def clique(k: int, labels: Sequence[Hashable] | None = None) -> Graph:
+    """The complete graph K_k."""
+    if k < 2:
+        raise GraphError("cliques need at least two vertices")
+    g = Graph.from_edges(k, list(itertools.combinations(range(k), 2)))
+    return _apply_labels(g, labels, f"clique-{k}")
+
+
+def star(leaves: int, labels: Sequence[Hashable] | None = None) -> Graph:
+    """A star: one center (vertex 0) with ``leaves`` leaves."""
+    if leaves < 1:
+        raise GraphError("stars need at least one leaf")
+    g = Graph.from_edges(leaves + 1, [(0, i) for i in range(1, leaves + 1)])
+    return _apply_labels(g, labels, f"star-{leaves}")
+
+
+def complete_bipartite(
+    a: int, b: int, labels: Sequence[Hashable] | None = None
+) -> Graph:
+    """K_{a,b}: vertices 0..a-1 on one side, a..a+b-1 on the other."""
+    if a < 1 or b < 1:
+        raise GraphError("both sides of a bipartite pattern need vertices")
+    edges = [(i, a + j) for i in range(a) for j in range(b)]
+    g = Graph.from_edges(a + b, edges)
+    return _apply_labels(g, labels, f"bipartite-{a}x{b}")
+
+
+def house() -> Graph:
+    """The 5-vertex "house": a square with a roof triangle (GraphPi suite)."""
+    return Graph.from_edges(
+        5,
+        [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)],
+        name="house",
+    )
+
+
+def double_triangle() -> Graph:
+    """Two triangles sharing an edge (the 4-vertex "diamond")."""
+    return Graph.from_edges(
+        4, [(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)], name="double-triangle"
+    )
+
+
+def random_tree(
+    k: int, seed: int = 0, labels: Sequence[Hashable] | None = None
+) -> Graph:
+    """A uniformly random labeled tree on k vertices (Prüfer sequence)."""
+    if k < 1:
+        raise GraphError("trees need at least one vertex")
+    if k <= 2:
+        g = Graph.from_edges(k, [(0, 1)] if k == 2 else [])
+        return _apply_labels(g, labels, f"tree-{k}")
+    rng = random.Random(seed)
+    prufer = [rng.randrange(k) for _ in range(k - 2)]
+    degree = [1] * k
+    for v in prufer:
+        degree[v] += 1
+    edges = []
+    import heapq
+
+    leaves = [v for v in range(k) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for v in prufer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, v))
+        degree[leaf] -= 1  # consumed: never a leaf again
+        degree[v] -= 1
+        if degree[v] == 1:
+            heapq.heappush(leaves, v)
+    last = [v for v in range(k) if degree[v] == 1]
+    edges.append((last[0], last[1]))
+    g = Graph.from_edges(k, edges)
+    return _apply_labels(g, labels, f"tree-{k}")
+
+
+def directed_cycle(k: int, labels: Sequence[Hashable] | None = None) -> Graph:
+    """The directed cycle on k >= 2 vertices."""
+    if k < 2:
+        raise GraphError("directed cycles need at least two vertices")
+    edges = [(i, (i + 1) % k) for i in range(k)]
+    g = Graph.from_edges(k, edges, directed=True)
+    return _apply_labels(g, labels, f"directed-cycle-{k}")
+
+
+#: The named catalog used by the CLI and benchmark helpers.
+CATALOG = {
+    "triangle": lambda: clique(3),
+    "diamond": double_triangle,
+    "house": house,
+    "square": lambda: cycle(4),
+    "k4": lambda: clique(4),
+    "k5": lambda: clique(5),
+    "path4": lambda: path(4),
+    "path8": lambda: path(8),
+    "star4": lambda: star(4),
+    "star8": lambda: star(8),
+    "cycle8": lambda: cycle(8),
+    "clique8": lambda: clique(8),
+    "bipartite33": lambda: complete_bipartite(3, 3),
+}
+
+
+def by_name(name: str) -> Graph:
+    """Look up a catalog pattern by name."""
+    try:
+        return CATALOG[name]()
+    except KeyError:
+        raise GraphError(
+            f"unknown pattern {name!r}; available: {', '.join(sorted(CATALOG))}"
+        ) from None

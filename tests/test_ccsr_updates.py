@@ -1,0 +1,151 @@
+"""Unit tests for incremental CCSR updates."""
+
+import random
+
+import pytest
+
+from repro.ccsr import CCSRStore
+from repro.core import CSCE
+from repro.errors import GraphError
+from repro.graph import Graph
+
+from conftest import make_fig1_graph, make_random_graph
+
+
+class TestInsertVertex:
+    def test_insert_updates_metadata(self):
+        store = CCSRStore(make_fig1_graph())
+        v = store.insert_vertex("A")
+        assert v == 10
+        assert store.num_vertices == 11
+        assert store.label_frequency["A"] == 4
+
+    def test_decompressed_clusters_resize(self):
+        store = CCSRStore(make_fig1_graph())
+        for cluster in store.clusters.values():
+            cluster.decompress()
+        v = store.insert_vertex("B")
+        # Neighbor access for the new vertex must work after re-decompress.
+        for cluster in store.clusters.values():
+            cluster.decompress()
+            assert cluster.successors(v).shape == (0,)
+
+
+class TestInsertEdge:
+    def test_insert_into_existing_cluster(self):
+        store = CCSRStore(make_fig1_graph())
+        before = store.num_edges
+        store.insert_edge(7, 4, directed=True)  # another A -> B edge
+        assert store.num_edges == before + 1
+        cluster = store.cluster_for("A", "B", None, True)
+        assert cluster.contains_edge(7, 4)
+
+    def test_insert_creates_new_cluster(self):
+        store = CCSRStore(make_fig1_graph())
+        before = store.num_clusters
+        store.insert_edge(1, 2)  # B -- C: no such cluster yet
+        assert store.num_clusters == before + 1
+        assert len(store.clusters_connecting("B", "C")) == 1
+
+    def test_duplicate_rejected(self):
+        store = CCSRStore(make_fig1_graph())
+        with pytest.raises(GraphError, match="duplicate"):
+            store.insert_edge(0, 1, directed=True)
+
+    def test_undirected_duplicate_rejected_reversed(self):
+        store = CCSRStore(make_fig1_graph())
+        with pytest.raises(GraphError, match="duplicate"):
+            store.insert_edge(2, 0)  # v3 -- v1 already stored as (0, 2)
+
+    def test_self_loop_rejected(self):
+        store = CCSRStore(make_fig1_graph())
+        with pytest.raises(GraphError, match="self-loop"):
+            store.insert_edge(3, 3)
+
+    def test_missing_vertex_rejected(self):
+        store = CCSRStore(make_fig1_graph())
+        with pytest.raises(GraphError, match="missing vertex"):
+            store.insert_edge(0, 99)
+
+
+class TestRemoveEdge:
+    def test_remove_directed(self):
+        store = CCSRStore(make_fig1_graph())
+        store.remove_edge(0, 1, directed=True)
+        cluster = store.cluster_for("A", "B", None, True)
+        assert not cluster.contains_edge(0, 1)
+        assert cluster.contains_edge(0, 5)
+
+    def test_remove_undirected_either_orientation(self):
+        store = CCSRStore(make_fig1_graph())
+        store.remove_edge(2, 0)  # stored as (0, 2)
+        cluster = store.cluster_for("A", "C", None, False)
+        assert not cluster.contains_edge(0, 2)
+
+    def test_last_edge_drops_cluster(self):
+        g = Graph()
+        g.add_vertices(["X", "Y"])
+        g.add_edge(0, 1)
+        store = CCSRStore(g)
+        store.remove_edge(0, 1)
+        assert store.num_clusters == 0
+        assert store.clusters_connecting("X", "Y") == []
+
+    def test_remove_missing_edge(self):
+        store = CCSRStore(make_fig1_graph())
+        with pytest.raises(GraphError, match="does not exist"):
+            store.remove_edge(1, 2)
+
+
+class TestUpdateEquivalence:
+    """A randomly updated store must behave exactly like a store built
+    from scratch on the final graph — the key maintenance invariant."""
+
+    def test_random_update_sequence(self):
+        rng = random.Random(5)
+        base = make_random_graph(12, 20, num_labels=2, seed=30)
+        store = CCSRStore(base)
+        current = base.copy()
+        for _ in range(25):
+            if rng.random() < 0.5 and current.num_edges > 5:
+                edge = rng.choice(list(current.edges()))
+                store.remove_edge(edge.src, edge.dst, edge.label, edge.directed)
+                rebuilt = Graph(name=current.name)
+                rebuilt.add_vertices(current.vertex_labels)
+                for e in current.edges():
+                    if e != edge:
+                        rebuilt.add_edge(e.src, e.dst, e.label, e.directed)
+                current = rebuilt
+            else:
+                a = rng.randrange(current.num_vertices)
+                b = rng.randrange(current.num_vertices)
+                directed = rng.random() < 0.5
+                try:
+                    current.add_edge(a, b, directed=directed)
+                except GraphError:
+                    continue
+                store.insert_edge(a, b, directed=directed)
+        assert store.to_graph() == current
+        assert store.num_edges == current.num_edges
+        assert store.total_column_entries() == 2 * current.num_edges
+
+    def test_matching_after_updates(self):
+        g = make_random_graph(14, 25, num_labels=2, seed=31)
+        store = CCSRStore(g)
+        # Densify one neighborhood, then remove a few edges.
+        added = []
+        for b in (5, 6, 7):
+            try:
+                store.insert_edge(0, b)
+                added.append((0, b))
+            except GraphError:
+                pass
+        final = store.to_graph()
+        fresh = CSCE(final)
+        updated = CSCE(store)
+        from repro.graph.patterns import by_name
+
+        for variant in ("edge_induced", "vertex_induced", "homomorphic"):
+            assert updated.count(by_name("triangle"), variant) == fresh.count(
+                by_name("triangle"), variant
+            )

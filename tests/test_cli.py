@@ -1,0 +1,150 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import Graph, save_graph
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_match_flags(self):
+        args = build_parser().parse_args(
+            ["match", "--dataset", "dip", "--pattern-size", "6"]
+        )
+        assert args.dataset == "dip"
+        assert args.pattern_size == 6
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["stats", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+        assert "roadca" in out
+
+    def test_capabilities(self, capsys):
+        assert main(["capabilities"]) == 0
+        out = capsys.readouterr().out
+        assert "CSCE" in out and "VEQ" in out
+
+    def test_match_dataset(self, capsys):
+        code = main(
+            [
+                "match",
+                "--dataset",
+                "yeast",
+                "--scale",
+                "0.2",
+                "--pattern-size",
+                "4",
+                "--seed",
+                "1",
+                "--time-limit",
+                "30",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "embeddings" in out
+
+    def test_match_files(self, tmp_path, capsys):
+        data = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        pattern = Graph.from_edges(3, [(0, 1), (1, 2)])
+        data_path, pattern_path = tmp_path / "d.graph", tmp_path / "p.graph"
+        save_graph(data, data_path)
+        save_graph(pattern, pattern_path)
+        code = main(
+            ["match", "--data", str(data_path), "--pattern", str(pattern_path)]
+        )
+        assert code == 0
+        assert "embeddings  : 8" in capsys.readouterr().out
+
+    def test_match_enumerate_shows_embeddings(self, tmp_path, capsys):
+        data = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        pattern = Graph.from_edges(2, [(0, 1)])
+        data_path, pattern_path = tmp_path / "d.graph", tmp_path / "p.graph"
+        save_graph(data, data_path)
+        save_graph(pattern, pattern_path)
+        code = main(
+            [
+                "match",
+                "--data",
+                str(data_path),
+                "--pattern",
+                str(pattern_path),
+                "--enumerate",
+                "--show",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "#0:" in out
+        assert "more" in out  # 6 embeddings, 2 shown
+
+    def test_match_requires_source(self, capsys):
+        assert main(["match"]) == 2
+        assert "provide --data" in capsys.readouterr().err
+
+    def test_match_baseline_engine(self, capsys):
+        code = main(
+            [
+                "match",
+                "--dataset",
+                "yeast",
+                "--scale",
+                "0.2",
+                "--pattern-size",
+                "4",
+                "--engine",
+                "VEQ",
+                "--time-limit",
+                "30",
+            ]
+        )
+        assert code == 0
+
+    def test_plan_command(self, capsys):
+        code = main(
+            [
+                "plan",
+                "--dataset",
+                "patent",
+                "--scale",
+                "0.1",
+                "--pattern-size",
+                "6",
+                "--planner",
+                "csce",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "order (Phi*)" in out and "SCE" in out
+
+    def test_bench_command(self, capsys):
+        code = main(
+            [
+                "bench",
+                "--dataset",
+                "yeast",
+                "--scale",
+                "0.15",
+                "--sizes",
+                "4",
+                "--patterns",
+                "1",
+                "--engines",
+                "CSCE",
+                "--time-limit",
+                "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "averages" in out
+        assert "CSCE" in out

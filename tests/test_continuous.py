@@ -1,0 +1,160 @@
+"""Tests for seeded execution and continuous (delta) matching."""
+
+import random
+
+import pytest
+
+from repro.core import CSCE, ContinuousMatcher, embeddings_containing_edge
+from repro.graph import Edge, Graph
+from repro.graph.patterns import by_name, path
+
+from conftest import make_random_graph
+
+
+class TestSeededMatching:
+    def test_seed_restricts_to_extensions(self, square_with_diagonal):
+        engine = CSCE(square_with_diagonal)
+        p = path(3)
+        full = engine.match(p, "edge_induced")
+        seeded = engine.match(p, "edge_induced", seed={1: 0})
+        expected = [m for m in full.embeddings if m[1] == 0]
+        assert sorted(map(sorted, (m.items() for m in seeded.embeddings))) == sorted(
+            map(sorted, (m.items() for m in expected))
+        )
+
+    def test_invalid_seed_yields_nothing(self, square_with_diagonal):
+        engine = CSCE(square_with_diagonal)
+        p = path(3)
+        # Vertex 1 of C4+diag has degree 2 — pinning the path *center* on a
+        # data vertex works, but pinning onto a non-candidate (wrong label
+        # universe) must not:
+        g = Graph()
+        g.add_vertices(["X", "Y"])
+        g.add_edge(0, 1)
+        e = CSCE(g)
+        q = Graph()
+        q.add_vertices(["X", "Y"])
+        q.add_edge(0, 1)
+        assert e.match(q, seed={0: 1}).count == 0  # label mismatch
+        assert e.match(q, seed={0: 0}).count == 1
+
+    def test_multi_vertex_seed(self, square_with_diagonal):
+        engine = CSCE(square_with_diagonal)
+        tri = by_name("triangle")
+        seeded = engine.match(tri, seed={0: 0, 1: 1})
+        # Triangles containing the edge 0-1 with that orientation: only
+        # {0,1,2}; third vertex is forced.
+        assert seeded.count == 1
+        assert seeded.embeddings[0][2] == 2
+
+    def test_seed_respects_injectivity(self, square_with_diagonal):
+        engine = CSCE(square_with_diagonal)
+        p = path(3)
+        seeded = engine.match(p, "edge_induced", seed={0: 2, 2: 2})
+        assert seeded.count == 0  # same image twice under injectivity
+
+    def test_seed_allowed_in_homomorphism(self, square_with_diagonal):
+        engine = CSCE(square_with_diagonal)
+        p = path(3)
+        seeded = engine.match(p, "homomorphic", seed={0: 2, 2: 2})
+        assert seeded.count > 0
+
+    def test_seeded_count_only(self, square_with_diagonal):
+        engine = CSCE(square_with_diagonal)
+        p = path(3)
+        enumerated = engine.match(p, seed={1: 0}).count
+        counted = engine.match(p, seed={1: 0}, count_only=True).count
+        assert counted == enumerated
+
+
+class TestEmbeddingsContainingEdge:
+    def test_matches_filtered_full_enumeration(self):
+        g = make_random_graph(12, 26, seed=81)
+        engine = CSCE(g)
+        tri = by_name("triangle")
+        edge = next(iter(g.edges()))
+        delta = embeddings_containing_edge(engine, tri, edge)
+        full = engine.match(tri)
+
+        def uses_edge(mapping):
+            pairs = set()
+            vertices = list(mapping.values())
+            for i, a in enumerate(vertices):
+                for b in vertices[i + 1 :]:
+                    pairs.add(frozenset((a, b)))
+            return frozenset((edge.src, edge.dst)) in pairs
+
+        # Every triangle whose mapped edge set covers the data edge must
+        # appear, and nothing else can (triangles map all their pairs).
+        expected = [m for m in full.embeddings if uses_edge(m)]
+        assert delta.count == len(expected)
+
+    def test_labels_prune_pins(self):
+        g = Graph()
+        g.add_vertices(["A", "B", "C"])
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        engine = CSCE(g)
+        p = Graph()
+        p.add_vertices(["A", "B"])
+        p.add_edge(0, 1)
+        delta = embeddings_containing_edge(engine, p, Edge(1, 2, None, False))
+        assert delta.pins_tried == 0
+        assert delta.count == 0
+
+
+class TestContinuousMatcher:
+    def _totals_agree(self, matcher: ContinuousMatcher):
+        fresh = matcher.engine.count(matcher.pattern, matcher.variant)
+        assert matcher.total == fresh
+
+    def test_insert_reports_created_embeddings(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        engine = CSCE(g)
+        matcher = ContinuousMatcher(engine, by_name("triangle"))
+        assert matcher.total == 0
+        delta = matcher.insert(0, 2)
+        assert delta.count == 6  # one triangle, six mappings
+        self._totals_agree(matcher)
+
+    def test_remove_reports_destroyed_embeddings(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        engine = CSCE(g)
+        matcher = ContinuousMatcher(engine, by_name("triangle"))
+        assert matcher.total == 6
+        delta = matcher.remove(0, 1)
+        assert delta.count == 6
+        assert matcher.total == 0
+        self._totals_agree(matcher)
+
+    def test_random_update_stream(self):
+        rng = random.Random(9)
+        g = make_random_graph(10, 14, seed=82)
+        engine = CSCE(g)
+        matcher = ContinuousMatcher(engine, path(3))
+        present = {(min(e.src, e.dst), max(e.src, e.dst)) for e in g.edges()}
+        for _ in range(20):
+            a, b = rng.randrange(10), rng.randrange(10)
+            if a == b:
+                continue
+            key = (min(a, b), max(a, b))
+            if key in present:
+                matcher.remove(key[0], key[1])
+                present.discard(key)
+            else:
+                matcher.insert(key[0], key[1])
+                present.add(key)
+            self._totals_agree(matcher)
+
+    def test_vertex_induced_rejected(self):
+        g = make_random_graph(8, 12, seed=83)
+        with pytest.raises(ValueError, match="not edge-local"):
+            ContinuousMatcher(CSCE(g), path(3), "vertex_induced")
+
+    def test_homomorphic_stream(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2)])
+        matcher = ContinuousMatcher(CSCE(g), path(3), "homomorphic")
+        before = matcher.total
+        delta = matcher.insert(2, 3)
+        assert matcher.total == before + delta.count
+        self._totals_agree(matcher)

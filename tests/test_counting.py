@@ -1,0 +1,141 @@
+"""Unit tests for SCE-factorized counting."""
+
+import pytest
+
+from repro.core import CSCE
+from repro.graph import Graph
+
+from conftest import brute_count, make_random_graph
+
+
+class TestFactorizationCorrectness:
+    @pytest.mark.parametrize("variant", ["edge_induced", "vertex_induced", "homomorphic"])
+    def test_counts_match_enumeration_randomized(self, variant):
+        from repro.graph.sampling import sample_pattern
+
+        for seed in range(6):
+            g = make_random_graph(14, 28, num_labels=3, seed=seed)
+            try:
+                p = sample_pattern(g, 4, rng=seed)
+            except Exception:
+                continue
+            engine = CSCE(g)
+            counted = engine.match(p, variant, count_only=True).count
+            enumerated = engine.match(p, variant).count
+            assert counted == enumerated
+
+    def test_star_pattern_factorizes(self):
+        # Data: hub with 10 spokes; pattern: hub with 3 spokes of distinct
+        # labels -> leaves are independent, counts multiply.
+        g = Graph()
+        labels = ["hub"] + ["x", "y", "z"] * 3
+        g.add_vertices(labels)
+        for i in range(1, 10):
+            g.add_edge(0, i)
+        p = Graph()
+        p.add_vertices(["hub", "x", "y", "z"])
+        for i in range(1, 4):
+            p.add_edge(0, i)
+        engine = CSCE(g)
+        result = engine.match(p, "edge_induced", count_only=True)
+        assert result.count == 27  # 3 choices per distinctly-labeled leaf
+        assert result.stats["factorizations"] > 0
+
+    def test_same_label_leaves_not_overcounted(self):
+        # Leaves share a label: naive factorization would give 3 * 3 = 9,
+        # the injective truth is 3 * 2 = 6.
+        g = Graph()
+        g.add_vertices(["hub", "x", "x", "x"])
+        for i in range(1, 4):
+            g.add_edge(0, i)
+        p = Graph()
+        p.add_vertices(["hub", "x", "x"])
+        p.add_edge(0, 1)
+        p.add_edge(0, 2)
+        result = CSCE(g).match(p, "edge_induced", count_only=True)
+        assert result.count == 6
+
+    def test_same_label_leaves_factorize_under_homomorphism(self):
+        g = Graph()
+        g.add_vertices(["hub", "x", "x", "x"])
+        for i in range(1, 4):
+            g.add_edge(0, i)
+        p = Graph()
+        p.add_vertices(["hub", "x", "x"])
+        p.add_edge(0, 1)
+        p.add_edge(0, 2)
+        result = CSCE(g).match(p, "homomorphic", count_only=True)
+        assert result.count == 9  # repeats allowed: 3 * 3
+        assert result.stats["factorizations"] > 0
+
+    def test_group_memo_reuses_region_counts(self):
+        # Two hubs each with private leaves; pattern = path hub-bridge-hub
+        # with a leaf on each hub. The leaf regions repeat across hub
+        # mappings, so the group memo must hit.
+        g = Graph()
+        g.add_vertices(["h", "h", "b", "l", "l", "l", "l"])
+        g.add_edge(0, 2)
+        g.add_edge(1, 2)
+        g.add_edge(0, 3)
+        g.add_edge(0, 4)
+        g.add_edge(1, 5)
+        g.add_edge(1, 6)
+        p = Graph()
+        p.add_vertices(["h", "b", "l"])
+        p.add_edge(0, 1)
+        p.add_edge(0, 2)
+        result = CSCE(g).match(p, "edge_induced", count_only=True)
+        assert result.count == 4  # two hubs x two leaves each
+        assert result.count == CSCE(g).match(p, "edge_induced").count
+
+
+class TestDisconnectedPatterns:
+    def test_disconnected_pattern_counts(self):
+        g = Graph()
+        g.add_vertices(["a", "a", "b", "b"])
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        p = Graph()
+        p.add_vertices(["a", "a", "b", "b"])
+        p.add_edge(0, 1)
+        p.add_edge(2, 3)
+        engine = CSCE(g)
+        for variant in ("edge_induced", "homomorphic"):
+            counted = engine.match(p, variant, count_only=True).count
+            assert counted == brute_count(g, p, variant)
+
+    def test_two_component_pattern_factorizes(self):
+        g = Graph()
+        g.add_vertices(["a", "a", "b", "b", "b"])
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        g.add_edge(3, 4)
+        p = Graph()
+        p.add_vertices(["a", "a", "b", "b"])
+        p.add_edge(0, 1)
+        p.add_edge(2, 3)
+        result = CSCE(g).match(p, "edge_induced", count_only=True)
+        # a-a edge: 2 mappings; b-b edge: 4 mappings (two edges, both dirs).
+        assert result.count == 8
+        assert result.stats["factorizations"] > 0
+
+
+class TestVertexInducedCounting:
+    def test_negation_dependencies_respected(self):
+        # Path data graph; pattern path of 3. Vertex-induced requires the
+        # two ends to be non-adjacent, which couples them through negation.
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        p = Graph.from_edges(3, [(0, 1), (1, 2)])
+        engine = CSCE(g)
+        counted = engine.match(p, "vertex_induced", count_only=True).count
+        assert counted == brute_count(g, p, "vertex_induced")
+        assert counted == 8  # C4: each induced P3 once per center/direction
+
+    def test_clique_pattern_equal_counts_both_induced_variants(self):
+        g = make_random_graph(10, 25, seed=3)
+        tri = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        engine = CSCE(g)
+        assert (
+            engine.match(tri, "edge_induced", count_only=True).count
+            == engine.match(tri, "vertex_induced", count_only=True).count
+        )

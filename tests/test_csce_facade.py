@@ -1,0 +1,84 @@
+"""Unit tests for the CSCE facade and paper worked examples."""
+
+import pytest
+
+from repro.ccsr import CCSRStore
+from repro.core import CSCE, Variant
+
+from conftest import make_fig1_graph
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_from_graph_builds_store(self, triangle):
+        engine = CSCE(triangle)
+        assert engine.store.num_edges == 3
+
+    def test_from_prebuilt_store_shared(self, triangle):
+        store = CCSRStore(triangle)
+        a, b = CSCE(store), CSCE(store)
+        assert a.store is b.store
+
+    def test_repr(self, triangle):
+        assert "CSCE" in repr(CSCE(triangle))
+
+
+class TestFig1WorkedExamples:
+    """The running examples from the paper's Sections I-II."""
+
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return CSCE(make_fig1_graph())
+
+    def test_candidates_of_u2_depend_on_u1(self, engine):
+        """Section V: C(u2 | u1 -> v1) = {v2, v6} and C(u2 | u1 -> v4) = {v5}."""
+        cluster = engine.store.cluster_for("A", "B", None, True)
+        assert list(cluster.successors(0)) == [1, 5]  # v1 -> {v2, v6}
+        assert list(cluster.successors(3)) == [4]  # v4 -> {v5}
+
+    def test_a_to_b_pattern_counts(self, engine):
+        p = Graph()
+        p.add_vertices(["A", "B"])
+        p.add_edge(0, 1, directed=True)
+        # Directed A->B edges: (v1,v2), (v1,v6), (v4,v5), (v8,v9).
+        assert engine.count(p, "edge_induced") == 4
+        assert engine.count(p, "homomorphic") == 4
+
+    def test_syntactic_equivalence_of_v3_v10(self, engine):
+        """v3 and v10 (both C-neighbors of v1) are interchangeable: any
+        pattern putting a C next to an A finds both."""
+        p = Graph()
+        p.add_vertices(["A", "C"])
+        p.add_edge(0, 1)
+        result = engine.match(p, "edge_induced")
+        images = {m[1] for m in result.embeddings}
+        assert images == {2, 9}  # v3 and v10
+
+    def test_star_pattern_with_dependency_regions(self, engine):
+        """A->B with a C and D leaf on A: the C and D regions are
+        conditionally independent given the A mapping (the paper's R1/R2
+        redundancy example)."""
+        p = Graph()
+        p.add_vertices(["A", "B", "C", "D"])
+        p.add_edge(0, 1, directed=True)
+        p.add_edge(0, 2)
+        p.add_edge(0, 3)
+        result = engine.match(p, "edge_induced", count_only=True)
+        # Only v1 has B, C, and D neighbors: 2 B-choices x 2 C x 1 D.
+        assert result.count == 4
+        assert result.stats["factorizations"] > 0
+
+
+class TestFacadeOptions:
+    def test_count_shorthand(self, square_with_diagonal, path3):
+        engine = CSCE(square_with_diagonal)
+        assert engine.count(path3) == engine.match(path3).count
+
+    def test_variant_objects_accepted(self, square_with_diagonal, path3):
+        engine = CSCE(square_with_diagonal)
+        assert engine.count(path3, Variant.HOMOMORPHIC) == 26
+
+    def test_match_all_planners_reachable(self, square_with_diagonal, path3):
+        engine = CSCE(square_with_diagonal)
+        for planner in ("csce", "ri", "ri_cluster", "rm"):
+            assert engine.count(path3, planner=planner) == 16

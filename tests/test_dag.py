@@ -1,0 +1,157 @@
+"""Unit tests for DependencyDAG and BuildDAG (Algorithm 2)."""
+
+import pytest
+
+from repro.ccsr import CCSRStore
+from repro.core import Variant, build_dag
+from repro.core.dag import DependencyDAG
+from repro.errors import PlanError
+from repro.graph import Graph
+
+
+class TestDependencyDAG:
+    def test_add_and_query(self):
+        dag = DependencyDAG(range(3))
+        dag.add_edge(0, 1)
+        assert dag.has_edge(0, 1)
+        assert not dag.has_edge(1, 0)
+        assert dag.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        dag = DependencyDAG(range(2))
+        with pytest.raises(PlanError):
+            dag.add_edge(1, 1)
+
+    def test_sources_and_sinks(self):
+        dag = DependencyDAG(range(3))
+        dag.add_edge(0, 1)
+        dag.add_edge(1, 2)
+        assert dag.sources() == [0]
+        assert dag.sinks() == [2]
+
+    def test_topological_order(self):
+        dag = DependencyDAG(range(4))
+        dag.add_edge(0, 1)
+        dag.add_edge(0, 2)
+        dag.add_edge(1, 3)
+        order = list(dag.topological_order())
+        assert dag.is_topological_order(order)
+
+    def test_cycle_detection(self):
+        dag = DependencyDAG(range(2))
+        dag.add_edge(0, 1)
+        dag.add_edge(1, 0)
+        with pytest.raises(PlanError, match="cycle"):
+            list(dag.topological_order())
+
+    def test_is_topological_order_rejects_non_permutation(self):
+        dag = DependencyDAG(range(3))
+        assert not dag.is_topological_order([0, 1])
+
+    def test_reachability(self):
+        dag = DependencyDAG(range(4))
+        dag.add_edge(0, 1)
+        dag.add_edge(1, 2)
+        reach = dag.reachability()
+        assert reach[0] & (1 << 2)  # 2 reachable from 0 transitively
+        assert not reach[0] & (1 << 3)
+
+    def test_independent_pairs(self):
+        dag = DependencyDAG(range(4))
+        dag.add_edge(0, 1)
+        dag.add_edge(0, 2)
+        pairs = set(dag.independent_pairs())
+        assert (1, 2) in pairs
+        assert (0, 3) in pairs
+        assert (0, 1) not in pairs
+
+    def test_undirected_components(self):
+        dag = DependencyDAG(range(5))
+        dag.add_edge(0, 1)
+        dag.add_edge(2, 3)
+        components = dag.undirected_components([0, 1, 2, 3, 4])
+        assert sorted(map(tuple, components)) == [(0, 1), (2, 3), (4,)]
+
+    def test_undirected_components_restricted(self):
+        dag = DependencyDAG(range(3))
+        dag.add_edge(0, 1)
+        dag.add_edge(1, 2)
+        # Removing the middle vertex splits the chain.
+        components = dag.undirected_components([0, 2])
+        assert sorted(map(tuple, components)) == [(0,), (2,)]
+
+    def test_copy_independent(self):
+        dag = DependencyDAG(range(2))
+        dag.add_edge(0, 1)
+        clone = dag.copy()
+        clone.add_edge(1, 0)
+        assert dag.num_edges == 1
+
+
+class TestBuildDAG:
+    def _pattern_star(self):
+        # Star: center 0, leaves 1..3, all label X.
+        return Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+
+    def test_edge_induced_mirrors_pattern_edges(self):
+        p = self._pattern_star()
+        dag = build_dag(p, [0, 1, 2, 3], Variant.EDGE_INDUCED)
+        assert dag.num_edges == p.num_edges
+        assert dag.has_edge(0, 1) and dag.has_edge(0, 2) and dag.has_edge(0, 3)
+
+    def test_edges_oriented_by_order(self):
+        p = self._pattern_star()
+        dag = build_dag(p, [1, 0, 2, 3], Variant.EDGE_INDUCED)
+        assert dag.has_edge(1, 0)  # leaf first: dependency flows leaf -> center
+
+    def test_same_dag_for_reordered_independents(self):
+        """Section VI: different matching orders can yield the same DAG."""
+        p = self._pattern_star()
+        a = build_dag(p, [0, 1, 2, 3], Variant.EDGE_INDUCED)
+        b = build_dag(p, [0, 3, 1, 2], Variant.EDGE_INDUCED)
+        assert a.out == b.out
+
+    def test_order_must_be_permutation(self):
+        with pytest.raises(PlanError):
+            build_dag(self._pattern_star(), [0, 1, 2], Variant.EDGE_INDUCED)
+
+    def test_vertex_induced_needs_task_clusters(self):
+        with pytest.raises(PlanError):
+            build_dag(self._pattern_star(), [0, 1, 2, 3], Variant.VERTEX_INDUCED)
+
+    def test_vertex_induced_adds_negation_edges(self):
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        p = Graph.from_edges(3, [(0, 1), (1, 2)])  # path; 0-2 unconnected
+        store = CCSRStore(g)
+        task = store.read(p, Variant.VERTEX_INDUCED)
+        dag = build_dag(p, [0, 1, 2], Variant.VERTEX_INDUCED, task)
+        # 0 and 2 share label 0, a 0--0 cluster exists, so negation depends.
+        assert dag.has_edge(0, 2)
+
+    def test_vertex_induced_no_negation_without_clusters(self):
+        g = Graph()
+        g.add_vertices(["A", "B", "C"])
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        p = Graph()
+        p.add_vertices(["A", "B", "C"])
+        p.add_edge(0, 1)
+        p.add_edge(1, 2)
+        store = CCSRStore(g)
+        task = store.read(p, Variant.VERTEX_INDUCED)
+        dag = build_dag(p, [0, 1, 2], Variant.VERTEX_INDUCED, task)
+        # No A--C cluster in the data: candidate sets cannot interact.
+        assert not dag.has_edge(0, 2)
+
+    def test_paper_faithful_guard_drops_early_negations(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        p = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])  # path of 4
+        store = CCSRStore(g)
+        task = store.read(p, Variant.VERTEX_INDUCED)
+        strict = build_dag(p, [0, 3, 1, 2], Variant.VERTEX_INDUCED, task)
+        faithful = build_dag(
+            p, [0, 3, 1, 2], Variant.VERTEX_INDUCED, task, paper_faithful=True
+        )
+        # Position i=1 (vertex 3) has no earlier pattern neighbor of later
+        # vertices at k < 1, so the faithful variant records fewer edges.
+        assert faithful.num_edges <= strict.num_edges

@@ -1,0 +1,115 @@
+"""Unit tests for syntactic data-vertex equivalence."""
+
+import pytest
+
+from repro.analysis import (
+    equivalence_statistics,
+    syntactic_equivalence_classes,
+)
+from repro.graph import Graph
+from repro.graph.patterns import clique, star
+
+from conftest import make_fig1_graph
+
+
+def nontrivial(classes):
+    return [c for c in classes if len(c) > 1]
+
+
+class TestClasses:
+    def test_fig1_paper_example(self):
+        """Section II: v3 and v10 are syntactically equivalent in Fig. 1."""
+        classes = syntactic_equivalence_classes(make_fig1_graph())
+        assert [2, 9] in classes  # v3, v10
+        assert [1, 5] in classes  # v2, v6: twin B-successors of v1
+
+    def test_star_leaves_one_class(self):
+        classes = syntactic_equivalence_classes(star(5))
+        assert nontrivial(classes) == [[1, 2, 3, 4, 5]]
+
+    def test_clique_all_equivalent(self):
+        """Adjacent twins: every pair of K4 vertices swaps freely."""
+        classes = syntactic_equivalence_classes(clique(4))
+        assert classes == [[0, 1, 2, 3]]
+
+    def test_path_has_end_symmetry_only(self):
+        p = Graph.from_edges(3, [(0, 1), (1, 2)])
+        classes = syntactic_equivalence_classes(p)
+        assert [0, 2] in classes
+        assert [1] in classes
+
+    def test_labels_split_classes(self):
+        g = star(4).relabeled(["c", "x", "x", "y", "y"])
+        classes = syntactic_equivalence_classes(g)
+        assert [1, 2] in classes
+        assert [3, 4] in classes
+
+    def test_directed_twins_require_same_direction(self):
+        g = Graph()
+        g.add_vertices([0, 0, 0])
+        g.add_edge(0, 1, directed=True)
+        g.add_edge(2, 0, directed=True)  # opposite orientation
+        classes = syntactic_equivalence_classes(g)
+        assert nontrivial(classes) == []
+
+    def test_directed_twins_same_direction(self):
+        g = Graph()
+        g.add_vertices([0, 0, 0])
+        g.add_edge(0, 1, directed=True)
+        g.add_edge(0, 2, directed=True)
+        classes = syntactic_equivalence_classes(g)
+        assert [1, 2] in classes
+
+    def test_adjacent_pendant_pair(self):
+        # c -- w, c -- x, w -- x: w and x are adjacent twins.
+        g = Graph.from_edges(3, [(0, 1), (0, 2), (1, 2)])
+        classes = syntactic_equivalence_classes(g)
+        assert classes == [[0, 1, 2]]  # it's a triangle: all equivalent
+
+    def test_isolated_vertices_grouped(self):
+        g = Graph()
+        g.add_vertices([0, 0, 1])
+        classes = syntactic_equivalence_classes(g)
+        assert [0, 1] in classes
+        assert [2] in classes
+
+    def test_classes_partition_vertices(self):
+        from conftest import make_random_graph
+
+        g = make_random_graph(20, 40, num_labels=2, seed=91)
+        classes = syntactic_equivalence_classes(g)
+        flat = sorted(v for cls in classes for v in cls)
+        assert flat == list(range(20))
+
+    def test_equivalent_vertices_interchangeable_in_embeddings(self):
+        """The semantic guarantee: swapping class members maps embeddings
+        to embeddings."""
+        from repro.core import CSCE
+        from repro.graph.patterns import path
+
+        g = make_fig1_graph()
+        engine = CSCE(g)
+        result = engine.match(path(2, labels=["A", "C"]))
+        images = {m[1] for m in result.embeddings}
+        # v3 (2) and v10 (9) appear symmetrically.
+        assert (2 in images) == (9 in images)
+
+
+class TestStatistics:
+    def test_stats_shape(self):
+        stats = equivalence_statistics(star(5))
+        assert stats.num_vertices == 6
+        assert stats.num_classes == 2
+        assert stats.largest_class == 5
+        assert stats.nontrivial_fraction == pytest.approx(5 / 6)
+        assert stats.compression == pytest.approx(3.0)
+
+    def test_trivial_graph(self):
+        p = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        stats = equivalence_statistics(p)
+        assert stats.largest_class == 2  # 1 and 3 are twins across the diag
+
+    def test_empty_graph(self):
+        stats = equivalence_statistics(Graph())
+        assert stats.compression == 1.0
+        assert stats.nontrivial_fraction == 0.0

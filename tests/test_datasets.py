@@ -1,0 +1,101 @@
+"""Unit tests for the dataset registry and stand-ins."""
+
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    dataset_table,
+    email_eu,
+    get_spec,
+    load_dataset,
+)
+from repro.errors import ReproError
+from repro.graph.algorithms import average_degree, is_connected
+
+
+class TestRegistry:
+    def test_all_nine_table4_datasets_present(self):
+        assert set(DATASET_NAMES) == {
+            "dip",
+            "yeast",
+            "human",
+            "hprd",
+            "roadca",
+            "orkut",
+            "patent",
+            "subcategory",
+            "livejournal",
+        }
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ReproError, match="unknown dataset"):
+            load_dataset("friendster")
+
+    def test_directedness_matches_table4(self):
+        for name in DATASET_NAMES:
+            spec = get_spec(name)
+            graph = load_dataset(name, scale=0.1)
+            assert graph.is_directed == spec.directed, name
+
+    def test_label_counts_match_table4(self):
+        expectations = {"dip": 0, "yeast": 71, "roadca": 0, "livejournal": 0}
+        for name, expected in expectations.items():
+            graph = load_dataset(name, scale=0.3)
+            labels = graph.distinct_vertex_labels()
+            if expected == 0:
+                assert labels == {0}
+            else:
+                # Zipf sampling may miss rare labels at small scale.
+                assert len(labels) <= expected
+                assert len(labels) > expected // 3
+
+    def test_scaling(self):
+        small = load_dataset("dip", scale=0.1)
+        large = load_dataset("dip", scale=0.5)
+        assert large.num_vertices > small.num_vertices
+
+    def test_determinism(self):
+        assert load_dataset("yeast", scale=0.2) == load_dataset("yeast", scale=0.2)
+
+    def test_roadca_density_shape(self):
+        road = load_dataset("roadca", scale=0.5)
+        assert 2.0 < average_degree(road) < 3.6
+
+    def test_human_denser_than_hprd(self):
+        human = load_dataset("human", scale=0.3)
+        hprd = load_dataset("hprd", scale=0.3)
+        assert average_degree(human) > average_degree(hprd)
+
+    def test_patent_relabeling(self):
+        g = load_dataset("patent", scale=0.1, num_labels=200)
+        assert len(g.distinct_vertex_labels()) > 20
+
+
+class TestDatasetTable:
+    def test_table_has_paper_columns(self):
+        rows = dataset_table(scale=0.1)
+        assert len(rows) == 9
+        for row in rows:
+            assert {"Data Graph", "Vertex Count", "Label Count"} <= set(row)
+            assert row["Vertex Count"] > 0
+
+
+class TestEmailEU:
+    def test_ground_truth_shape(self):
+        graph, membership = email_eu()
+        assert graph.num_vertices == len(membership)
+        assert len(set(membership)) == 6
+
+    def test_graph_connected(self):
+        graph, _ = email_eu()
+        assert is_connected(graph)
+
+    def test_departments_are_dense(self):
+        graph, membership = email_eu()
+        intra = inter = 0
+        for e in graph.edges():
+            if membership[e.src] == membership[e.dst]:
+                intra += 1
+            else:
+                inter += 1
+        assert intra > inter

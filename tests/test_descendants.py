@@ -1,0 +1,59 @@
+"""Unit tests for ComputeDescendant (Algorithm 3)."""
+
+from repro.core.dag import DependencyDAG
+from repro.core.descendants import compute_descendant_sizes, compute_descendants
+
+
+def chain(n: int) -> DependencyDAG:
+    dag = DependencyDAG(range(n))
+    for i in range(n - 1):
+        dag.add_edge(i, i + 1)
+    return dag
+
+
+class TestDescendants:
+    def test_chain_sizes(self):
+        sizes = compute_descendant_sizes(chain(4))
+        assert sizes == {0: 3, 1: 2, 2: 1, 3: 0}
+
+    def test_star_from_center(self):
+        dag = DependencyDAG(range(4))
+        for leaf in (1, 2, 3):
+            dag.add_edge(0, leaf)
+        sizes = compute_descendant_sizes(dag)
+        assert sizes == {0: 3, 1: 0, 2: 0, 3: 0}
+
+    def test_shared_descendants_counted_once(self):
+        # Diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+        dag = DependencyDAG(range(4))
+        dag.add_edge(0, 1)
+        dag.add_edge(0, 2)
+        dag.add_edge(1, 3)
+        dag.add_edge(2, 3)
+        sizes = compute_descendant_sizes(dag)
+        assert sizes[0] == 3  # 3 counted once despite two paths
+        assert sizes[1] == sizes[2] == 1
+
+    def test_empty_dag(self):
+        dag = DependencyDAG(range(3))
+        assert compute_descendant_sizes(dag) == {0: 0, 1: 0, 2: 0}
+
+    def test_descendant_masks(self):
+        dag = chain(3)
+        masks = compute_descendants(dag)
+        assert masks[0] == (1 << 1) | (1 << 2)
+        assert masks[2] == 0
+
+    def test_matches_reachability(self):
+        import random
+
+        rng = random.Random(3)
+        for _ in range(10):
+            n = 8
+            dag = DependencyDAG(range(n))
+            for i in range(n):
+                for j in range(i + 1, n):
+                    if rng.random() < 0.3:
+                        dag.add_edge(i, j)
+            masks = compute_descendants(dag)
+            assert masks == dag.reachability()

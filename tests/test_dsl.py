@@ -1,0 +1,146 @@
+"""Unit tests for the Cypher-flavored pattern DSL."""
+
+import pytest
+
+from repro.errors import FormatError
+from repro.graph import Graph, format_pattern, parse_pattern, pattern
+from repro.core import CSCE
+
+
+class TestNodes:
+    def test_named_node_reused(self):
+        g, names = parse_pattern("(a)-->(b), (a)-->(c)")
+        assert g.num_vertices == 3
+        assert g.out_degree(names["a"]) == 2
+
+    def test_anonymous_nodes_are_fresh(self):
+        g, _ = parse_pattern("()-->(), ()-->()")
+        assert g.num_vertices == 4
+
+    def test_default_label_is_zero(self):
+        g, names = parse_pattern("(a)--(b)")
+        assert g.vertex_label(names["a"]) == 0
+
+    def test_string_and_int_labels(self):
+        g, names = parse_pattern("(a:Person)--(b:7)")
+        assert g.vertex_label(names["a"]) == "Person"
+        assert g.vertex_label(names["b"]) == 7
+
+    def test_late_labeling(self):
+        g, names = parse_pattern("(a)--(b), (a:X)--(c)")
+        assert g.vertex_label(names["a"]) == "X"
+
+    def test_conflicting_labels_rejected(self):
+        with pytest.raises(FormatError, match="labeled twice"):
+            parse_pattern("(a:X)--(b), (a:Y)--(c)")
+
+    def test_repeated_consistent_label_ok(self):
+        g, _ = parse_pattern("(a:X)--(b), (a:X)--(c)")
+        assert g.num_vertices == 3
+
+
+class TestEdges:
+    def test_undirected(self):
+        g = pattern("(a)--(b)")
+        e = next(iter(g.edges()))
+        assert not e.directed and e.label is None
+
+    def test_directed_right(self):
+        g, names = parse_pattern("(a)-->(b)")
+        e = next(iter(g.edges()))
+        assert e.directed
+        assert (e.src, e.dst) == (names["a"], names["b"])
+
+    def test_directed_left(self):
+        g, names = parse_pattern("(a)<--(b)")
+        e = next(iter(g.edges()))
+        assert (e.src, e.dst) == (names["b"], names["a"])
+
+    def test_edge_labels(self):
+        g = pattern("(a)-[:knows]->(b)")
+        assert next(iter(g.edges())).label == "knows"
+
+    def test_edge_variable_ignored(self):
+        g = pattern("(a)-[r:knows]->(b)")
+        assert next(iter(g.edges())).label == "knows"
+
+    def test_integer_edge_label(self):
+        g = pattern("(a)-[:3]-(b)")
+        assert next(iter(g.edges())).label == 3
+
+    def test_chained_clause(self):
+        g, names = parse_pattern("(a)-->(b)-->(c)<--(d)")
+        assert g.num_edges == 3
+        assert g.has_edge(names["d"], names["c"])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(FormatError, match="duplicate"):
+            pattern("(a)--(b), (a)--(b)")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(FormatError, match="self-loop"):
+            pattern("(a)--(a)")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "(a)--",
+            "(a-->(b)",
+            "(a))--(b)",
+            "(a)==(b)",
+            "(a)-[:x(b)",
+            "(a)-->(b) (c)",
+            "(:)--(b)",
+        ],
+    )
+    def test_malformed_patterns(self, bad):
+        with pytest.raises(FormatError):
+            parse_pattern(bad)
+
+    def test_error_mentions_position(self):
+        with pytest.raises(FormatError, match="position"):
+            parse_pattern("(a)~~(b)")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "(a)--(b)",
+            "(a:X)-[:r]->(b:Y)",
+            "(a)-->(b)-->(c), (a)--(c)",
+            "(a:1)-[:2]-(b:1)",
+        ],
+    )
+    def test_format_then_parse(self, text):
+        g, _ = parse_pattern(text)
+        rendered = format_pattern(g)
+        g2, _ = parse_pattern(rendered)
+        assert g2 == g
+
+    def test_isolated_vertices_rendered(self):
+        g = Graph()
+        g.add_vertices(["A", "B"])
+        g2, _ = parse_pattern(format_pattern(g))
+        assert g2 == g
+
+
+class TestEndToEnd:
+    def test_dsl_pattern_matches(self, square_with_diagonal):
+        engine = CSCE(square_with_diagonal)
+        triangle = pattern("(a)--(b)--(c)--(a)")
+        assert engine.count(triangle) == 12
+
+    def test_heterogeneous_dsl_query(self):
+        g = Graph()
+        a, b, c = g.add_vertices(["P", "P", "J"])
+        g.add_edge(a, b, label="knows")
+        g.add_edge(a, c, label="works_on", directed=True)
+        g.add_edge(b, c, label="works_on", directed=True)
+        q = pattern(
+            "(x:P)-[:knows]-(y:P), (x)-[:works_on]->(j:J), (y)-[:works_on]->(j)"
+        )
+        assert CSCE(g).count(q) == 2  # x/y swap

@@ -1,0 +1,85 @@
+"""Unit tests for NEC classes and SCE occurrence statistics."""
+
+from repro.core import Variant, build_dag, nec_classes, sce_statistics
+from repro.core.dag import DependencyDAG
+from repro.graph import Graph
+
+
+class TestNEC:
+    def test_star_leaves_equivalent(self):
+        star = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        classes = {frozenset(c) for c in nec_classes(star)}
+        assert frozenset({1, 2, 3}) in classes
+
+    def test_labels_split_classes(self):
+        star = Graph.from_edges(
+            4, [(0, 1), (0, 2), (0, 3)], vertex_labels=["c", "x", "x", "y"]
+        )
+        classes = {frozenset(c) for c in nec_classes(star)}
+        assert frozenset({1, 2}) in classes
+        assert frozenset({3}) in classes
+
+    def test_triangle_single_class(self):
+        tri = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert {frozenset(c) for c in nec_classes(tri)} == {frozenset({0, 1, 2})}
+
+    def test_cycle4_opposite_vertices(self):
+        c4 = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        classes = {frozenset(c) for c in nec_classes(c4)}
+        # NEC (transposition-based) pairs opposite corners: {0,2} and {1,3}.
+        assert frozenset({0, 2}) in classes
+        assert frozenset({1, 3}) in classes
+
+    def test_path_asymmetric_middle(self):
+        p3 = Graph.from_edges(3, [(0, 1), (1, 2)])
+        classes = {frozenset(c) for c in nec_classes(p3)}
+        assert frozenset({0, 2}) in classes
+        assert frozenset({1}) in classes
+
+    def test_directed_edges_matter(self):
+        p = Graph.from_edges(3, [(0, 1), (2, 1)], directed=True)
+        classes = {frozenset(c) for c in nec_classes(p)}
+        assert frozenset({0, 2}) in classes
+        q = Graph()
+        q.add_vertices([0, 0, 0])
+        q.add_edge(0, 1, directed=True)
+        q.add_edge(1, 2, directed=True)
+        classes_q = {frozenset(c) for c in nec_classes(q)}
+        assert frozenset({0, 2}) not in classes_q
+
+
+class TestSCEStats:
+    def test_star_occurrence(self):
+        star = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        dag = build_dag(star, [0, 1, 2, 3], Variant.EDGE_INDUCED)
+        stats = sce_statistics(star, dag)
+        # Leaves are pairwise independent -> all three show SCE; the center
+        # reaches everything, so it does not.
+        assert stats.sce_vertices == 3
+        assert stats.sce_pairs == 3
+        assert stats.occurrence == 0.75
+
+    def test_chain_no_sce(self):
+        p = Graph.from_edges(3, [(0, 1), (1, 2)])
+        dag = build_dag(p, [0, 1, 2], Variant.EDGE_INDUCED)
+        stats = sce_statistics(p, dag)
+        assert stats.sce_pairs == 0
+        assert stats.occurrence == 0.0
+
+    def test_cluster_ratio_counts_label_differences(self):
+        star = Graph.from_edges(
+            4, [(0, 1), (0, 2), (0, 3)], vertex_labels=["c", "x", "x", "y"]
+        )
+        dag = build_dag(star, [0, 1, 2, 3], Variant.EDGE_INDUCED)
+        stats = sce_statistics(star, dag)
+        # Pairs: (1,2) same label, (1,3) and (2,3) different labels.
+        assert stats.sce_pairs == 3
+        assert stats.cluster_pairs == 2
+        assert stats.cluster_ratio == 2 / 3
+
+    def test_empty_dag_zero_division_safe(self):
+        p = Graph.from_edges(2, [(0, 1)])
+        dag = DependencyDAG(range(2))
+        dag.add_edge(0, 1)
+        stats = sce_statistics(p, dag)
+        assert stats.cluster_ratio == 0.0

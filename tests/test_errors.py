@@ -1,0 +1,45 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    EmbeddingLimitExceeded,
+    FormatError,
+    GraphError,
+    LimitExceeded,
+    PlanError,
+    ReproError,
+    TimeLimitExceeded,
+    VariantError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [GraphError, FormatError, PlanError, VariantError, LimitExceeded],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_limit_subtypes(self):
+        assert issubclass(TimeLimitExceeded, LimitExceeded)
+        assert issubclass(EmbeddingLimitExceeded, LimitExceeded)
+
+    def test_limit_carries_partial_count(self):
+        exc = TimeLimitExceeded("late", partial_count=17)
+        assert exc.partial_count == 17
+
+    def test_format_error_line_number(self):
+        exc = FormatError("bad token", line_number=4)
+        assert "line 4" in str(exc)
+        assert exc.line_number == 4
+
+    def test_format_error_without_line(self):
+        exc = FormatError("bad header")
+        assert exc.line_number is None
+
+    def test_single_except_clause_catches_everything(self):
+        for exc_type in (GraphError, PlanError, VariantError):
+            with pytest.raises(ReproError):
+                raise exc_type("boom")

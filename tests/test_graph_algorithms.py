@@ -1,0 +1,110 @@
+"""Unit tests for graph algorithms (degrees, components, automorphisms)."""
+
+from repro.graph import Graph
+from repro.graph.algorithms import (
+    average_degree,
+    connected_components,
+    count_automorphisms,
+    degree_statistics,
+    is_connected,
+    iter_automorphisms,
+    label_frequencies,
+)
+
+
+class TestDegreeStatistics:
+    def test_triangle(self, triangle):
+        stats = degree_statistics(triangle)
+        assert stats.average_degree == 2.0
+        assert stats.max_degree == 2
+
+    def test_directed_in_out(self):
+        g = Graph.from_edges(3, [(0, 2), (1, 2)], directed=True)
+        stats = degree_statistics(g)
+        assert stats.max_in_degree == 2
+        assert stats.max_out_degree == 1
+
+    def test_empty_graph(self):
+        stats = degree_statistics(Graph())
+        assert stats.average_degree == 0.0
+
+    def test_average_degree(self, path3):
+        assert average_degree(path3) == (1 + 2 + 1) / 3
+
+
+class TestComponents:
+    def test_single_component(self, triangle):
+        assert connected_components(triangle) == [[0, 1, 2]]
+        assert is_connected(triangle)
+
+    def test_two_components(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert connected_components(g) == [[0, 1], [2, 3]]
+        assert not is_connected(g)
+
+    def test_directed_edges_connect_components(self):
+        g = Graph.from_edges(2, [(0, 1)], directed=True)
+        assert is_connected(g)
+
+    def test_empty_graph_connected(self):
+        assert is_connected(Graph())
+
+    def test_isolated_vertices(self):
+        g = Graph()
+        g.add_vertices([0, 0])
+        assert len(connected_components(g)) == 2
+
+
+class TestLabelFrequencies:
+    def test_counts(self, fig1_graph):
+        freq = label_frequencies(fig1_graph)
+        assert freq["A"] == 3
+        assert freq["B"] == 4
+        assert freq["C"] == 2
+        assert freq["D"] == 1
+
+
+class TestAutomorphisms:
+    def test_triangle_has_six(self, triangle):
+        assert count_automorphisms(triangle) == 6
+
+    def test_path_has_two(self, path3):
+        assert count_automorphisms(path3) == 2
+
+    def test_labels_break_symmetry(self):
+        p = Graph.from_edges(3, [(0, 1), (1, 2)], vertex_labels=["A", "B", "C"])
+        assert count_automorphisms(p) == 1
+
+    def test_directed_cycle(self):
+        c3 = Graph.from_edges(3, [(0, 1), (1, 2), (2, 0)], directed=True)
+        assert count_automorphisms(c3) == 3  # rotations only, no reflections
+
+    def test_square(self):
+        c4 = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert count_automorphisms(c4) == 8  # dihedral group D4
+
+    def test_clique(self):
+        k4 = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+        assert count_automorphisms(k4) == 24
+
+    def test_star(self):
+        star = Graph.from_edges(5, [(0, i) for i in range(1, 5)])
+        assert count_automorphisms(star) == 24  # 4! leaf permutations
+
+    def test_mappings_are_valid(self, triangle):
+        for mapping in iter_automorphisms(triangle):
+            assert sorted(mapping) == [0, 1, 2]
+            assert sorted(mapping.values()) == [0, 1, 2]
+
+    def test_edge_labels_break_symmetry(self):
+        g = Graph()
+        g.add_vertices([0, 0, 0])
+        g.add_edge(0, 1, label="x")
+        g.add_edge(1, 2, label="y")
+        assert count_automorphisms(g) == 1
+
+    def test_paper_s3_example(self, fig1_graph):
+        """Section II: S3 induced from {u1, u6, u8} is automorphic under two
+        mappings (the A--D--A path's identity and reflection)."""
+        s3 = fig1_graph.induced_subgraph([0, 6, 7])  # A, D, A path
+        assert count_automorphisms(s3) == 2

@@ -1,0 +1,117 @@
+"""Unit tests for the random graph generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.algorithms import average_degree, is_connected
+from repro.graph.generators import (
+    assign_labels_zipf,
+    erdos_renyi,
+    grid_graph,
+    planted_partition,
+    power_law_graph,
+    random_edge_labels,
+)
+
+import random
+
+
+class TestZipfLabels:
+    def test_zero_labels_gives_all_zero(self):
+        assert assign_labels_zipf(5, 0, random.Random(0)) == [0] * 5
+
+    def test_labels_in_range(self):
+        labels = assign_labels_zipf(200, 7, random.Random(0))
+        assert set(labels) <= set(range(7))
+
+    def test_skew(self):
+        labels = assign_labels_zipf(2000, 10, random.Random(0))
+        counts = [labels.count(i) for i in range(10)]
+        assert counts[0] > counts[9]  # Zipf head dominates the tail
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi(30, 50, seed=1)
+        assert g.num_vertices == 30
+        assert g.num_edges == 50
+
+    def test_deterministic(self):
+        assert erdos_renyi(20, 30, seed=5) == erdos_renyi(20, 30, seed=5)
+
+    def test_directed(self):
+        g = erdos_renyi(10, 20, directed=True, seed=2)
+        assert g.is_directed
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(3, 10)
+
+
+class TestPowerLaw:
+    def test_size(self):
+        g = power_law_graph(100, 3, seed=0)
+        assert g.num_vertices == 100
+        assert g.num_edges >= 3 * 90  # attachment edges minus dedupe losses
+
+    def test_heavy_tail(self):
+        g = power_law_graph(300, 3, seed=0)
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        assert degrees[0] > 4 * (sum(degrees) / len(degrees))
+
+    def test_labels(self):
+        g = power_law_graph(100, 2, num_labels=5, seed=0)
+        assert set(g.vertex_labels) <= set(range(5))
+
+    def test_too_few_vertices(self):
+        with pytest.raises(GraphError):
+            power_law_graph(2, 3)
+
+    def test_bad_edges_per_vertex(self):
+        with pytest.raises(GraphError):
+            power_law_graph(10, 0)
+
+
+class TestGrid:
+    def test_road_like_degree(self):
+        g = grid_graph(30, 30, seed=0)
+        assert 2.0 < average_degree(g) < 3.6  # RoadCA's regime
+
+    def test_max_degree_small(self):
+        g = grid_graph(20, 20, seed=1)
+        assert max(g.degree(v) for v in g.vertices()) <= 8
+
+
+class TestPlantedPartition:
+    def test_shapes(self):
+        g, membership = planted_partition(3, 10, 0.8, 0.05, seed=0)
+        assert g.num_vertices == 30
+        assert len(membership) == 30
+        assert set(membership) == {0, 1, 2}
+
+    def test_intra_denser_than_inter(self):
+        g, membership = planted_partition(4, 15, 0.7, 0.02, seed=1)
+        intra = inter = 0
+        for e in g.edges():
+            if membership[e.src] == membership[e.dst]:
+                intra += 1
+            else:
+                inter += 1
+        assert intra > inter
+
+    def test_probability_validation(self):
+        with pytest.raises(GraphError):
+            planted_partition(2, 5, 0.1, 0.5)
+
+
+class TestRandomEdgeLabels:
+    def test_labels_applied(self):
+        g = erdos_renyi(10, 15, seed=3)
+        labeled = random_edge_labels(g, 3, seed=0)
+        assert labeled.distinct_edge_labels() <= {0, 1, 2}
+        assert labeled.num_edges == g.num_edges
+
+    def test_bad_label_count(self):
+        g = erdos_renyi(5, 4, seed=0)
+        with pytest.raises(GraphError):
+            random_edge_labels(g, 0)

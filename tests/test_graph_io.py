@@ -1,0 +1,107 @@
+"""Unit tests for graph text I/O."""
+
+import pytest
+
+from repro.errors import FormatError
+from repro.graph import Graph, load_graph, parse_graph_text, save_graph
+from repro.graph.io import format_graph_text, load_edge_list, write_edge_list
+
+
+SAMPLE = """\
+# comment line
+t 3 2
+v 0 A
+v 1 B
+v 2 A
+e 0 1 x d
+e 1 2
+"""
+
+
+class TestParse:
+    def test_parse_sample(self):
+        g = parse_graph_text(SAMPLE)
+        assert g.num_vertices == 3
+        assert g.vertex_labels == ["A", "B", "A"]
+        edges = list(g.edges())
+        assert edges[0].label == "x" and edges[0].directed
+        assert edges[1].label is None and not edges[1].directed
+
+    def test_integer_labels_parse_as_int(self):
+        g = parse_graph_text("t 1 0\nv 0 7\n")
+        assert g.vertex_label(0) == 7
+
+    def test_dash_edge_label_means_none(self):
+        g = parse_graph_text("t 2 1\nv 0 A\nv 1 B\ne 0 1 - u\n")
+        assert next(iter(g.edges())).label is None
+
+    def test_header_mismatch_vertices(self):
+        with pytest.raises(FormatError, match="declared 5 vertices"):
+            parse_graph_text("t 5 0\nv 0 A\n")
+
+    def test_header_mismatch_edges(self):
+        with pytest.raises(FormatError, match="declared 3 edges"):
+            parse_graph_text("t 2 3\nv 0 A\nv 1 B\ne 0 1\n")
+
+    def test_duplicate_header(self):
+        with pytest.raises(FormatError, match="duplicate 't'"):
+            parse_graph_text("t 0 0\nt 0 0\n")
+
+    def test_out_of_order_vertex_ids(self):
+        with pytest.raises(FormatError, match="consecutive"):
+            parse_graph_text("v 1 A\n")
+
+    def test_unknown_record(self):
+        with pytest.raises(FormatError, match="unknown record"):
+            parse_graph_text("x 1 2\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(FormatError, match="line 2"):
+            parse_graph_text("v 0 A\ne 0 9\n")
+
+    def test_bad_edge_endpoints(self):
+        with pytest.raises(FormatError):
+            parse_graph_text("v 0 A\ne 0 x\n")
+
+
+class TestRoundTrip:
+    def test_format_parse_roundtrip(self, fig1_graph):
+        assert parse_graph_text(format_graph_text(fig1_graph)) == fig1_graph
+
+    def test_file_roundtrip(self, tmp_path, fig1_graph):
+        path = tmp_path / "g.graph"
+        save_graph(fig1_graph, path)
+        loaded = load_graph(path)
+        assert loaded == fig1_graph
+        assert loaded.name == "g.graph"
+
+    def test_empty_graph_roundtrip(self):
+        g = Graph()
+        assert parse_graph_text(format_graph_text(g)) == g
+
+
+class TestEdgeList:
+    def test_load_edge_list(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# header\n1 2\n2 3\n3 1\n1 1\n1 2\n")
+        g = load_edge_list(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 3  # self-loop and duplicate dropped
+
+    def test_load_edge_list_directed_keeps_reverse(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("1 2\n2 1\n")
+        g = load_edge_list(path, directed=True)
+        assert g.num_edges == 2
+
+    def test_write_edge_list(self, tmp_path, triangle):
+        path = tmp_path / "out.txt"
+        write_edge_list(triangle, path)
+        reloaded = load_edge_list(path)
+        assert reloaded.num_edges == 3
+
+    def test_bad_line(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("1\n")
+        with pytest.raises(FormatError):
+            load_edge_list(path)

@@ -1,0 +1,188 @@
+"""Unit tests for the Graph model."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Edge, Graph
+
+
+class TestConstruction:
+    def test_add_vertex_returns_sequential_ids(self):
+        g = Graph()
+        assert g.add_vertex("A") == 0
+        assert g.add_vertex("B") == 1
+        assert g.num_vertices == 2
+
+    def test_add_vertices_bulk(self):
+        g = Graph()
+        assert g.add_vertices(["A", "B", "C"]) == [0, 1, 2]
+        assert g.vertex_label(2) == "C"
+
+    def test_add_edge_basic(self):
+        g = Graph()
+        g.add_vertices([0, 0])
+        e = g.add_edge(0, 1)
+        assert e == Edge(0, 1, None, False)
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        g.add_vertex()
+        with pytest.raises(GraphError, match="self-loop"):
+            g.add_edge(0, 0)
+
+    def test_missing_endpoint_rejected(self):
+        g = Graph()
+        g.add_vertex()
+        with pytest.raises(GraphError, match="missing vertex"):
+            g.add_edge(0, 3)
+
+    def test_duplicate_edge_rejected(self):
+        g = Graph()
+        g.add_vertices([0, 0])
+        g.add_edge(0, 1)
+        with pytest.raises(GraphError, match="duplicate"):
+            g.add_edge(0, 1)
+
+    def test_duplicate_undirected_rejected_in_either_orientation(self):
+        g = Graph()
+        g.add_vertices([0, 0])
+        g.add_edge(0, 1)
+        with pytest.raises(GraphError, match="duplicate"):
+            g.add_edge(1, 0)
+
+    def test_reverse_directed_edge_allowed(self):
+        g = Graph()
+        g.add_vertices([0, 0])
+        g.add_edge(0, 1, directed=True)
+        g.add_edge(1, 0, directed=True)
+        assert g.num_edges == 2
+
+    def test_parallel_edges_with_different_labels_allowed(self):
+        g = Graph()
+        g.add_vertices([0, 0])
+        g.add_edge(0, 1, label="x")
+        g.add_edge(0, 1, label="y")
+        assert g.num_edges == 2
+
+    def test_from_edges_defaults(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.num_vertices == 3
+        assert g.vertex_labels == [0, 0, 0]
+
+    def test_from_edges_label_length_mismatch(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(3, [(0, 1)], vertex_labels=[0, 0])
+
+    def test_from_edges_edge_label_mismatch(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(2, [(0, 1)], edge_labels=["a", "b"])
+
+
+class TestAccessors:
+    def test_heterogeneous_detection(self):
+        homogeneous = Graph.from_edges(2, [(0, 1)])
+        assert not homogeneous.is_heterogeneous
+        labeled = Graph.from_edges(2, [(0, 1)], vertex_labels=["A", "B"])
+        assert labeled.is_heterogeneous
+
+    def test_is_directed(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        assert not g.is_directed
+        d = Graph.from_edges(2, [(0, 1)], directed=True)
+        assert d.is_directed
+
+    def test_neighbors_undirected(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.neighbors(1) == [0, 2]
+        assert g.out_neighbors(1) == [0, 2]
+        assert g.in_neighbors(1) == [0, 2]
+
+    def test_neighbors_directed(self):
+        g = Graph.from_edges(3, [(0, 1), (2, 1)], directed=True)
+        assert g.out_neighbors(0) == [1]
+        assert g.in_neighbors(1) == [0, 2]
+        assert g.out_neighbors(1) == []
+        assert g.neighbors(1) == [0, 2]
+
+    def test_degree_counts_distinct_neighbors(self):
+        g = Graph()
+        g.add_vertices([0, 0])
+        g.add_edge(0, 1, label="x")
+        g.add_edge(0, 1, label="y")
+        assert g.degree(0) == 1
+
+    def test_has_edge_directional(self):
+        g = Graph.from_edges(2, [(0, 1)], directed=True)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_edges_between(self):
+        g = Graph()
+        g.add_vertices([0, 0, 0])
+        g.add_edge(0, 1, label="x")
+        g.add_edge(1, 0, label="y", directed=True)
+        between = g.edges_between(0, 1)
+        assert len(between) == 2
+        assert g.edges_between(0, 2) == []
+
+    def test_incident_edges(self, fig1_graph):
+        incident = fig1_graph.incident_edges(0)
+        assert len(incident) == 5  # v1 touches v2, v6, v3, v10, v7(D)
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph(self, square_with_diagonal):
+        sub = square_with_diagonal.induced_subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3  # 0-1, 1-2, 0-2 all present
+
+    def test_induced_subgraph_renumbers(self):
+        g = Graph.from_edges(4, [(1, 3)], vertex_labels=list("abcd"))
+        sub = g.induced_subgraph([3, 1])
+        assert sub.vertex_labels == ["d", "b"]
+        assert sub.num_edges == 1
+
+    def test_induced_subgraph_duplicate_vertices(self, triangle):
+        import pytest as _pytest
+
+        with _pytest.raises(GraphError):
+            triangle.induced_subgraph([0, 0])
+
+    def test_edge_subgraph(self, square_with_diagonal):
+        edges = [e for e in square_with_diagonal.edges()][:2]
+        sub = square_with_diagonal.edge_subgraph(edges)
+        assert sub.num_edges == 2
+
+    def test_relabeled(self, triangle):
+        out = triangle.relabeled(["X", "Y", "Z"])
+        assert out.vertex_labels == ["X", "Y", "Z"]
+        assert out.num_edges == triangle.num_edges
+
+    def test_relabeled_length_check(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.relabeled(["X"])
+
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.add_vertex()
+        assert clone.num_vertices == triangle.num_vertices + 1
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = Graph.from_edges(3, [(0, 1), (1, 2)])
+        b = Graph.from_edges(3, [(1, 0), (2, 1)])  # flipped undirected
+        assert a == b
+
+    def test_unequal_on_direction(self):
+        a = Graph.from_edges(2, [(0, 1)], directed=True)
+        b = Graph.from_edges(2, [(1, 0)], directed=True)
+        assert a != b
+
+    def test_graphs_unhashable(self, triangle):
+        with pytest.raises(TypeError):
+            hash(triangle)
+
+    def test_repr_mentions_counts(self, triangle):
+        assert "|V|=3" in repr(triangle)

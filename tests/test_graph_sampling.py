@@ -1,0 +1,88 @@
+"""Unit tests for pattern sampling."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import is_connected
+from repro.graph.generators import power_law_graph
+from repro.graph.sampling import (
+    is_dense_pattern,
+    pattern_density,
+    sample_pattern,
+    sample_pattern_suite,
+)
+from repro.graph.model import Graph
+
+
+@pytest.fixture(scope="module")
+def data_graph():
+    return power_law_graph(300, 4, num_labels=6, seed=11)
+
+
+class TestDensity:
+    def test_density_formula(self, data_graph):
+        p = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert pattern_density(p) == pytest.approx(1.5)
+        assert not is_dense_pattern(p)
+
+    def test_clique_is_dense(self):
+        p = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+        assert is_dense_pattern(p)
+
+    def test_empty_pattern_density(self):
+        assert pattern_density(Graph()) == 0.0
+
+
+class TestSamplePattern:
+    def test_size_and_connectivity(self, data_graph):
+        p = sample_pattern(data_graph, 8, rng=0)
+        assert p.num_vertices == 8
+        assert is_connected(p)
+
+    def test_labels_preserved(self, data_graph):
+        p = sample_pattern(data_graph, 6, rng=1)
+        assert set(p.vertex_labels) <= set(data_graph.vertex_labels)
+
+    def test_dense_style(self, data_graph):
+        p = sample_pattern(data_graph, 8, rng=2, style="dense")
+        assert is_dense_pattern(p)
+
+    def test_sparse_style(self, data_graph):
+        p = sample_pattern(data_graph, 10, rng=3, style="sparse")
+        assert pattern_density(p) <= 2.0
+        assert is_connected(p)
+
+    def test_deterministic_with_seed(self, data_graph):
+        a = sample_pattern(data_graph, 7, rng=42)
+        b = sample_pattern(data_graph, 7, rng=42)
+        assert a == b
+
+    def test_sampled_pattern_has_embedding(self, data_graph):
+        from repro.core.csce import CSCE
+
+        p = sample_pattern(data_graph, 5, rng=4)
+        assert CSCE(data_graph).count(p, "vertex_induced") >= 1
+
+    def test_sparse_pattern_has_edge_induced_embedding(self, data_graph):
+        from repro.core.csce import CSCE
+
+        p = sample_pattern(data_graph, 6, rng=5, style="sparse")
+        assert CSCE(data_graph).count(p, "edge_induced") >= 1
+
+    def test_size_validation(self, data_graph):
+        with pytest.raises(GraphError):
+            sample_pattern(data_graph, 1)
+        with pytest.raises(GraphError):
+            sample_pattern(data_graph, data_graph.num_vertices + 1)
+
+    def test_style_validation(self, data_graph):
+        with pytest.raises(GraphError):
+            sample_pattern(data_graph, 4, style="bogus")
+
+
+class TestSuite:
+    def test_suite_shape(self, data_graph):
+        suite = sample_pattern_suite(data_graph, [4, 6], per_size=3, seed=0)
+        assert sorted(suite) == [4, 6]
+        assert all(len(patterns) == 3 for patterns in suite.values())
+        assert all(p.num_vertices == 6 for p in suite[6])

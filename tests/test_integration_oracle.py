@@ -1,0 +1,176 @@
+"""Integration tests: CSCE vs independent oracles and vs every baseline.
+
+These are the suite's strongest correctness guarantees: networkx's VF2 and
+exhaustive brute-force enumeration never share code with the library.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    BacktrackingMatcher,
+    FailingSetMatcher,
+    VF2Matcher,
+    WCOJMatcher,
+)
+from repro.core import CSCE
+from repro.graph.generators import erdos_renyi, random_edge_labels
+from repro.graph.sampling import sample_pattern
+
+from conftest import brute_count, make_random_graph, networkx_counts
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_undirected_labeled(self, seed):
+        rng = random.Random(seed)
+        g = erdos_renyi(
+            14, rng.randint(16, 30), num_labels=rng.choice([0, 2, 3]), seed=seed
+        )
+        try:
+            p = sample_pattern(g, rng.choice([3, 4, 5]), rng=seed)
+        except Exception:
+            pytest.skip("sampling failed on fragmented graph")
+        engine = CSCE(g)
+        nx_vi, nx_ei = networkx_counts(g, p)
+        assert engine.match(p, "vertex_induced", count_only=True).count == nx_vi
+        assert engine.match(p, "edge_induced", count_only=True).count == nx_ei
+        assert engine.match(p, "vertex_induced").count == nx_vi
+        assert engine.match(p, "edge_induced").count == nx_ei
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize(
+        "variant", ["edge_induced", "vertex_induced", "homomorphic"]
+    )
+    def test_directed_edge_labeled(self, seed, variant):
+        rng = random.Random(100 + seed)
+        g = erdos_renyi(
+            9,
+            rng.randint(10, 18),
+            num_labels=rng.choice([0, 2]),
+            directed=seed % 2 == 0,
+            seed=seed,
+        )
+        if seed % 3 == 0:
+            g = random_edge_labels(g, 2, seed=seed)
+        try:
+            p = sample_pattern(g, 3, rng=seed)
+        except Exception:
+            pytest.skip("sampling failed")
+        engine = CSCE(g)
+        expected = brute_count(g, p, variant)
+        assert engine.match(p, variant, count_only=True).count == expected
+        assert engine.match(p, variant).count == expected
+        assert (
+            engine.match(p, variant, count_only=True, use_sce=False).count
+            == expected
+        )
+
+
+class TestEnginesAgree:
+    """Every engine pair must agree on every supported task."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_edge_induced_consensus(self, seed):
+        g = make_random_graph(13, 28, num_labels=2, seed=40 + seed)
+        try:
+            p = sample_pattern(g, 5, rng=seed)
+        except Exception:
+            pytest.skip("sampling failed")
+        counts = {
+            "csce": CSCE(g).count(p, "edge_induced"),
+            "backtracking": BacktrackingMatcher(g).count(p, "edge_induced"),
+            "wcoj": WCOJMatcher(g).count(p, "edge_induced"),
+            "failing_set": FailingSetMatcher(g).count(p, "edge_induced"),
+        }
+        assert len(set(counts.values())) == 1, counts
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_vertex_induced_consensus(self, seed):
+        g = make_random_graph(13, 28, num_labels=2, seed=50 + seed)
+        try:
+            p = sample_pattern(g, 4, rng=seed)
+        except Exception:
+            pytest.skip("sampling failed")
+        counts = {
+            "csce": CSCE(g).count(p, "vertex_induced"),
+            "backtracking": BacktrackingMatcher(g).count(p, "vertex_induced"),
+            "vf2": VF2Matcher(g).count(p, "vertex_induced"),
+        }
+        assert len(set(counts.values())) == 1, counts
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_homomorphic_consensus(self, seed):
+        g = make_random_graph(11, 24, num_labels=2, seed=60 + seed)
+        try:
+            p = sample_pattern(g, 4, rng=seed)
+        except Exception:
+            pytest.skip("sampling failed")
+        counts = {
+            "csce": CSCE(g).count(p, "homomorphic"),
+            "backtracking": BacktrackingMatcher(g).count(p, "homomorphic"),
+            "wcoj": WCOJMatcher(g).count(p, "homomorphic"),
+        }
+        assert len(set(counts.values())) == 1, counts
+
+
+class TestVariantContainment:
+    """Vertex-induced embeddings are a subset of edge-induced ones, which
+    embed into the homomorphic count (Section II)."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_count_ordering(self, seed):
+        g = make_random_graph(12, 26, num_labels=2, seed=70 + seed)
+        try:
+            p = sample_pattern(g, 4, rng=seed)
+        except Exception:
+            pytest.skip("sampling failed")
+        engine = CSCE(g)
+        vi = engine.count(p, "vertex_induced")
+        ei = engine.count(p, "edge_induced")
+        homo = engine.count(p, "homomorphic")
+        assert vi <= ei <= homo
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_vertex_induced_embeddings_subset(self, seed):
+        g = make_random_graph(10, 22, seed=80 + seed)
+        try:
+            p = sample_pattern(g, 4, rng=seed)
+        except Exception:
+            pytest.skip("sampling failed")
+        engine = CSCE(g)
+        vi = {
+            tuple(sorted(m.items()))
+            for m in engine.match(p, "vertex_induced").embeddings
+        }
+        ei = {
+            tuple(sorted(m.items()))
+            for m in engine.match(p, "edge_induced").embeddings
+        }
+        assert vi <= ei
+
+
+class TestLargerPatterns:
+    """Large patterns (the paper's focus) on labeled graphs, CSCE against
+    the failing-set baseline."""
+
+    @pytest.mark.parametrize("size", [8, 10, 12])
+    def test_large_labeled_patterns(self, size):
+        g = erdos_renyi(200, 700, num_labels=8, seed=size)
+        try:
+            p = sample_pattern(g, size, rng=size)
+        except Exception:
+            pytest.skip("sampling failed")
+        engine = CSCE(g)
+        csce_count = engine.match(
+            p, "edge_induced", count_only=True, time_limit=30
+        )
+        baseline = FailingSetMatcher(g).match(
+            p, "edge_induced", count_only=True, time_limit=30
+        )
+        if csce_count.timed_out or baseline.timed_out:
+            pytest.skip("too slow on this host")
+        assert csce_count.count == baseline.count

@@ -1,0 +1,81 @@
+"""Unit tests for the general motif-graph builder."""
+
+import pytest
+
+from repro.analysis import build_motif_graph
+from repro.core import CSCE
+from repro.errors import VariantError
+from repro.graph import Graph, count_automorphisms
+from repro.graph.patterns import by_name, path
+
+from conftest import make_random_graph
+
+
+@pytest.fixture(scope="module")
+def data_graph():
+    return make_random_graph(16, 40, seed=66)
+
+
+class TestInstanceCounting:
+    def test_triangle_instances_deduplicate_automorphisms(self, data_graph):
+        result = build_motif_graph(data_graph, by_name("triangle"))
+        raw = CSCE(data_graph).count(by_name("triangle"))
+        assert result.automorphisms == 6
+        assert result.num_instances == raw // 6
+
+    def test_path_instances(self, data_graph):
+        result = build_motif_graph(data_graph, path(3))
+        # Ground truth: dedupe the *vertex sets* of a full enumeration
+        # (distinct P3 mappings can share a vertex set non-automorphically
+        # when the three vertices form a triangle).
+        full = CSCE(data_graph).match(path(3))
+        expected = {frozenset(m.values()) for m in full.embeddings}
+        assert result.num_instances == len(expected)
+
+    def test_asymmetric_pattern_no_restrictions(self, data_graph):
+        # The "paw": triangle plus pendant (trivial automorphism group).
+        paw = Graph.from_edges(4, [(0, 1), (1, 2), (0, 2), (0, 3)])
+        assert count_automorphisms(paw) == 2
+        result = build_motif_graph(data_graph, paw)
+        assert result.automorphisms == 2
+
+    def test_homomorphic_rejected(self, data_graph):
+        with pytest.raises(VariantError):
+            build_motif_graph(data_graph, path(3), variant="homomorphic")
+
+
+class TestWeights:
+    def test_weights_symmetric(self, data_graph):
+        result = build_motif_graph(data_graph, by_name("triangle"))
+        for a, nbrs in result.weights.items():
+            for b, w in nbrs.items():
+                assert result.weight(b, a) == w
+
+    def test_weight_counts_co_membership(self):
+        # Exactly one triangle: every pair inside weighs 1, outside 0.
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+        result = build_motif_graph(g, by_name("triangle"))
+        assert result.num_instances == 1
+        assert result.weight(0, 1) == 1.0
+        assert result.weight(2, 3) == 0.0
+
+    def test_top_pairs_sorted(self, data_graph):
+        result = build_motif_graph(data_graph, by_name("triangle"))
+        top = result.top_pairs(5)
+        weights = [w for _, _, w in top]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_vertex_induced_variant(self, data_graph):
+        induced = build_motif_graph(
+            data_graph, by_name("square"), variant="vertex_induced"
+        )
+        loose = build_motif_graph(data_graph, by_name("square"))
+        assert induced.num_instances <= loose.num_instances
+
+
+class TestEngineReuse:
+    def test_shared_engine(self, data_graph):
+        engine = CSCE(data_graph)
+        a = build_motif_graph(data_graph, by_name("triangle"), engine=engine)
+        b = build_motif_graph(data_graph, by_name("triangle"))
+        assert a.num_instances == b.num_instances

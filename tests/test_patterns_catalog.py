@@ -1,0 +1,116 @@
+"""Unit tests for the pattern catalog."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import count_automorphisms, is_connected
+from repro.graph.patterns import (
+    CATALOG,
+    by_name,
+    clique,
+    complete_bipartite,
+    cycle,
+    directed_cycle,
+    double_triangle,
+    house,
+    path,
+    random_tree,
+    star,
+)
+
+
+class TestShapes:
+    def test_path(self):
+        p = path(5)
+        assert p.num_vertices == 5 and p.num_edges == 4
+        assert count_automorphisms(p) == 2
+
+    def test_cycle(self):
+        c = cycle(6)
+        assert c.num_edges == 6
+        assert count_automorphisms(c) == 12  # dihedral
+
+    def test_clique(self):
+        k = clique(5)
+        assert k.num_edges == 10
+        assert count_automorphisms(k) == 120
+
+    def test_star(self):
+        s = star(6)
+        assert s.degree(0) == 6
+        assert count_automorphisms(s) == 720
+
+    def test_complete_bipartite(self):
+        b = complete_bipartite(2, 3)
+        assert b.num_edges == 6
+        assert count_automorphisms(b) == 2 * 6  # 2! x 3!
+
+    def test_house(self):
+        h = house()
+        assert h.num_vertices == 5 and h.num_edges == 6
+
+    def test_double_triangle(self):
+        d = double_triangle()
+        assert d.num_edges == 5
+        assert count_automorphisms(d) == 4
+
+    def test_directed_cycle(self):
+        c = directed_cycle(4)
+        assert c.is_directed
+        assert count_automorphisms(c) == 4  # rotations only
+
+    def test_random_tree_connected_acyclic(self):
+        for seed in range(5):
+            t = random_tree(10, seed=seed)
+            assert t.num_edges == 9
+            assert is_connected(t)
+
+    def test_random_tree_deterministic(self):
+        assert random_tree(8, seed=3) == random_tree(8, seed=3)
+
+    def test_tiny_trees(self):
+        assert random_tree(1).num_edges == 0
+        assert random_tree(2).num_edges == 1
+
+
+class TestLabels:
+    def test_labeled_path(self):
+        p = path(3, labels=["A", "B", "A"])
+        assert p.vertex_labels == ["A", "B", "A"]
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(GraphError):
+            clique(3, labels=["A"])
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "factory,bad",
+        [(path, 0), (cycle, 2), (clique, 1), (star, 0), (directed_cycle, 1)],
+    )
+    def test_size_validation(self, factory, bad):
+        with pytest.raises(GraphError):
+            factory(bad)
+
+    def test_bipartite_validation(self):
+        with pytest.raises(GraphError):
+            complete_bipartite(0, 3)
+
+
+class TestCatalog:
+    def test_every_entry_builds(self):
+        for name in CATALOG:
+            g = by_name(name)
+            assert g.num_vertices >= 2
+
+    def test_unknown_name(self):
+        with pytest.raises(GraphError, match="unknown pattern"):
+            by_name("pentagon-with-hat")
+
+    def test_counts_on_reference_graph(self, square_with_diagonal):
+        from repro.core import CSCE
+
+        engine = CSCE(square_with_diagonal)
+        assert engine.count(by_name("triangle")) == 12
+        assert engine.count(by_name("square")) == 8
+        assert engine.count(by_name("diamond")) == 4

@@ -1,0 +1,157 @@
+"""Unit tests for plan assembly and validation."""
+
+import numpy as np
+import pytest
+
+from repro.ccsr import CCSRStore
+from repro.core import CSCE, Variant
+from repro.core.plan import PREDECESSORS, SUCCESSORS
+from repro.errors import PlanError
+from repro.graph import Graph
+
+from conftest import make_fig1_graph
+
+
+@pytest.fixture
+def fig1_engine():
+    return CSCE(make_fig1_graph())
+
+
+def ab_pattern():
+    p = Graph()
+    p.add_vertices(["A", "B"])
+    p.add_edge(0, 1, directed=True)
+    return p
+
+
+class TestAssembly:
+    def test_backward_constraints_reference_earlier_positions(self, fig1_engine):
+        p = make_fig1_graph()  # match the graph in itself
+        plan = fig1_engine.build_plan(p, Variant.EDGE_INDUCED)
+        plan.validate()
+        position = plan.position
+        for pos, constraints in enumerate(plan.backward):
+            for c in constraints:
+                assert position[c.prior] < pos
+
+    def test_first_position_has_pool(self, fig1_engine):
+        plan = fig1_engine.build_plan(ab_pattern(), Variant.EDGE_INDUCED)
+        pool = plan.first_candidates[0]
+        assert pool is not None and len(pool) > 0
+        assert plan.backward[0] == []
+
+    def test_directed_edge_direction_resolution(self, fig1_engine):
+        p = ab_pattern()
+        plan = fig1_engine.build_plan(p, Variant.EDGE_INDUCED)
+        constraint = plan.backward[1][0]
+        if plan.order == [0, 1]:
+            assert constraint.direction == SUCCESSORS
+        else:
+            assert constraint.direction == PREDECESSORS
+
+    def test_impossible_edge_detected(self, fig1_engine):
+        p = Graph()
+        p.add_vertices(["C", "D"])
+        p.add_edge(0, 1)
+        plan = fig1_engine.build_plan(p, Variant.EDGE_INDUCED)
+        assert plan.impossible()
+
+    def test_memo_specs_shared_by_nec_twins(self, fig1_engine):
+        # Star A with two B out-neighbors: the two B leaves are
+        # NEC-equivalent and must share a memo spec.
+        p = Graph()
+        p.add_vertices(["A", "B", "B"])
+        p.add_edge(0, 1, directed=True)
+        p.add_edge(0, 2, directed=True)
+        plan = fig1_engine.build_plan(p, Variant.EDGE_INDUCED)
+        positions = [plan.position[1], plan.position[2]]
+        assert plan.memo_specs[positions[0]] == plan.memo_specs[positions[1]]
+
+    def test_memo_priors_cover_negations(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        p = Graph.from_edges(3, [(0, 1), (1, 2)])
+        plan = CSCE(g).build_plan(p, Variant.VERTEX_INDUCED)
+        for pos in range(3):
+            neg_priors = {c.prior for c in plan.negations[pos]}
+            assert neg_priors <= set(plan.memo_priors[pos])
+
+    def test_plan_records_descendants(self, fig1_engine):
+        plan = fig1_engine.build_plan(ab_pattern(), Variant.EDGE_INDUCED)
+        assert set(plan.descendant_sizes) == {0, 1}
+
+    def test_validate_rejects_bad_order(self, fig1_engine):
+        plan = fig1_engine.build_plan(ab_pattern(), Variant.EDGE_INDUCED)
+        plan.order = [1, 1]
+        with pytest.raises(PlanError):
+            plan.validate()
+
+
+class TestPlannerConfigs:
+    def test_unknown_planner_rejected(self, fig1_engine):
+        with pytest.raises(PlanError, match="unknown planner"):
+            fig1_engine.build_plan(ab_pattern(), planner="qp")
+
+    @pytest.mark.parametrize("planner", ["csce", "ri", "ri_cluster", "rm"])
+    def test_all_planners_produce_valid_plans(self, fig1_engine, planner):
+        plan = fig1_engine.build_plan(
+            ab_pattern(), Variant.EDGE_INDUCED, planner=planner
+        )
+        plan.validate()
+        assert plan.planner_name == planner
+
+    @pytest.mark.parametrize("planner", ["csce", "ri", "ri_cluster", "rm"])
+    def test_all_planners_same_count(self, planner):
+        from repro.graph.generators import erdos_renyi
+        from repro.graph.sampling import sample_pattern
+
+        g = erdos_renyi(20, 50, num_labels=2, seed=9)
+        p = sample_pattern(g, 4, rng=0)
+        engine = CSCE(g)
+        reference = engine.match(p, "edge_induced", count_only=True).count
+        assert (
+            engine.match(
+                p, "edge_induced", count_only=True, planner=planner
+            ).count
+            == reference
+        )
+
+    def test_prebuilt_plan_reuse(self, fig1_engine):
+        p = ab_pattern()
+        plan = fig1_engine.build_plan(p, Variant.EDGE_INDUCED)
+        direct = fig1_engine.match(p, Variant.EDGE_INDUCED)
+        reused = fig1_engine.match(p, Variant.EDGE_INDUCED, plan=plan)
+        assert direct.count == reused.count
+
+    def test_plan_variant_mismatch_rejected(self, fig1_engine):
+        p = ab_pattern()
+        plan = fig1_engine.build_plan(p, Variant.EDGE_INDUCED)
+        with pytest.raises(PlanError, match="plan was built"):
+            fig1_engine.match(p, Variant.HOMOMORPHIC, plan=plan)
+
+
+class TestFirstCandidatePool:
+    def test_pool_label_filtered_for_undirected_edge(self):
+        g = Graph()
+        g.add_vertices(["A", "B", "B"])
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        p = Graph()
+        p.add_vertices(["B", "A"])
+        p.add_edge(0, 1)
+        plan = CSCE(g).build_plan(p, Variant.EDGE_INDUCED)
+        first = plan.order[0]
+        pool = plan.first_candidates[0]
+        labels = {g.vertex_label(v) for v in pool.tolist()}
+        assert labels == {p.vertex_label(first)}
+
+    def test_isolated_pattern_vertex_pool_falls_back_to_label(self):
+        g = Graph()
+        g.add_vertices(["A", "A", "B"])
+        g.add_edge(0, 2)
+        p = Graph()
+        p.add_vertices(["A", "B", "A"])  # vertex 2 is isolated
+        p.add_edge(0, 1)
+        plan = CSCE(g).build_plan(p, Variant.EDGE_INDUCED)
+        pos = plan.position[2]
+        pool = plan.first_candidates[pos]
+        assert set(pool.tolist()) == {0, 1}

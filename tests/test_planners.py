@@ -1,0 +1,137 @@
+"""Unit tests for GCF, RM ordering, and LDSF (Sections VI, Algorithms 3-4)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.ccsr import CCSRStore
+from repro.core import Variant, build_dag, compute_descendant_sizes
+from repro.core.gcf import gcf_order, rapidmatch_order, validate_order
+from repro.core.ldsf import ldsf_order
+from repro.errors import PlanError
+from repro.graph import Graph
+
+from conftest import make_fig1_graph
+
+
+def star(labels=None):
+    return Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)], vertex_labels=labels)
+
+
+class TestGCF:
+    def test_order_is_permutation(self):
+        p = star()
+        order = gcf_order(p)
+        validate_order(p, order)
+
+    def test_highest_degree_first(self):
+        order = gcf_order(star())
+        assert order[0] == 0
+
+    def test_connected_prefixes(self):
+        """GCF grows the order along pattern edges when possible (T1 rule)."""
+        p = Graph.from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+        order = gcf_order(p)
+        seen = {order[0]}
+        for v in order[1:]:
+            assert set(p.neighbors(v)) & seen
+            seen.add(v)
+
+    def test_t1_preferred_over_t2(self):
+        # Triangle 0-1-2 plus pendant 3 on 0: after [0, 1], vertex 2 has
+        # two matched neighbors (T1=2) and must beat pendant 3 (T1=1).
+        p = Graph.from_edges(4, [(0, 1), (1, 2), (0, 2), (0, 3)])
+        order = gcf_order(p)
+        assert order.index(2) < order.index(3)
+
+    def test_deterministic(self):
+        p = star()
+        assert gcf_order(p) == gcf_order(p)
+
+    def test_cluster_tiebreak_prefers_small_cluster(self):
+        # Data: many X--Y edges, one X--Z edge. Pattern: Y--X--Z. The first
+        # vertex is X (highest degree); the Z side has the smaller cluster,
+        # so with tie-breaking Z is matched before Y.
+        g = Graph()
+        g.add_vertices(["X"] * 4 + ["Y"] * 4 + ["Z"])
+        for i in range(4):
+            for j in range(4, 8):
+                g.add_edge(i, j)
+        g.add_edge(0, 8)
+        p = Graph()
+        p.add_vertices(["X", "Y", "Z"])
+        p.add_edge(0, 1)
+        p.add_edge(0, 2)
+        store = CCSRStore(g)
+        task = store.read(p, Variant.EDGE_INDUCED)
+        with_clusters = gcf_order(p, task, use_cluster_tiebreak=True)
+        assert with_clusters == [0, 2, 1]
+        without = gcf_order(p, task, use_cluster_tiebreak=False)
+        assert without == [0, 1, 2]  # falls back to vertex-id tie-break
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PlanError):
+            gcf_order(Graph())
+
+
+class TestRapidMatchOrder:
+    def test_is_permutation(self):
+        p = make_fig1_graph()
+        validate_order(p, rapidmatch_order(p))
+
+    def test_prefers_backward_connectivity(self):
+        p = Graph.from_edges(4, [(0, 1), (1, 2), (0, 2), (0, 3)])
+        order = rapidmatch_order(p)
+        # The triangle closes before the pendant is matched.
+        assert order.index(2) < order.index(3)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PlanError):
+            rapidmatch_order(Graph())
+
+
+class TestLDSF:
+    def _setup(self, pattern, order):
+        dag = build_dag(pattern, order, Variant.EDGE_INDUCED)
+        sizes = compute_descendant_sizes(dag)
+        return dag, sizes
+
+    def test_output_is_topological_order(self):
+        p = make_fig1_graph()
+        order = gcf_order(p)
+        dag, sizes = self._setup(p, order)
+        final = ldsf_order(dag, p, descendant_sizes=sizes)
+        assert dag.is_topological_order(final)
+
+    def test_largest_descendants_first(self):
+        # Two chains from a single source: 0 -> 1 -> 2 and 0 -> 3.
+        p = Graph.from_edges(4, [(0, 1), (1, 2), (0, 3)])
+        dag, sizes = self._setup(p, [0, 1, 2, 3])
+        final = ldsf_order(dag, p, descendant_sizes=sizes)
+        # Vertex 1 (descendant size 1) is preferred over vertex 3 (0).
+        assert final.index(1) < final.index(3)
+
+    def test_label_frequency_tiebreak(self):
+        p = Graph.from_edges(
+            3, [(0, 1), (0, 2)], vertex_labels=["c", "rare", "common"]
+        )
+        dag, sizes = self._setup(p, [0, 1, 2])
+        freq = Counter({"rare": 1, "common": 100})
+        final = ldsf_order(dag, p, label_frequency=freq, descendant_sizes=sizes)
+        assert final == [0, 1, 2]  # rare label matched first
+        freq_flipped = Counter({"rare": 100, "common": 1})
+        assert ldsf_order(
+            dag, p, label_frequency=freq_flipped, descendant_sizes=sizes
+        ) == [0, 2, 1]
+
+    def test_every_vertex_emitted_once(self):
+        p = make_fig1_graph()
+        dag, sizes = self._setup(p, gcf_order(p))
+        final = ldsf_order(dag, p, descendant_sizes=sizes)
+        assert sorted(final) == list(range(p.num_vertices))
+
+    def test_computes_descendants_if_missing(self):
+        p = star()
+        dag, _ = self._setup(p, [0, 1, 2, 3])
+        final = ldsf_order(dag, p)
+        assert final[0] == 0

@@ -1,0 +1,253 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.ccsr import CCSRStore
+from repro.core import CSCE, Variant, build_dag, compute_descendant_sizes
+from repro.core.gcf import gcf_order
+from repro.core.ldsf import ldsf_order
+from repro.graph import Graph
+from repro.graph.io import format_graph_text, parse_graph_text
+
+from conftest import brute_count
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def graphs(
+    draw,
+    max_vertices: int = 10,
+    max_edges: int = 18,
+    max_labels: int = 3,
+    allow_directed: bool = True,
+):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    num_labels = draw(st.integers(min_value=1, max_value=max_labels))
+    labels = [draw(st.integers(min_value=0, max_value=num_labels - 1)) for _ in range(n)]
+    g = Graph()
+    g.add_vertices(labels)
+    pair_strategy = st.tuples(
+        st.integers(min_value=0, max_value=n - 1),
+        st.integers(min_value=0, max_value=n - 1),
+    )
+    pairs = draw(st.lists(pair_strategy, max_size=max_edges))
+    for a, b in pairs:
+        if a == b:
+            continue
+        directed = draw(st.booleans()) if allow_directed else False
+        try:
+            g.add_edge(a, b, directed=directed)
+        except Exception:
+            continue
+    return g
+
+
+@st.composite
+def graph_and_pattern(draw):
+    g = draw(graphs(max_vertices=8, max_edges=14))
+    k = draw(st.integers(min_value=2, max_value=min(4, g.num_vertices)))
+    vertices = draw(
+        st.permutations(range(g.num_vertices)).map(lambda p: list(p)[:k])
+    )
+    p = g.induced_subgraph(vertices)
+    return g, p
+
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# CCSR invariants
+# ---------------------------------------------------------------------------
+class TestCCSRProperties:
+    @given(graphs())
+    @_SETTINGS
+    def test_roundtrip(self, g):
+        assert CCSRStore(g).to_graph() == g
+
+    @given(graphs())
+    @_SETTINGS
+    def test_column_entries_twice_edges(self, g):
+        store = CCSRStore(g)
+        assert store.total_column_entries() == 2 * g.num_edges
+
+    @given(graphs())
+    @_SETTINGS
+    def test_compressed_rows_bounded(self, g):
+        store = CCSRStore(g)
+        assert store.total_compressed_row_entries() <= 4 * g.num_edges
+
+    @given(graphs())
+    @_SETTINGS
+    def test_neighbor_lists_sorted_unique(self, g):
+        store = CCSRStore(g)
+        for cluster in store.clusters.values():
+            cluster.decompress()
+            for v in range(store.num_vertices):
+                nbrs = cluster.successors(v).tolist()
+                assert nbrs == sorted(set(nbrs))
+
+
+# ---------------------------------------------------------------------------
+# I/O invariants
+# ---------------------------------------------------------------------------
+class TestIOProperties:
+    @given(graphs())
+    @_SETTINGS
+    def test_text_roundtrip(self, g):
+        assert parse_graph_text(format_graph_text(g)) == g
+
+
+# ---------------------------------------------------------------------------
+# Planner invariants
+# ---------------------------------------------------------------------------
+class TestPlannerProperties:
+    @given(graph_and_pattern())
+    @_SETTINGS
+    def test_gcf_order_is_permutation(self, gp):
+        _, p = gp
+        assert sorted(gcf_order(p)) == list(range(p.num_vertices))
+
+    @given(graph_and_pattern())
+    @_SETTINGS
+    def test_ldsf_emits_topological_order(self, gp):
+        _, p = gp
+        order = gcf_order(p)
+        dag = build_dag(p, order, Variant.EDGE_INDUCED)
+        final = ldsf_order(dag, p, descendant_sizes=compute_descendant_sizes(dag))
+        assert dag.is_topological_order(final)
+
+    @given(graph_and_pattern())
+    @_SETTINGS
+    def test_descendant_sizes_bounded(self, gp):
+        _, p = gp
+        dag = build_dag(p, gcf_order(p), Variant.EDGE_INDUCED)
+        sizes = compute_descendant_sizes(dag)
+        assert all(0 <= s < p.num_vertices for s in sizes.values())
+
+
+# ---------------------------------------------------------------------------
+# Matching invariants
+# ---------------------------------------------------------------------------
+class TestMatchingProperties:
+    @given(graph_and_pattern())
+    @_SETTINGS
+    def test_counts_match_brute_force_all_variants(self, gp):
+        g, p = gp
+        engine = CSCE(g)
+        for variant in ("edge_induced", "vertex_induced", "homomorphic"):
+            assert engine.match(p, variant, count_only=True).count == brute_count(
+                g, p, variant
+            ), variant
+
+    @given(graph_and_pattern())
+    @_SETTINGS
+    def test_enumeration_equals_counting(self, gp):
+        g, p = gp
+        engine = CSCE(g)
+        for variant in ("edge_induced", "vertex_induced", "homomorphic"):
+            assert (
+                engine.match(p, variant).count
+                == engine.match(p, variant, count_only=True).count
+            )
+
+    @given(graph_and_pattern())
+    @_SETTINGS
+    def test_variant_count_ordering(self, gp):
+        g, p = gp
+        engine = CSCE(g)
+        vi = engine.count(p, "vertex_induced")
+        ei = engine.count(p, "edge_induced")
+        homo = engine.count(p, "homomorphic")
+        assert vi <= ei <= homo
+
+    @given(graph_and_pattern())
+    @_SETTINGS
+    def test_sce_ablation_invariant(self, gp):
+        g, p = gp
+        engine = CSCE(g)
+        assert (
+            engine.match(p, "edge_induced", count_only=True, use_sce=True).count
+            == engine.match(p, "edge_induced", count_only=True, use_sce=False).count
+        )
+
+    @given(graph_and_pattern())
+    @_SETTINGS
+    def test_induced_pattern_has_at_least_one_induced_match(self, gp):
+        g, p = gp
+        # p was vertex-induced from g, so at least one embedding exists.
+        assert CSCE(g).count(p, "vertex_induced") >= 1
+
+
+# ---------------------------------------------------------------------------
+# Extension invariants: restrictions, seeds, DSL
+# ---------------------------------------------------------------------------
+class TestExtensionProperties:
+    @given(graphs(max_vertices=8, max_edges=14, max_labels=1, allow_directed=False))
+    @_SETTINGS
+    def test_symmetry_restrictions_partition_orbits(self, g):
+        """Restricted count x |Aut(P)| == unrestricted count, for every
+        unlabeled pattern sampled as an induced subgraph of g."""
+        from repro.baselines.symmetry import symmetry_restrictions
+
+        if g.num_vertices < 3:
+            return
+        p = g.induced_subgraph([0, 1, 2])
+        restrictions, group_size = symmetry_restrictions(p)
+        engine = CSCE(g)
+        full = engine.match(p, "edge_induced").count
+        restricted = engine.match(
+            p, "edge_induced", restrictions=restrictions or None
+        ).count
+        assert restricted * group_size == full
+
+    @given(graph_and_pattern())
+    @_SETTINGS
+    def test_seeded_union_covers_full_enumeration(self, gp):
+        """Summing seeded runs over all first-vertex images reproduces the
+        unseeded enumeration exactly."""
+        g, p = gp
+        engine = CSCE(g)
+        full = engine.match(p, "edge_induced")
+        keys = {tuple(sorted(m.items())) for m in full.embeddings}
+        u = 0
+        seeded_keys = set()
+        for v in range(g.num_vertices):
+            part = engine.match(p, "edge_induced", seed={u: v})
+            for m in part.embeddings:
+                assert m[u] == v
+                seeded_keys.add(tuple(sorted(m.items())))
+        assert seeded_keys == keys
+
+    @given(graphs(max_vertices=6, max_edges=10, max_labels=2))
+    @_SETTINGS
+    def test_dsl_roundtrip(self, g):
+        """Round trip holds up to the name binding (parsing renumbers
+        vertices in first-appearance order)."""
+        from repro.graph.dsl import format_pattern, parse_pattern
+
+        rendered = format_pattern(g)
+        parsed, bindings = parse_pattern(rendered)
+        mapping = {v: bindings[f"v{v}"] for v in g.vertices()}
+        assert sorted(mapping.values()) == list(parsed.vertices())
+        for v in g.vertices():
+            assert parsed.vertex_label(mapping[v]) == g.vertex_label(v)
+
+        def canon(graph, translate):
+            out = set()
+            for e in graph.edges():
+                src, dst = translate(e.src), translate(e.dst)
+                if e.directed:
+                    out.add((src, dst, e.label, True))
+                else:
+                    out.add((min(src, dst), max(src, dst), e.label, False))
+            return out
+
+        assert canon(g, lambda v: mapping[v]) == canon(parsed, lambda v: v)

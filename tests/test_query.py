@@ -1,0 +1,74 @@
+"""Tests for the named-binding query API."""
+
+import pytest
+
+from repro.core import CSCE
+from repro.graph import Graph
+
+
+@pytest.fixture
+def collab_engine():
+    g = Graph()
+    a, b, c = g.add_vertices(["P", "P", "P"])
+    j1, j2 = g.add_vertices(["J", "J"])
+    g.add_edge(a, b, label="knows")
+    g.add_edge(b, c, label="knows")
+    g.add_edge(a, j1, label="works_on", directed=True)
+    g.add_edge(b, j1, label="works_on", directed=True)
+    g.add_edge(c, j2, label="works_on", directed=True)
+    return CSCE(g)
+
+
+class TestQuery:
+    def test_rows_have_named_columns(self, collab_engine):
+        result = collab_engine.query(
+            "(x:P)-[:knows]-(y:P), (x)-[:works_on]->(j:J), (y)-[:works_on]->(j)"
+        )
+        assert result.columns == ["j", "x", "y"]
+        assert result.count == 2
+        assert {tuple(sorted(r.items())) for r in result} == {
+            (("j", 3), ("x", 0), ("y", 1)),
+            (("j", 3), ("x", 1), ("y", 0)),
+        }
+
+    def test_anonymous_vertices_dropped_from_rows(self, collab_engine):
+        # Anonymous nodes still need a label (matching is label-exact; the
+        # DSL's () defaults to label 0) — so give the project its label.
+        result = collab_engine.query("(x:P)-[:works_on]->(:J)")
+        assert result.columns == ["x"]
+        assert result.count == 3
+        assert all(set(row) == {"x"} for row in result)
+
+    def test_distinct_projection(self, collab_engine):
+        result = collab_engine.query("(x:P)-[:knows]-(y:P)")
+        assert result.distinct("x") == {(0,), (1,), (2,)}
+        assert len(result.distinct()) == result.count
+
+    def test_variant_pass_through(self, collab_engine):
+        homo = collab_engine.query("(x:P)-[:knows]-(y:P)", "homomorphic")
+        edge = collab_engine.query("(x:P)-[:knows]-(y:P)", "edge_induced")
+        assert homo.count >= edge.count
+
+    def test_seed_by_name(self, collab_engine):
+        result = collab_engine.query("(x:P)-[:knows]-(y:P)", seed={"x": 0})
+        assert all(row["x"] == 0 for row in result)
+        assert result.count == 1
+
+    def test_seed_unknown_name(self, collab_engine):
+        with pytest.raises(KeyError, match="does not appear"):
+            collab_engine.query("(x:P)--(y:P)", seed={"zz": 0})
+
+    def test_limits_pass_through(self, collab_engine):
+        result = collab_engine.query(
+            "(x:P)-[:knows]-(y:P)", max_embeddings=1
+        )
+        assert result.count == 1
+        assert result.truncated
+
+    def test_len_and_iter(self, collab_engine):
+        result = collab_engine.query("(x:P)-[:knows]-(y:P)")
+        assert len(result) == result.count
+        assert all(isinstance(row, dict) for row in result)
+
+    def test_repr(self, collab_engine):
+        assert "rows" in repr(collab_engine.query("(x:P)--(y:P)"))

@@ -1,0 +1,160 @@
+"""Robustness and edge-case tests across modules."""
+
+import pytest
+
+from repro.core import CSCE, Variant
+from repro.errors import TimeLimitExceeded
+from repro.graph import Graph
+from repro.graph.patterns import by_name, path
+
+from conftest import brute_count, make_random_graph
+
+
+class TestMixedEdgeGraphs:
+    """Graphs mixing directed and undirected edges between the same pair."""
+
+    def _mixed_graph(self):
+        g = Graph()
+        g.add_vertices([0, 0, 0])
+        g.add_edge(0, 1)                      # undirected
+        g.add_edge(0, 1, label="x", directed=True)  # parallel directed
+        g.add_edge(1, 2, directed=True)
+        return g
+
+    @pytest.mark.parametrize(
+        "variant", ["edge_induced", "vertex_induced", "homomorphic"]
+    )
+    def test_counts_match_brute_force(self, variant):
+        g = self._mixed_graph()
+        p = Graph()
+        p.add_vertices([0, 0])
+        p.add_edge(0, 1, directed=True)
+        assert CSCE(g).count(p, variant) == brute_count(g, p, variant)
+
+    def test_parallel_edges_in_pattern(self):
+        g = self._mixed_graph()
+        p = Graph()
+        p.add_vertices([0, 0])
+        p.add_edge(0, 1)
+        p.add_edge(0, 1, label="x", directed=True)
+        # Only the (0, 1) data pair carries both edges.
+        assert CSCE(g).count(p, "edge_induced") == 1
+
+    def test_vertex_induced_rejects_extra_parallel_edge(self):
+        g = self._mixed_graph()
+        p = Graph()
+        p.add_vertices([0, 0])
+        p.add_edge(0, 1)  # only the undirected edge: the directed one is extra
+        assert CSCE(g).count(p, "vertex_induced") == brute_count(
+            g, p, "vertex_induced"
+        )
+        assert CSCE(g).count(p, "vertex_induced") == 0
+
+
+class TestTimeLimits:
+    def test_counting_timeout_returns_partial(self):
+        from repro.graph.generators import power_law_graph
+        from repro.graph.sampling import sample_pattern
+
+        g = power_law_graph(500, 6, num_labels=2, seed=7)
+        p = sample_pattern(g, 10, rng=3, style="dense")
+        result = CSCE(g).match(p, "edge_induced", count_only=True, time_limit=0.02)
+        # Either it finished fast or it reports the timeout cleanly.
+        if result.timed_out:
+            assert result.count >= 0
+
+    @pytest.mark.parametrize("engine_name", ["GuP", "RapidMatch", "VEQ", "VF3"])
+    def test_baseline_time_limits(self, engine_name):
+        from repro.bench import make_engine
+        from repro.graph.generators import power_law_graph
+        from repro.graph.sampling import sample_pattern
+
+        g = power_law_graph(400, 6, seed=8)
+        p = sample_pattern(g, 9, rng=1, style="dense")
+        engine = make_engine(engine_name, g)
+        variant = "vertex_induced" if engine_name == "VF3" else "edge_induced"
+        result = engine.match(p, variant, count_only=True, time_limit=0.05)
+        # Must return (not hang), flagging the timeout if it hit it.
+        assert result.count >= 0
+
+    def test_time_limit_exception_carries_partial_count(self):
+        exc = TimeLimitExceeded("x", partial_count=3)
+        assert exc.partial_count == 3
+
+
+class TestDegenerateInputs:
+    def test_single_edge_everything(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        p = Graph.from_edges(2, [(0, 1)])
+        engine = CSCE(g)
+        assert engine.count(p, "edge_induced") == 2
+        assert engine.count(p, "vertex_induced") == 2
+        assert engine.count(p, "homomorphic") == 2
+
+    def test_pattern_larger_than_graph(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        p = by_name("clique8")
+        assert CSCE(g).count(p, "edge_induced") == 0
+
+    def test_pattern_with_all_isolated_vertices(self):
+        g = Graph()
+        g.add_vertices([0, 0, 0])
+        p = Graph()
+        p.add_vertices([0, 0])
+        engine = CSCE(g)
+        assert engine.count(p, "edge_induced") == 6  # 3 * 2 ordered pairs
+        assert engine.count(p, "homomorphic") == 9
+
+    def test_empty_data_graph(self):
+        g = Graph()
+        p = Graph.from_edges(2, [(0, 1)])
+        assert CSCE(g).count(p, "edge_induced") == 0
+
+    def test_pattern_label_absent_from_data(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        p = Graph()
+        p.add_vertices(["ghost", "ghost"])
+        p.add_edge(0, 1)
+        for variant in Variant:
+            assert CSCE(g).count(p, variant) == 0
+
+    def test_dense_data_sparse_pattern(self):
+        g = by_name("clique8")
+        p = path(5)
+        assert CSCE(g).count(p, "edge_induced") == brute_count(g, p, "edge_induced")
+        # Induced P5 inside a clique: impossible.
+        assert CSCE(g).count(p, "vertex_induced") == 0
+
+
+class TestStatsReporting:
+    def test_sce_report_facade(self):
+        g = make_random_graph(15, 30, num_labels=3, seed=12)
+        engine = CSCE(g)
+        p = by_name("star4").relabeled(
+            [g.vertex_label(0)] * 5, name="star"
+        )
+        stats = engine.sce_report(p)
+        # Star leaves are pairwise independent.
+        assert stats.sce_pairs >= 6
+        assert 0.0 <= stats.occurrence <= 1.0
+
+    def test_match_stats_present(self, square_with_diagonal):
+        result = CSCE(square_with_diagonal).match(path(3))
+        for key in ("nodes", "computed", "memo_hits", "intersections"):
+            assert key in result.stats
+
+    def test_counting_stats_present(self, square_with_diagonal):
+        result = CSCE(square_with_diagonal).match(path(3), count_only=True)
+        for key in ("nodes", "factorizations", "group_memo_hits"):
+            assert key in result.stats
+
+
+class TestQueryWithRestrictions:
+    def test_query_supports_restrictions(self):
+        g = make_random_graph(10, 25, seed=44)
+        engine = CSCE(g)
+        full = engine.query("(a)--(b)--(c)--(a)")
+        restricted = engine.query(
+            "(a)--(b)--(c)--(a)", restrictions=[(0, 1), (1, 2)]
+        )
+        assert restricted.count * 6 == full.count

@@ -1,0 +1,49 @@
+"""Unit tests for the Variant enum."""
+
+import pytest
+
+from repro.core import Variant
+from repro.errors import VariantError
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("edge_induced", Variant.EDGE_INDUCED),
+            ("edge-induced", Variant.EDGE_INDUCED),
+            ("monomorphism", Variant.EDGE_INDUCED),
+            ("non_induced", Variant.EDGE_INDUCED),
+            ("E", Variant.EDGE_INDUCED),
+            ("vertex_induced", Variant.VERTEX_INDUCED),
+            ("induced", Variant.VERTEX_INDUCED),
+            ("V", Variant.VERTEX_INDUCED),
+            ("homomorphic", Variant.HOMOMORPHIC),
+            ("homomorphism", Variant.HOMOMORPHIC),
+            ("H", Variant.HOMOMORPHIC),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert Variant.parse(alias) is expected
+
+    def test_parse_passthrough(self):
+        assert Variant.parse(Variant.HOMOMORPHIC) is Variant.HOMOMORPHIC
+
+    def test_unknown_raises(self):
+        with pytest.raises(VariantError):
+            Variant.parse("isomorphic-ish")
+
+
+class TestSemantics:
+    def test_injectivity(self):
+        assert Variant.EDGE_INDUCED.injective
+        assert Variant.VERTEX_INDUCED.injective
+        assert not Variant.HOMOMORPHIC.injective
+
+    def test_induced_flag(self):
+        assert Variant.VERTEX_INDUCED.induced
+        assert not Variant.EDGE_INDUCED.induced
+        assert not Variant.HOMOMORPHIC.induced
+
+    def test_str(self):
+        assert str(Variant.EDGE_INDUCED) == "edge_induced"
