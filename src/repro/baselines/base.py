@@ -12,6 +12,7 @@ direction support, max tested pattern size) renders Table III.
 from __future__ import annotations
 
 import abc
+import logging
 import time
 from typing import Hashable, Iterator
 
@@ -23,29 +24,42 @@ from repro.errors import (
     VariantError,
 )
 from repro.graph.model import Graph
+from repro.obs import NULL_HEARTBEAT, NULL_OBS, unified_stats
+
+logger = logging.getLogger(__name__)
 
 _TIME_CHECK_INTERVAL = 2048
 
 
 class SearchBudget:
-    """Wall-clock budget shared by all baseline recursions."""
+    """Wall-clock budget shared by all baseline recursions.
 
-    __slots__ = ("deadline", "nodes")
+    Carries the run's heartbeat too, so baselines emit the same periodic
+    progress lines as CSCE, on the same ``_TIME_CHECK_INTERVAL`` tick.
+    """
 
-    def __init__(self, time_limit: float | None):
+    __slots__ = ("deadline", "nodes", "heartbeat", "_ticking")
+
+    def __init__(self, time_limit: float | None, heartbeat=None):
         self.deadline = (
             time.perf_counter() + time_limit if time_limit is not None else None
         )
         self.nodes = 0
+        self.heartbeat = heartbeat if heartbeat is not None else NULL_HEARTBEAT
+        self._ticking = self.deadline is not None or self.heartbeat.enabled
 
     def tick(self, emitted: int = 0) -> None:
         self.nodes += 1
-        if (
-            self.deadline is not None
-            and self.nodes % _TIME_CHECK_INTERVAL == 0
-            and time.perf_counter() > self.deadline
-        ):
-            raise TimeLimitExceeded("baseline time limit", partial_count=emitted)
+        if self._ticking and self.nodes % _TIME_CHECK_INTERVAL == 0:
+            if self.heartbeat.enabled:
+                self.heartbeat.beat(self.nodes, emitted, phase="baseline")
+            if (
+                self.deadline is not None
+                and time.perf_counter() > self.deadline
+            ):
+                raise TimeLimitExceeded(
+                    "baseline time limit", partial_count=emitted
+                )
 
 
 class DataIndex:
@@ -178,33 +192,50 @@ class BaselineMatcher(abc.ABC):
         max_embeddings: int | None = None,
         time_limit: float | None = None,
         restrictions: tuple[tuple[int, int], ...] | None = None,
+        obs=None,
     ) -> MatchResult:
         """Run the baseline with the same interface as :class:`CSCE.match`.
 
         ``restrictions`` (symmetry-breaking ``f(u) < f(v)`` pairs) are
         honoured by the backtracking matchers and ignored by engines whose
-        originals lack the feature.
+        originals lack the feature. ``obs`` gets the same ``match`` /
+        ``execute`` spans and heartbeat ticks as CSCE runs, so bench
+        comparisons report comparable telemetry; the unified stats keys
+        the baseline cannot measure (memoization, factorization) read 0.
         """
         variant = Variant.parse(variant)
+        obs = obs or NULL_OBS
         self.check_supported(pattern, variant)
         self._restrictions = tuple(restrictions) if restrictions else ()
-        budget = SearchBudget(time_limit)
+        budget = SearchBudget(time_limit, heartbeat=obs.heartbeat)
         start = time.perf_counter()
         count = 0
         truncated = False
         timed_out = False
         embeddings: list[dict[int, int]] | None = None if count_only else []
-        try:
-            for mapping in self._embeddings(pattern, variant, budget):
-                count += 1
-                if embeddings is not None:
-                    embeddings.append(dict(mapping))
-                if max_embeddings is not None and count >= max_embeddings:
-                    raise EmbeddingLimitExceeded("limit", partial_count=count)
-        except EmbeddingLimitExceeded:
-            truncated = True
-        except TimeLimitExceeded:
-            timed_out = True
+        with obs.tracer.span(
+            "match", engine=self.display_name, variant=variant.value
+        ) as match_span:
+            with obs.tracer.span("execute", mode="enumerate") as span:
+                try:
+                    for mapping in self._embeddings(pattern, variant, budget):
+                        count += 1
+                        if embeddings is not None:
+                            embeddings.append(dict(mapping))
+                        if max_embeddings is not None and count >= max_embeddings:
+                            raise EmbeddingLimitExceeded(
+                                "limit", partial_count=count
+                            )
+                except EmbeddingLimitExceeded:
+                    truncated = True
+                except TimeLimitExceeded:
+                    timed_out = True
+                span.set("count", count)
+                span.set("nodes", budget.nodes)
+            match_span.set("count", count)
+        stats = unified_stats(nodes=budget.nodes)
+        if obs.enabled:
+            obs.counters.merge(stats)
         return MatchResult(
             count=count,
             variant=variant,
@@ -212,7 +243,7 @@ class BaselineMatcher(abc.ABC):
             elapsed=time.perf_counter() - start,
             truncated=truncated,
             timed_out=timed_out,
-            stats={"nodes": budget.nodes},
+            stats=stats,
         )
 
     def count(self, pattern: Graph, variant: Variant | str = Variant.EDGE_INDUCED, **kwargs) -> int:

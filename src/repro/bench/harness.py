@@ -9,6 +9,7 @@ works. Scaled down: seconds-level limits instead of 1e4 s.
 
 from __future__ import annotations
 
+import logging
 import statistics
 import time
 from dataclasses import dataclass, field
@@ -27,6 +28,9 @@ from repro.core.executor import MatchResult
 from repro.core.variants import Variant
 from repro.errors import VariantError
 from repro.graph.model import Graph
+from repro.obs import Observation, build_run_report, write_run_report
+
+logger = logging.getLogger(__name__)
 
 DEFAULT_TIME_LIMIT = 5.0
 
@@ -73,6 +77,9 @@ class ExperimentRecord:
     unsupported: bool = False
     peak_mb: float | None = None
     extra: dict = field(default_factory=dict)
+    report: dict | None = None
+    """Full run-report (:func:`repro.obs.build_run_report`) when the sweep
+    ran with ``collect_reports=True``; ``None`` otherwise."""
 
     @property
     def throughput(self) -> float:
@@ -112,6 +119,8 @@ def run_task(
     max_embeddings: int | None = None,
     count_only: bool = True,
     track_memory: bool = False,
+    collect_reports: bool = False,
+    trace: bool = False,
 ) -> ExperimentRecord:
     """Run one engine on one pattern, recording the paper's metrics.
 
@@ -120,7 +129,9 @@ def run_task(
     Timeouts record the time limit as the total, the existing-works
     convention the paper follows. ``track_memory`` additionally records the
     run's peak traced allocation (the paper's RAM column) at a roughly 2x
-    slowdown, so it is off by default.
+    slowdown, so it is off by default. ``collect_reports`` attaches a full
+    run-report to the record (with span trees when ``trace`` is also set);
+    reports ride in ``record.report``, so ``record.row()`` stays flat.
     """
     record = ExperimentRecord(
         experiment=experiment,
@@ -130,6 +141,7 @@ def run_task(
         pattern_size=pattern.num_vertices,
         pattern_name=pattern.name,
     )
+    obs = Observation(trace=trace) if collect_reports else None
     if track_memory:
         import tracemalloc
 
@@ -142,6 +154,7 @@ def run_task(
             count_only=count_only,
             max_embeddings=max_embeddings,
             time_limit=time_limit,
+            obs=obs,
         )
     except VariantError:
         record.unsupported = True
@@ -161,6 +174,23 @@ def run_task(
     record.timed_out = result.timed_out
     record.total_seconds = time_limit if result.timed_out else wall
     record.extra = dict(result.stats)
+    if obs is not None:
+        record.report = build_run_report(
+            result,
+            engine=engine_name,
+            obs=obs,
+            dataset=dataset,
+            pattern=pattern,
+            extra={"experiment": experiment},
+        )
+    logger.debug(
+        "bench %s/%s size=%d: count=%d total=%.4fs",
+        engine_name,
+        record.variant,
+        record.pattern_size,
+        record.embeddings,
+        record.total_seconds,
+    )
     return record
 
 
@@ -172,11 +202,15 @@ def sweep(
     variant: Variant | str,
     time_limit: float = DEFAULT_TIME_LIMIT,
     max_embeddings: int | None = None,
+    collect_reports: bool = False,
+    trace: bool = False,
 ) -> list[ExperimentRecord]:
     """Run every engine on every pattern; one record per (engine, pattern).
 
     Engines are constructed once per sweep (their build/index time is part
     of the offline stage, exactly as the paper treats CCSR construction).
+    ``collect_reports`` / ``trace`` attach run-reports to each record
+    (see :func:`run_task`); :func:`save_reports` streams them to JSONL.
     """
     records: list[ExperimentRecord] = []
     for name in engine_names:
@@ -195,9 +229,29 @@ def sweep(
                     variant,
                     time_limit=time_limit,
                     max_embeddings=max_embeddings,
+                    collect_reports=collect_reports,
+                    trace=trace,
                 )
             )
     return records
+
+
+def save_reports(records: Sequence[ExperimentRecord], path: str) -> int:
+    """Persist every attached run-report; returns the number written.
+
+    ``.jsonl`` paths get one report per line (appending); any other path
+    gets one JSON array. Records without reports are skipped.
+    """
+    reports = [r.report for r in records if r.report is not None]
+    if str(path).endswith(".jsonl"):
+        for report in reports:
+            write_run_report(report, path)
+    else:
+        import json
+
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(reports, handle, indent=2, default=str)
+    return len(reports)
 
 
 def save_records(

@@ -16,10 +16,13 @@ from __future__ import annotations
 
 import io
 import json
+import logging
 import os
 from typing import Hashable
 
 import numpy as np
+
+logger = logging.getLogger(__name__)
 
 from repro.ccsr.cluster import Cluster, CompressedCSR
 from repro.ccsr.key import ClusterKey
@@ -77,8 +80,26 @@ def _csr_from_arrays(
     return csr
 
 
-def save_store(store: CCSRStore, path: str | os.PathLike) -> None:
-    """Write a store to ``path`` as an ``.npz`` archive."""
+def save_store(store: CCSRStore, path: str | os.PathLike, obs=None) -> None:
+    """Write a store to ``path`` as an ``.npz`` archive.
+
+    ``obs`` (a :class:`repro.obs.Observation`) records a ``ccsr.save``
+    span with cluster count and on-disk size.
+    """
+    from repro.obs import NULL_OBS
+
+    with (obs or NULL_OBS).tracer.span("ccsr.save", path=str(path)) as span:
+        _save_store(store, path)
+        span.set("clusters", store.num_clusters)
+        try:
+            span.set("bytes", os.path.getsize(path))
+        except OSError:
+            pass
+    logger.debug("saved store %s (%d clusters) to %s",
+                 store.name, store.num_clusters, path)
+
+
+def _save_store(store: CCSRStore, path: str | os.PathLike) -> None:
     arrays: dict[str, np.ndarray] = {}
     cluster_meta = []
     for index, (key, cluster) in enumerate(sorted(
@@ -112,8 +133,27 @@ def save_store(store: CCSRStore, path: str | os.PathLike) -> None:
         np.savez_compressed(handle, **arrays)
 
 
-def load_store(path: str | os.PathLike) -> CCSRStore:
-    """Load a store previously written by :func:`save_store`."""
+def load_store(path: str | os.PathLike, obs=None) -> CCSRStore:
+    """Load a store previously written by :func:`save_store`.
+
+    ``obs`` (a :class:`repro.obs.Observation`) records a ``ccsr.load``
+    span with the archive size and cluster count.
+    """
+    from repro.obs import NULL_OBS
+
+    with (obs or NULL_OBS).tracer.span("ccsr.load", path=str(path)) as span:
+        store = _load_store(path)
+        span.set("clusters", store.num_clusters)
+        try:
+            span.set("bytes", os.path.getsize(path))
+        except OSError:
+            pass
+    logger.debug("loaded store %s (%d clusters) from %s",
+                 store.name, store.num_clusters, path)
+    return store
+
+
+def _load_store(path: str | os.PathLike) -> CCSRStore:
     with np.load(path) as archive:
         try:
             header = json.loads(bytes(archive["header"]).decode("utf-8"))

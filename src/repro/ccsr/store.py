@@ -11,6 +11,7 @@ are connected where the pattern vertices are not.
 
 from __future__ import annotations
 
+import logging
 import time
 from collections import Counter
 from typing import Hashable, Iterable
@@ -18,6 +19,8 @@ from typing import Hashable, Iterable
 from repro.ccsr.cluster import Cluster
 from repro.ccsr.key import ClusterKey, cluster_key_for_edge, cluster_key_for_labels
 from repro.graph.model import Edge, Graph
+
+logger = logging.getLogger(__name__)
 
 # How a negation check probes a cluster for a data vertex pair (va, vb)
 # standing for the pattern pair (u_i, u_j):
@@ -304,48 +307,84 @@ class CCSRStore:
     # ------------------------------------------------------------------
     # Algorithm 1: ReadCSR
     # ------------------------------------------------------------------
-    def read(self, pattern: Graph, variant) -> TaskClusters:
+    def read(self, pattern: Graph, variant, obs=None) -> TaskClusters:
         """Select and decompress the clusters this task needs (Alg. 1).
 
         ``variant`` is a :class:`repro.core.Variant` or its string name; only
         ``"vertex_induced"`` changes behaviour here, pulling in negation
         clusters for every pattern vertex pair that is not fully connected
         by pattern edges.
+
+        ``obs`` (a :class:`repro.obs.Observation`) records the ``read``
+        span with one ``read.cluster`` child per decompressed cluster
+        (rows/bytes attributes) and bumps the ``ccsr.*`` read counters.
         """
+        from repro.obs import NULL_OBS
+
+        obs = obs or NULL_OBS
+        tracer = obs.tracer
+        counters = obs.counters
         variant_name = getattr(variant, "value", str(variant))
-        start = time.perf_counter()
-        bytes_read = 0
-        decompressed: set[int] = set()
+        with tracer.span("read", variant=variant_name) as read_span:
+            start = time.perf_counter()
+            bytes_read = 0
+            rows_read = 0
+            decompressed: set[int] = set()
 
-        def use(cluster: Cluster) -> Cluster:
-            nonlocal bytes_read
-            if id(cluster) not in decompressed:
-                cluster.decompress()
-                decompressed.add(id(cluster))
-                bytes_read += cluster.nbytes()
-            return cluster
+            def use(cluster: Cluster) -> Cluster:
+                nonlocal bytes_read, rows_read
+                if id(cluster) not in decompressed:
+                    with tracer.span(
+                        "read.cluster", key=str(cluster.key)
+                    ) as cluster_span:
+                        cluster.decompress()
+                        nbytes = cluster.nbytes()
+                        rows = cluster.num_entries
+                        cluster_span.set("rows", rows)
+                        cluster_span.set("bytes", nbytes)
+                    decompressed.add(id(cluster))
+                    bytes_read += nbytes
+                    rows_read += rows
+                return cluster
 
-        labels = pattern.vertex_labels
-        edge_clusters: dict[Edge, Cluster | None] = {}
-        for edge in pattern.edges():
-            key = cluster_key_for_edge(labels, edge)
-            cluster = self.clusters.get(key)
-            edge_clusters[edge] = use(cluster) if cluster is not None else None
+            labels = pattern.vertex_labels
+            edge_clusters: dict[Edge, Cluster | None] = {}
+            for edge in pattern.edges():
+                key = cluster_key_for_edge(labels, edge)
+                cluster = self.clusters.get(key)
+                edge_clusters[edge] = use(cluster) if cluster is not None else None
 
-        negation: dict[tuple[int, int], list[NegationCheck]] = {}
-        if variant_name == "vertex_induced":
-            for u_i in pattern.vertices():
-                for u_j in range(u_i + 1, pattern.num_vertices):
-                    checks = self._negation_checks_for_pair(pattern, u_i, u_j, use)
-                    if checks:
-                        negation[(u_i, u_j)] = checks
+            negation: dict[tuple[int, int], list[NegationCheck]] = {}
+            if variant_name == "vertex_induced":
+                for u_i in pattern.vertices():
+                    for u_j in range(u_i + 1, pattern.num_vertices):
+                        checks = self._negation_checks_for_pair(
+                            pattern, u_i, u_j, use
+                        )
+                        if checks:
+                            negation[(u_i, u_j)] = checks
 
+            read_seconds = time.perf_counter() - start
+            read_span.set("clusters", len(decompressed))
+            read_span.set("bytes_read", bytes_read)
+            if counters.enabled:
+                counters.inc("ccsr.clusters_read", len(decompressed))
+                counters.inc("ccsr.bytes_read", bytes_read)
+                counters.inc("ccsr.rows_read", rows_read)
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "ReadCSR %s: %d clusters, %d bytes in %.4fs",
+                variant_name,
+                len(decompressed),
+                bytes_read,
+                read_seconds,
+            )
         return TaskClusters(
             pattern,
             variant_name,
             edge_clusters,
             negation,
-            read_seconds=time.perf_counter() - start,
+            read_seconds=read_seconds,
             bytes_read=bytes_read,
             data_vertex_labels=self.vertex_labels,
         )

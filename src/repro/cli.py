@@ -5,12 +5,15 @@ Examples::
     csce stats                          # regenerate Table IV
     csce match --dataset dip --pattern-size 6 --variant edge_induced
     csce match --data g.graph --pattern p.graph --engine RapidMatch
+    csce --log-level INFO match --dataset dip --trace --report out.json
+    csce report out.json                # pretty-print a saved run-report
     csce capabilities                   # Table III
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.baselines import ALL_BASELINES
@@ -19,12 +22,25 @@ from repro.bench.tables import print_table
 from repro.core.csce import CSCE
 from repro.core.variants import Variant
 from repro.datasets import DATASET_NAMES, dataset_table, load_dataset
+from repro.errors import FormatError
 from repro.graph.io import load_graph
 from repro.graph.sampling import sample_pattern
+from repro.obs import (
+    Observation,
+    build_run_report,
+    configure_logging,
+    format_run_report,
+    load_run_reports,
+    validate_run_report,
+    write_run_report,
+)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     rows = dataset_table(scale=args.scale)
+    if args.json:
+        print(json.dumps({"scale": args.scale, "datasets": rows}, indent=2))
+        return 0
     print_table(
         rows,
         [
@@ -73,13 +89,68 @@ def _cmd_match(args: argparse.Namespace) -> int:
             graph, args.pattern_size, rng=args.seed, style=args.pattern_style
         )
     engine = make_engine(args.engine, graph)
+    instrumented = args.trace or args.report or args.heartbeat is not None
+    obs = (
+        Observation(trace=args.trace or bool(args.report),
+                    heartbeat_interval=args.heartbeat)
+        if instrumented
+        else None
+    )
+    plan = None
+    if isinstance(engine, CSCE) and obs is not None:
+        # Build the plan explicitly so the run-report can summarize it.
+        plan = engine.build_plan(pattern, args.variant, obs=obs)
     result = engine.match(
         pattern,
         args.variant,
         count_only=not args.enumerate,
         max_embeddings=args.limit,
         time_limit=args.time_limit,
+        obs=obs,
+        **({"plan": plan} if plan is not None else {}),
     )
+    report = None
+    if obs is not None:
+        report = build_run_report(
+            result,
+            engine=args.engine,
+            obs=obs,
+            plan=plan,
+            graph=engine.store if isinstance(engine, CSCE) else graph,
+            pattern=pattern,
+            dataset=args.dataset or args.data,
+        )
+    if args.report and report is not None:
+        write_run_report(report, args.report)
+        print(f"run-report  : {args.report}", file=sys.stderr)
+    if args.json:
+        payload = {
+            "engine": args.engine,
+            "variant": str(result.variant),
+            "pattern": {
+                "name": pattern.name,
+                "num_vertices": pattern.num_vertices,
+                "num_edges": pattern.num_edges,
+            },
+            "count": result.count,
+            "truncated": result.truncated,
+            "timed_out": result.timed_out,
+            "timings": {
+                "read_seconds": result.read_seconds,
+                "plan_seconds": result.plan_seconds,
+                "execute_seconds": result.elapsed,
+                "total_seconds": result.total_seconds,
+            },
+            "throughput": result.throughput,
+            "stats": dict(result.stats),
+        }
+        if args.enumerate and result.embeddings is not None:
+            payload["embeddings"] = [
+                {str(u): v for u, v in emb.items()}
+                for emb in result.embeddings[: args.show]
+            ]
+        print(json.dumps(payload, indent=2))
+        return 0
     print(f"engine      : {args.engine}")
     print(f"variant     : {result.variant}")
     print(f"pattern     : |V|={pattern.num_vertices} |E|={pattern.num_edges}")
@@ -89,6 +160,9 @@ def _cmd_match(args: argparse.Namespace) -> int:
     print(f"total time  : {result.total_seconds:.4f} s"
           f" (read {result.read_seconds:.4f}, plan {result.plan_seconds:.4f},"
           f" execute {result.elapsed:.4f})")
+    if args.trace and report is not None:
+        print()
+        print(format_run_report(report))
     if args.enumerate and result.embeddings:
         shown = result.embeddings[: args.show]
         for i, embedding in enumerate(shown):
@@ -138,7 +212,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         args.variant,
         time_limit=args.time_limit,
         max_embeddings=args.limit,
+        collect_reports=bool(args.report) or args.trace,
+        trace=args.trace,
     )
+    if args.report:
+        from repro.bench.harness import save_reports
+
+        written = save_reports(records, args.report)
+        print(f"run-reports : {written} written to {args.report}",
+              file=sys.stderr)
     print_table(
         [r.row() for r in records],
         ["engine", "size", "embeddings", "total_s", "throughput", "status"],
@@ -159,15 +241,58 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        reports = load_run_reports(args.path)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if not reports:
+        print(f"error: no run-reports in {args.path}", file=sys.stderr)
+        return 2
+    if args.validate:
+        problems = 0
+        for i, report in enumerate(reports):
+            try:
+                validate_run_report(report)
+            except FormatError as exc:
+                problems += 1
+                print(f"report #{i}: {exc}", file=sys.stderr)
+        if problems:
+            print(f"{problems}/{len(reports)} report(s) invalid",
+                  file=sys.stderr)
+            return 1
+        print(f"{len(reports)} report(s) valid")
+        return 0
+    for i, report in enumerate(reports):
+        if i:
+            print()
+            print("=" * 60)
+        print(format_run_report(report))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="csce",
         description="CSCE subgraph matching (ICDE 2024 reproduction)",
     )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        help="logging level for the repro.* loggers"
+        " (DEBUG/INFO/WARNING/ERROR; also REPRO_LOG_LEVEL)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as JSON lines (also REPRO_LOG_JSON=1)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_stats = sub.add_parser("stats", help="regenerate Table IV dataset statistics")
     p_stats.add_argument("--scale", type=float, default=0.5)
+    p_stats.add_argument("--json", action="store_true",
+                         help="machine-readable output")
     p_stats.set_defaults(func=_cmd_stats)
 
     p_caps = sub.add_parser("capabilities", help="print Table III")
@@ -197,6 +322,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="embeddings to display with --enumerate")
     p_match.add_argument("--limit", type=int, default=None)
     p_match.add_argument("--time-limit", type=float, default=60.0)
+    p_match.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+    p_match.add_argument("--trace", action="store_true",
+                         help="collect spans and print the run-report")
+    p_match.add_argument("--report", metavar="PATH", default=None,
+                         help="write a JSON run-report (.jsonl appends)")
+    p_match.add_argument("--heartbeat", type=float, metavar="SECONDS",
+                         default=None,
+                         help="emit search-progress heartbeats this often")
     p_match.set_defaults(func=_cmd_match)
 
     p_plan = sub.add_parser("plan", help="show the optimized matching plan")
@@ -237,12 +371,29 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=sorted(ENGINES))
     p_bench.add_argument("--limit", type=int, default=20_000)
     p_bench.add_argument("--time-limit", type=float, default=2.0)
+    p_bench.add_argument("--trace", action="store_true",
+                         help="collect span trees in the run-reports")
+    p_bench.add_argument("--report", metavar="PATH", default=None,
+                         help="write run-reports (.jsonl streams one/line)")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_report = sub.add_parser(
+        "report", help="pretty-print or validate saved run-reports"
+    )
+    p_report.add_argument("path", help="a .json run-report or .jsonl stream")
+    p_report.add_argument("--validate", action="store_true",
+                          help="schema-check only (CI smoke gate)")
+    p_report.set_defaults(func=_cmd_report)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        configure_logging(args.log_level, json_output=args.log_json or None)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return args.func(args)
 
 

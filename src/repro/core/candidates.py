@@ -32,20 +32,42 @@ def intersect_sorted(small: np.ndarray, big: np.ndarray) -> np.ndarray:
 
 
 class CandidateStats:
-    """Counters reported in :class:`~repro.core.executor.MatchResult`."""
+    """Candidate-computation counters (part of the unified stats schema,
+    :data:`repro.obs.counters.STAT_KEYS`).
 
-    __slots__ = ("computed", "memo_hits", "intersections")
+    ``computed`` counts every cold computation; ``memo_hits`` /
+    ``memo_misses`` split the SCE cache lookups, so a cold compute under
+    ``use_sce=False`` (no lookup at all) is distinguishable from a cache
+    miss (``computed`` grows without ``memo_misses``). ``negation_checks``
+    counts vertex-induced negation-cluster probes evaluated.
+
+    Kept as plain slotted integers — the hot loops bump these millions of
+    times; they are folded into the run's counter registry at snapshot
+    time (see :func:`repro.obs.counters.unified_stats`).
+    """
+
+    __slots__ = (
+        "computed",
+        "memo_hits",
+        "memo_misses",
+        "intersections",
+        "negation_checks",
+    )
 
     def __init__(self):
         self.computed = 0
         self.memo_hits = 0
+        self.memo_misses = 0
         self.intersections = 0
+        self.negation_checks = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
             "computed": self.computed,
             "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
             "intersections": self.intersections,
+            "negation_checks": self.negation_checks,
         }
 
 
@@ -82,6 +104,7 @@ class CandidateComputer:
             if cached is not None:
                 self.stats.memo_hits += 1
                 return cached
+            self.stats.memo_misses += 1
         result = self._compute(pos, assignment)
         if self.use_sce and len(self._memo) < self.memo_limit:
             self._memo[key] = result
@@ -110,6 +133,7 @@ class CandidateComputer:
         for negation in plan.negations[pos]:
             if result.shape[0] == 0:
                 break
+            self.stats.negation_checks += 1
             excluded = negation.exclusion_array(assignment[negation.prior])
             if excluded.shape[0] == 0:
                 continue

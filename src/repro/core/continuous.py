@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from repro.core.csce import CSCE
 from repro.core.variants import Variant
 from repro.graph.model import Edge, Graph
+from repro.obs import STAT_KEYS
 
 
 @dataclass
@@ -34,6 +35,8 @@ class DeltaResult:
     embeddings: list[dict[int, int]]
     pins_tried: int
     stats: dict = field(default_factory=dict)
+    """Unified search counters summed over every pinned run (the same key
+    set as :attr:`repro.core.executor.MatchResult.stats`)."""
 
     @property
     def count(self) -> int:
@@ -72,22 +75,29 @@ def embeddings_containing_edge(
     edge: Edge,
     variant: Variant | str = Variant.EDGE_INDUCED,
     time_limit: float | None = None,
+    obs=None,
 ) -> DeltaResult:
     """All embeddings of ``pattern`` that map some pattern edge onto
-    ``edge`` (which must already be present in the engine's store)."""
+    ``edge`` (which must already be present in the engine's store).
+
+    ``obs`` instruments every pinned run; the returned ``stats`` sums the
+    unified counters over all pins.
+    """
     variant = Variant.parse(variant)
     pins = _compatible_pins(pattern, engine.store.vertex_labels, edge)
     seen: set[tuple] = set()
     embeddings: list[dict[int, int]] = []
-    nodes = 0
+    stats: dict[str, int] = dict.fromkeys(STAT_KEYS, 0)
     for seed in pins:
         result = engine.match(
             pattern,
             variant,
             seed=seed,
             time_limit=time_limit,
+            obs=obs,
         )
-        nodes += result.stats.get("nodes", 0)
+        for key, value in result.stats.items():
+            stats[key] = stats.get(key, 0) + value
         for mapping in result.embeddings:
             key = tuple(sorted(mapping.items()))
             if key not in seen:
@@ -95,7 +105,7 @@ def embeddings_containing_edge(
                 embeddings.append(mapping)
     return DeltaResult(
         edge=edge, embeddings=embeddings, pins_tried=len(pins),
-        stats={"nodes": nodes},
+        stats=stats,
     )
 
 
@@ -117,6 +127,7 @@ class ContinuousMatcher:
         engine: CSCE,
         pattern: Graph,
         variant: Variant | str = Variant.EDGE_INDUCED,
+        obs=None,
     ):
         variant = Variant.parse(variant)
         if variant.induced:
@@ -127,7 +138,8 @@ class ContinuousMatcher:
         self.engine = engine
         self.pattern = pattern
         self.variant = variant
-        self.total = engine.count(pattern, variant)
+        self.obs = obs
+        self.total = engine.count(pattern, variant, obs=obs)
 
     def insert(
         self, src: int, dst: int, label=None, directed: bool = False
@@ -136,7 +148,7 @@ class ContinuousMatcher:
         self.engine.store.insert_edge(src, dst, label, directed)
         edge = Edge(src, dst, label, directed)
         delta = embeddings_containing_edge(
-            self.engine, self.pattern, edge, self.variant
+            self.engine, self.pattern, edge, self.variant, obs=self.obs
         )
         self.total += delta.count
         return delta
@@ -147,7 +159,7 @@ class ContinuousMatcher:
         """Remove an edge; returns the embeddings it destroyed."""
         edge = Edge(src, dst, label, directed)
         delta = embeddings_containing_edge(
-            self.engine, self.pattern, edge, self.variant
+            self.engine, self.pattern, edge, self.variant, obs=self.obs
         )
         self.engine.store.remove_edge(src, dst, label, directed)
         self.total -= delta.count

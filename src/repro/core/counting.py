@@ -26,6 +26,7 @@ from repro.core.candidates import CandidateComputer
 from repro.core.plan import Plan
 from repro.core.executor import MatchOptions, _TIME_CHECK_INTERVAL
 from repro.errors import TimeLimitExceeded
+from repro.obs import NULL_OBS, unified_stats
 
 
 class _Counter:
@@ -42,12 +43,16 @@ class _Counter:
         self.nodes = 0
         self.factorizations = 0
         self.group_memo_hits = 0
+        self.backtracks = 0
+        self.prunes_injective = 0
         self._group_memo: dict[tuple, int] = {}
         self._deadline = (
             time.perf_counter() + options.time_limit
             if options.time_limit is not None
             else None
         )
+        self._heartbeat = (options.obs or NULL_OBS).heartbeat
+        self._ticking = self._deadline is not None or self._heartbeat.enabled
         self._top_level_count = 0
 
     # ------------------------------------------------------------------
@@ -76,11 +81,12 @@ class _Counter:
         pos = positions[0]
         rest = positions[1:]
         u = self.order[pos]
-        self._tick()
+        self._tick(pos)
         candidates = self.computer.raw(pos, self.assignment)
         total = 0
         for v in candidates.tolist():
             if self.injective and v in self.used:
+                self.prunes_injective += 1
                 continue
             self.assignment[u] = v
             if self.injective:
@@ -91,6 +97,8 @@ class _Counter:
             self.assignment[u] = -1
             if top_level:
                 self._top_level_count = total
+        if total == 0:
+            self.backtracks += 1
         return total
 
     def _count_group(self, positions: tuple[int, ...]) -> int:
@@ -172,27 +180,39 @@ class _Counter:
     def _data_label(self, v: int):
         return self.plan.task_clusters.data_vertex_labels[v]
 
-    def _tick(self) -> None:
+    def _tick(self, depth: int = 0) -> None:
         self.nodes += 1
-        if (
-            self._deadline is not None
-            and self.nodes % _TIME_CHECK_INTERVAL == 0
-            and time.perf_counter() > self._deadline
-        ):
-            raise TimeLimitExceeded(
-                "time limit exceeded during counting",
-                partial_count=self._top_level_count,
-            )
+        if self._ticking and self.nodes % _TIME_CHECK_INTERVAL == 0:
+            if self._heartbeat.enabled:
+                self._heartbeat.beat(
+                    self.nodes, self._top_level_count, depth, phase="count"
+                )
+            if (
+                self._deadline is not None
+                and time.perf_counter() > self._deadline
+            ):
+                raise TimeLimitExceeded(
+                    "time limit exceeded during counting",
+                    partial_count=self._top_level_count,
+                )
 
 
 def count_embeddings(plan: Plan, options: MatchOptions) -> tuple[int, dict]:
-    """Count embeddings of ``plan``; returns (count, stats)."""
+    """Count embeddings of ``plan``; returns (count, stats).
+
+    ``stats`` carries the full unified key set
+    (:data:`repro.obs.counters.STAT_KEYS`), matching the enumeration path
+    key-for-key; ``prunes_restriction`` is always 0 here because
+    restrictions force the enumeration path.
+    """
     counter = _Counter(plan, options)
     total = counter.count()
-    stats = {
-        "nodes": counter.nodes,
-        "factorizations": counter.factorizations,
-        "group_memo_hits": counter.group_memo_hits,
-        **counter.computer.stats.as_dict(),
-    }
+    stats = unified_stats(
+        nodes=counter.nodes,
+        candidate_stats=counter.computer.stats,
+        backtracks=counter.backtracks,
+        prunes_injective=counter.prunes_injective,
+        factorizations=counter.factorizations,
+        group_memo_hits=counter.group_memo_hits,
+    )
     return total, stats

@@ -20,6 +20,7 @@ Planner configurations reproduce Fig. 13's ablation:
 
 from __future__ import annotations
 
+import logging
 import time
 
 from repro.ccsr.store import CCSRStore
@@ -32,6 +33,9 @@ from repro.core.plan import Plan, assemble_plan
 from repro.core.variants import Variant
 from repro.errors import PlanError
 from repro.graph.model import Graph
+from repro.obs import NULL_OBS
+
+logger = logging.getLogger(__name__)
 
 PLANNERS = ("csce", "ri_cluster", "ri", "rm", "cost")
 
@@ -39,16 +43,19 @@ PLANNERS = ("csce", "ri_cluster", "ri", "rm", "cost")
 class CSCE:
     """Clustered-CSR + Sequential-Candidate-Equivalence matching engine."""
 
-    def __init__(self, graph: Graph | CCSRStore):
+    def __init__(self, graph: Graph | CCSRStore, obs=None):
         """Build (or adopt) the CCSR store for a data graph.
 
         Passing a :class:`Graph` runs the offline clustering stage; passing
-        a prebuilt :class:`CCSRStore` shares it across engines.
+        a prebuilt :class:`CCSRStore` shares it across engines. ``obs`` (a
+        :class:`repro.obs.Observation`) becomes the engine's default
+        instrumentation for every run; per-call ``obs=`` arguments win.
         """
         if isinstance(graph, CCSRStore):
             self.store = graph
         else:
             self.store = CCSRStore(graph)
+        self.obs = obs
 
     # ------------------------------------------------------------------
     def build_plan(
@@ -56,48 +63,71 @@ class CSCE:
         pattern: Graph,
         variant: Variant | str = Variant.EDGE_INDUCED,
         planner: str = "csce",
+        obs=None,
     ) -> Plan:
         """Read clusters and optimize a matching plan (Sections IV–VI)."""
         if planner not in PLANNERS:
             raise PlanError(f"unknown planner {planner!r}; choose from {PLANNERS}")
         variant = Variant.parse(variant)
+        obs = obs or self.obs or NULL_OBS
+        tracer = obs.tracer
         start = time.perf_counter()
-        task = self.store.read(pattern, variant)
+        task = self.store.read(pattern, variant, obs=obs)
 
-        if planner == "rm":
-            order = rapidmatch_order(pattern, task)
-        elif planner == "cost":
-            from repro.core.cost import cost_based_order
+        rationale: list | None = [] if tracer.enabled else None
+        with tracer.span(
+            "plan", planner=planner, variant=variant.value
+        ) as plan_span:
+            if planner == "rm":
+                order = rapidmatch_order(pattern, task)
+            elif planner == "cost":
+                from repro.core.cost import cost_based_order
 
-            order = cost_based_order(pattern, task)
-        else:
-            order = gcf_order(
-                pattern,
-                task,
-                use_cluster_tiebreak=planner in ("csce", "ri_cluster"),
-            )
-        dag = build_dag(pattern, order, variant, task)
-        descendant_sizes = compute_descendant_sizes(dag)
-        if planner == "csce":
-            order = ldsf_order(
-                dag,
-                pattern,
-                task,
-                label_frequency=self.store.label_frequency,
-                descendant_sizes=descendant_sizes,
-            )
+                order = cost_based_order(pattern, task)
+            else:
+                with tracer.span("plan.gcf"):
+                    order = gcf_order(
+                        pattern,
+                        task,
+                        use_cluster_tiebreak=planner in ("csce", "ri_cluster"),
+                        rationale=rationale,
+                    )
             dag = build_dag(pattern, order, variant, task)
-        plan = assemble_plan(
-            self.store,
-            task,
-            pattern,
-            order,
-            dag,
-            variant,
-            planner_name=planner,
-            descendant_sizes=descendant_sizes,
-        )
+            descendant_sizes = compute_descendant_sizes(dag)
+            if planner == "csce":
+                with tracer.span("plan.ldsf"):
+                    order = ldsf_order(
+                        dag,
+                        pattern,
+                        task,
+                        label_frequency=self.store.label_frequency,
+                        descendant_sizes=descendant_sizes,
+                    )
+                dag = build_dag(pattern, order, variant, task)
+            plan = assemble_plan(
+                self.store,
+                task,
+                pattern,
+                order,
+                dag,
+                variant,
+                planner_name=planner,
+                descendant_sizes=descendant_sizes,
+                obs=obs,
+            )
+            plan_span.set("order", list(order))
+            if rationale:
+                plan_span.set("rationale", rationale)
         plan.plan_seconds = time.perf_counter() - start - task.read_seconds
+        if rationale:
+            plan.order_rationale = rationale
+        logger.debug(
+            "planned %s/%s: order=%s in %.4fs",
+            planner,
+            variant.value,
+            plan.order,
+            plan.plan_seconds,
+        )
         return plan
 
     # ------------------------------------------------------------------
@@ -113,6 +143,7 @@ class CSCE:
         plan: Plan | None = None,
         restrictions: tuple[tuple[int, int], ...] | None = None,
         seed: dict[int, int] | None = None,
+        obs=None,
     ) -> MatchResult:
         """Find embeddings of ``pattern`` in the data graph.
 
@@ -137,23 +168,34 @@ class CSCE:
         seed:
             Pinned mappings ``{pattern vertex: data vertex}``; only
             embeddings extending the seed are produced (delta matching).
+        obs:
+            A :class:`repro.obs.Observation` receiving spans (``match`` →
+            ``read``/``plan``/``execute``), counters, and heartbeats for
+            this run; ``None`` keeps instrumentation disabled.
         """
         variant = Variant.parse(variant)
-        if plan is None:
-            plan = self.build_plan(pattern, variant, planner=planner)
-        elif plan.variant is not variant:
-            raise PlanError(
-                f"plan was built for {plan.variant}, not {variant}"
+        obs = obs or self.obs or NULL_OBS
+        with obs.tracer.span(
+            "match", engine="CSCE", variant=variant.value
+        ) as span:
+            if plan is None:
+                plan = self.build_plan(pattern, variant, planner=planner, obs=obs)
+            elif plan.variant is not variant:
+                raise PlanError(
+                    f"plan was built for {plan.variant}, not {variant}"
+                )
+            options = MatchOptions(
+                count_only=count_only,
+                max_embeddings=max_embeddings,
+                time_limit=time_limit,
+                use_sce=use_sce,
+                restrictions=tuple(restrictions) if restrictions else None,
+                seed=dict(seed) if seed else None,
+                obs=obs if obs.enabled else None,
             )
-        options = MatchOptions(
-            count_only=count_only,
-            max_embeddings=max_embeddings,
-            time_limit=time_limit,
-            use_sce=use_sce,
-            restrictions=tuple(restrictions) if restrictions else None,
-            seed=dict(seed) if seed else None,
-        )
-        return execute(plan, options)
+            result = execute(plan, options)
+            span.set("count", result.count)
+        return result
 
     def count(self, pattern: Graph, variant: Variant | str = Variant.EDGE_INDUCED, **kwargs) -> int:
         """Shorthand: the embedding count (``count_only`` matching)."""

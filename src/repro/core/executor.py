@@ -9,6 +9,7 @@ additionally factorizes over conditionally independent suffix regions.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -19,6 +20,9 @@ from repro.core.candidates import CandidateComputer
 from repro.core.plan import Plan
 from repro.core.variants import Variant
 from repro.errors import EmbeddingLimitExceeded, TimeLimitExceeded
+from repro.obs import NULL_OBS, unified_stats
+
+logger = logging.getLogger(__name__)
 
 _TIME_CHECK_INTERVAL = 2048
 
@@ -54,6 +58,11 @@ class MatchOptions:
     continuous/delta matching (:mod:`repro.core.continuous`). Seeds disable
     count factorization."""
 
+    obs: object | None = None
+    """Optional :class:`repro.obs.Observation` carrying the run's tracer,
+    counter registry, and heartbeat. ``None`` (the default) selects the
+    no-op instruments — the zero-cost-when-disabled path."""
+
 
 @dataclass
 class MatchResult:
@@ -68,6 +77,22 @@ class MatchResult:
     truncated: bool = False
     timed_out: bool = False
     stats: dict = field(default_factory=dict)
+    """Unified search counters — the same key set on *every* execution path
+    (enumeration and ``count_only`` factorized counting emit identical
+    keys; see :data:`repro.obs.counters.STAT_KEYS`):
+
+    * ``nodes`` — search-tree nodes expanded;
+    * ``computed`` / ``memo_hits`` / ``memo_misses`` — candidate-set cold
+      computations vs. SCE cache hits and misses (``memo_misses`` stays 0
+      under ``use_sce=False``, distinguishing cold computes from misses);
+    * ``intersections`` — sorted neighbor-list intersections performed;
+    * ``negation_checks`` — vertex-induced negation-cluster probes;
+    * ``backtracks`` — dead-end returns (nodes contributing no embedding);
+    * ``prunes_injective`` / ``prunes_restriction`` — candidates rejected
+      by injectivity or symmetry restrictions;
+    * ``factorizations`` / ``group_memo_hits`` — SCE count-factorization
+      events and memoized-region reuses (0 on the enumeration path).
+    """
 
     @property
     def total_seconds(self) -> float:
@@ -125,11 +150,18 @@ class Enumerator:
         self.computer = CandidateComputer(plan, use_sce=options.use_sce)
         self.nodes = 0
         self.emitted = 0
+        self.backtracks = 0
+        self.prunes_injective = 0
+        self.prunes_restriction = 0
         self._deadline = (
             time.perf_counter() + options.time_limit
             if options.time_limit is not None
             else None
         )
+        self._heartbeat = (options.obs or NULL_OBS).heartbeat
+        # One flag guards the periodic work: without a deadline or a live
+        # heartbeat, _tick never even computes the interval modulo.
+        self._ticking = self._deadline is not None or self._heartbeat.enabled
         # Restrictions evaluated at the position where their later endpoint
         # is matched; (other_vertex, current_is_smaller_side).
         self.restriction_at: list[list[tuple[int, bool]]] = [
@@ -170,7 +202,7 @@ class Enumerator:
                         "embedding limit reached", partial_count=self.emitted
                     )
                 return
-            self._tick()
+            self._tick(pos)
             u = order[pos]
             restrictions = restriction_at[pos]
             candidates = raw(pos, assignment)
@@ -179,10 +211,13 @@ class Enumerator:
                 values = [pin] if _contains_sorted(candidates, pin) else ()
             else:
                 values = candidates.tolist()
+            before = self.emitted
             for v in values:
                 if injective and v in used:
+                    self.prunes_injective += 1
                     continue
                 if restrictions and not _satisfies(v, assignment, restrictions):
+                    self.prunes_restriction += 1
                     continue
                 assignment[u] = v
                 if injective:
@@ -191,6 +226,8 @@ class Enumerator:
                 if injective:
                     discard(v)
                 assignment[u] = -1
+            if self.emitted == before:
+                self.backtracks += 1
 
         yield from extend(0)
 
@@ -219,7 +256,7 @@ class Enumerator:
                         "embedding limit reached", partial_count=self.emitted
                     )
                 return
-            self._tick()
+            self._tick(pos)
             u = order[pos]
             restrictions = restriction_at[pos]
             candidates = raw(pos, assignment)
@@ -228,10 +265,13 @@ class Enumerator:
                 values = [pin] if _contains_sorted(candidates, pin) else ()
             else:
                 values = candidates.tolist()
+            before = self.emitted
             for v in values:
                 if injective and v in used:
+                    self.prunes_injective += 1
                     continue
                 if restrictions and not _satisfies(v, assignment, restrictions):
+                    self.prunes_restriction += 1
                     continue
                 assignment[u] = v
                 if injective:
@@ -240,21 +280,27 @@ class Enumerator:
                 if injective:
                     discard(v)
                 assignment[u] = -1
+            if self.emitted == before:
+                self.backtracks += 1
 
         extend(0)
         return self.emitted
 
-    def _tick(self) -> None:
+    def _tick(self, depth: int = 0) -> None:
         self.nodes += 1
-        if (
-            self._deadline is not None
-            and self.nodes % _TIME_CHECK_INTERVAL == 0
-            and time.perf_counter() > self._deadline
-        ):
-            raise TimeLimitExceeded(
-                "time limit exceeded during enumeration",
-                partial_count=self.emitted,
-            )
+        if self._ticking and self.nodes % _TIME_CHECK_INTERVAL == 0:
+            if self._heartbeat.enabled:
+                self._heartbeat.beat(
+                    self.nodes, self.emitted, depth, phase="enumerate"
+                )
+            if (
+                self._deadline is not None
+                and time.perf_counter() > self._deadline
+            ):
+                raise TimeLimitExceeded(
+                    "time limit exceeded during enumeration",
+                    partial_count=self.emitted,
+                )
 
 
 def execute(plan: Plan, options: MatchOptions | None = None) -> MatchResult:
@@ -265,6 +311,7 @@ def execute(plan: Plan, options: MatchOptions | None = None) -> MatchResult:
     flags with the partial count, never as exceptions.
     """
     options = options or MatchOptions()
+    obs = options.obs or NULL_OBS
     # Large patterns (the paper tests up to 2000 vertices) recurse once per
     # pattern vertex; make sure Python's recursion limit accommodates that.
     import sys
@@ -290,11 +337,15 @@ def execute(plan: Plan, options: MatchOptions | None = None) -> MatchResult:
     ):
         from repro.core.counting import count_embeddings
 
-        try:
-            count, stats = count_embeddings(plan, options)
-        except TimeLimitExceeded as exc:
-            count = exc.partial_count
-            timed_out = True
+        with obs.tracer.span(
+            "execute", mode="count", variant=plan.variant.value
+        ) as span:
+            try:
+                count, stats = count_embeddings(plan, options)
+            except TimeLimitExceeded as exc:
+                count = exc.partial_count
+                timed_out = True
+            span.set("count", count)
     else:
         # Restrictions couple otherwise independent suffix regions, so
         # counting under restrictions also goes through enumeration;
@@ -304,28 +355,38 @@ def execute(plan: Plan, options: MatchOptions | None = None) -> MatchResult:
             None if options.count_only else []
         )
         count = 0
-        try:
-            if collected is None:
-                count = enumerator.count_capped()
-            else:
-                for embedding in enumerator.run():
-                    count += 1
-                    collected.append(
-                        {u: embedding[u] for u in range(plan.num_vertices)}
-                    )
-        except EmbeddingLimitExceeded:
-            count = enumerator.emitted
-            truncated = True
-        except TimeLimitExceeded:
-            count = enumerator.emitted
-            timed_out = True
+        with obs.tracer.span(
+            "execute", mode="enumerate", variant=plan.variant.value
+        ) as span:
+            try:
+                if collected is None:
+                    count = enumerator.count_capped()
+                else:
+                    for embedding in enumerator.run():
+                        count += 1
+                        collected.append(
+                            {u: embedding[u] for u in range(plan.num_vertices)}
+                        )
+            except EmbeddingLimitExceeded:
+                count = enumerator.emitted
+                truncated = True
+            except TimeLimitExceeded:
+                count = enumerator.emitted
+                timed_out = True
+            span.set("count", count)
+            span.set("nodes", enumerator.nodes)
         embeddings = collected
-        stats = {
-            "nodes": enumerator.nodes,
-            **enumerator.computer.stats.as_dict(),
-        }
+        stats = unified_stats(
+            nodes=enumerator.nodes,
+            candidate_stats=enumerator.computer.stats,
+            backtracks=enumerator.backtracks,
+            prunes_injective=enumerator.prunes_injective,
+            prunes_restriction=enumerator.prunes_restriction,
+        )
 
-    return MatchResult(
+    if obs.enabled:
+        obs.counters.merge(stats)
+    result = MatchResult(
         count=count,
         variant=plan.variant,
         embeddings=embeddings,
@@ -336,3 +397,13 @@ def execute(plan: Plan, options: MatchOptions | None = None) -> MatchResult:
         timed_out=timed_out,
         stats=stats,
     )
+    if logger.isEnabledFor(logging.DEBUG):
+        logger.debug(
+            "executed %s: count=%d nodes=%d elapsed=%.4fs%s",
+            plan.variant.value,
+            count,
+            stats.get("nodes", 0),
+            result.elapsed,
+            " (truncated)" if truncated else (" (timed out)" if timed_out else ""),
+        )
+    return result

@@ -53,6 +53,7 @@ def gcf_order(
     pattern: Graph,
     task_clusters: TaskClusters | None = None,
     use_cluster_tiebreak: bool = True,
+    rationale: list | None = None,
 ) -> list[int]:
     """Compute a matching order with GCF.
 
@@ -60,6 +61,11 @@ def gcf_order(
     are broken by the minimum relevant cluster size (Eq. 2); the final
     tie-break is the lowest vertex id, which keeps plans deterministic
     (where RI picks randomly).
+
+    When ``rationale`` is a list, one entry per chosen vertex is appended
+    explaining the choice — the RI rule-set sizes (``|T1|``/``|T2|``/
+    ``|T3|``) and the cluster tie-break values that won — for plan spans
+    and run-reports (the candidate-order rationale).
     """
     n = pattern.num_vertices
     if n == 0:
@@ -77,6 +83,18 @@ def gcf_order(
 
     order = [min(range(n), key=first_key)]
     chosen = set(order)
+    if rationale is not None:
+        first = order[0]
+        rationale.append(
+            {
+                "vertex": first,
+                "rule": "first",
+                "degree": pattern.degree(first),
+                "min_incident_cluster": _finite(
+                    _min_incident_cluster_size(clusters, pattern, first)
+                ),
+            }
+        )
 
     while len(order) < n:
         best = None
@@ -113,7 +131,24 @@ def gcf_order(
                 best, best_key = u_x, key
         order.append(best)
         chosen.add(best)
+        if rationale is not None and best_key is not None:
+            rationale.append(
+                {
+                    "vertex": best,
+                    "rule": "gcf",
+                    "t1": -best_key[0],
+                    "t2": -best_key[1],
+                    "t3": -best_key[2],
+                    "omega": [_finite(best_key[3]), _finite(best_key[4]),
+                              _finite(best_key[5])],
+                }
+            )
     return order
+
+
+def _finite(value: float) -> float | None:
+    """Render +inf tie-break values as ``None`` (JSON-safe rationale)."""
+    return None if value == _BIG else value
 
 
 def rapidmatch_order(pattern: Graph, task_clusters: TaskClusters | None = None) -> list[int]:

@@ -104,6 +104,11 @@ class Plan:
     planner_name: str = "csce"
     plan_seconds: float = 0.0
     descendant_sizes: dict[int, int] = field(default_factory=dict)
+    order_rationale: list = field(default_factory=list)
+    """Per-step explanations of why the optimizer picked each vertex (the
+    GCF rule-set sizes and cluster tie-breaks) — populated when planning
+    under a live :class:`repro.obs.Observation` and surfaced in
+    run-reports; empty otherwise."""
 
     @property
     def num_vertices(self) -> int:
@@ -220,8 +225,37 @@ def assemble_plan(
     variant: Variant,
     planner_name: str,
     descendant_sizes: dict[int, int] | None = None,
+    obs=None,
 ) -> Plan:
-    """Turn an order + DAG into the per-position constraint lists."""
+    """Turn an order + DAG into the per-position constraint lists.
+
+    ``obs`` (a :class:`repro.obs.Observation`) adds a ``plan.assemble``
+    span recording constraint counts.
+    """
+    from repro.obs import NULL_OBS
+
+    with (obs or NULL_OBS).tracer.span(
+        "plan.assemble", planner=planner_name
+    ) as span:
+        plan = _assemble(
+            store, task, pattern, order, dag, variant, planner_name,
+            descendant_sizes,
+        )
+        span.set("backward_constraints", sum(len(b) for b in plan.backward))
+        span.set("negation_constraints", sum(len(x) for x in plan.negations))
+    return plan
+
+
+def _assemble(
+    store: CCSRStore,
+    task: TaskClusters,
+    pattern: Graph,
+    order: Sequence[int],
+    dag: DependencyDAG,
+    variant: Variant,
+    planner_name: str,
+    descendant_sizes: dict[int, int] | None = None,
+) -> Plan:
     start = time.perf_counter()
     n = pattern.num_vertices
     position = {v: i for i, v in enumerate(order)}

@@ -1,0 +1,130 @@
+"""Observability for the CSCE pipeline: spans, counters, logs, heartbeats.
+
+One :class:`Observation` bundles the three instruments a run can carry:
+
+* a :class:`~repro.obs.tracer.Tracer` collecting the nested span tree
+  (``match`` → ``read`` / ``plan`` / ``execute`` → per-cluster reads);
+* a :class:`~repro.obs.counters.CounterRegistry` aggregating run telemetry
+  beyond ``MatchResult.stats`` (CCSR bytes/rows read, heartbeat totals);
+* a :class:`~repro.obs.progress.Heartbeat` emitting periodic progress
+  lines during long enumerations.
+
+Passing ``obs=None`` (the default everywhere) selects the no-op
+instruments — a single branch on the hot paths, so disabled observability
+costs nothing measurable. Typical use::
+
+    from repro.obs import Observation
+
+    obs = Observation(heartbeat_interval=5.0)
+    result = engine.match(pattern, obs=obs)
+    report = build_run_report(result, obs=obs, plan=...)
+
+Structured logging is configured separately (it is process-global):
+:func:`~repro.obs.logconfig.configure_logging`.
+"""
+
+from __future__ import annotations
+
+from repro.obs.counters import (
+    NULL_COUNTERS,
+    STAT_KEYS,
+    CounterRegistry,
+    NullCounterRegistry,
+    assert_stat_keys,
+    unified_stats,
+)
+from repro.obs.logconfig import JsonFormatter, configure_logging, resolve_level
+from repro.obs.progress import NULL_HEARTBEAT, Heartbeat, NullHeartbeat
+from repro.obs.report import (
+    RUN_REPORT_VERSION,
+    build_run_report,
+    format_run_report,
+    load_run_reports,
+    plan_summary,
+    validate_run_report,
+    write_run_report,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+
+class Observation:
+    """Bundle of tracer + counter registry + heartbeat for one run.
+
+    All three default to live instruments; pass ``trace=False`` to skip
+    span collection while keeping counters, or build the pieces yourself.
+    """
+
+    __slots__ = ("tracer", "counters", "heartbeat")
+
+    enabled = True
+
+    def __init__(
+        self,
+        tracer: Tracer | NullTracer | None = None,
+        counters: CounterRegistry | NullCounterRegistry | None = None,
+        heartbeat: Heartbeat | NullHeartbeat | None = None,
+        trace: bool = True,
+        heartbeat_interval: float | None = None,
+    ):
+        if tracer is None:
+            tracer = Tracer() if trace else NULL_TRACER
+        if counters is None:
+            counters = CounterRegistry()
+        if heartbeat is None:
+            heartbeat = (
+                Heartbeat(heartbeat_interval)
+                if heartbeat_interval is not None
+                else NULL_HEARTBEAT
+            )
+        self.tracer = tracer
+        self.counters = counters
+        self.heartbeat = heartbeat
+
+    def __repr__(self) -> str:
+        return (
+            f"<Observation trace={self.tracer.enabled}"
+            f" heartbeat={self.heartbeat.enabled}>"
+        )
+
+
+class _NullObservation:
+    """The disabled bundle: every instrument is its no-op variant."""
+
+    __slots__ = ()
+
+    enabled = False
+    tracer = NULL_TRACER
+    counters = NULL_COUNTERS
+    heartbeat = NULL_HEARTBEAT
+
+
+NULL_OBS = _NullObservation()
+
+
+__all__ = [
+    "Observation",
+    "NULL_OBS",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "CounterRegistry",
+    "NullCounterRegistry",
+    "NULL_COUNTERS",
+    "STAT_KEYS",
+    "unified_stats",
+    "assert_stat_keys",
+    "Heartbeat",
+    "NullHeartbeat",
+    "NULL_HEARTBEAT",
+    "configure_logging",
+    "resolve_level",
+    "JsonFormatter",
+    "RUN_REPORT_VERSION",
+    "build_run_report",
+    "format_run_report",
+    "plan_summary",
+    "validate_run_report",
+    "write_run_report",
+    "load_run_reports",
+]

@@ -1,0 +1,109 @@
+"""Structured logging configuration (``logging.config.dictConfig``).
+
+Every module in the package logs through ``logging.getLogger(__name__)``
+(the standard library-friendly idiom); this module owns the one place that
+attaches handlers. Plain text by default; ``json_output=True`` (or
+``REPRO_LOG_JSON=1``) switches to one JSON object per line for log
+shippers. The level resolves CLI flag > ``REPRO_LOG_LEVEL`` env var >
+``WARNING`` — libraries stay quiet unless asked.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import logging.config
+import os
+import time
+
+ENV_LEVEL = "REPRO_LOG_LEVEL"
+ENV_JSON = "REPRO_LOG_JSON"
+
+_VALID_LEVELS = ("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL")
+
+#: Fields of a ``LogRecord`` that are not user-supplied ``extra`` payload.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: timestamp, level, logger, message,
+    plus any ``extra={...}`` fields the call site attached."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "time": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.localtime(record.created)
+            ),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def resolve_level(level: str | int | None = None) -> str:
+    """CLI flag > ``REPRO_LOG_LEVEL`` > WARNING, validated."""
+    if level is None:
+        level = os.environ.get(ENV_LEVEL, "WARNING")
+    if isinstance(level, int):
+        return logging.getLevelName(level)
+    name = str(level).upper()
+    if name not in _VALID_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {', '.join(_VALID_LEVELS)}"
+        )
+    return name
+
+
+def configure_logging(
+    level: str | int | None = None,
+    json_output: bool | None = None,
+    force: bool = True,
+) -> str:
+    """Install handlers for the ``repro`` logger tree; returns the level.
+
+    ``force=False`` leaves an existing configuration alone (library use:
+    applications that already configured logging win).
+    """
+    root = logging.getLogger("repro")
+    if not force and root.handlers:
+        return logging.getLevelName(root.level)
+    name = resolve_level(level)
+    if json_output is None:
+        json_output = os.environ.get(ENV_JSON, "").lower() in ("1", "true", "yes")
+    logging.config.dictConfig(
+        {
+            "version": 1,
+            "disable_existing_loggers": False,
+            "formatters": {
+                "plain": {
+                    "format": "%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+                    "datefmt": "%H:%M:%S",
+                },
+                "json": {"()": "repro.obs.logconfig.JsonFormatter"},
+            },
+            "handlers": {
+                "repro": {
+                    "class": "logging.StreamHandler",
+                    "stream": "ext://sys.stderr",
+                    "formatter": "json" if json_output else "plain",
+                },
+            },
+            "loggers": {
+                "repro": {
+                    "level": name,
+                    "handlers": ["repro"],
+                    "propagate": False,
+                },
+            },
+        }
+    )
+    return name

@@ -1,0 +1,103 @@
+"""Search-progress heartbeats for long enumerations.
+
+The enumerator, the SCE counter, and the baseline matchers already pay for
+a periodic tick every ``_TIME_CHECK_INTERVAL`` search nodes (the soft
+time-limit check). :class:`Heartbeat` piggybacks on exactly that tick: the
+hot loop calls :meth:`Heartbeat.beat` only on interval boundaries, the
+heartbeat samples the current search depth into a histogram, and — at most
+once per ``interval`` wall-clock seconds — emits one progress line
+(embeddings so far, nodes expanded, sampled depth histogram, elapsed time)
+through this module's logger or a caller-supplied sink.
+
+The disabled path is :data:`NULL_HEARTBEAT` (``enabled = False``); the hot
+loops guard on that flag, so runs without observability never even reach
+the modulo when no time limit is set either.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Callable
+
+logger = logging.getLogger(__name__)
+
+DEFAULT_INTERVAL = 5.0
+
+
+class Heartbeat:
+    """Periodic progress emitter (see module docstring).
+
+    ``emit`` receives the formatted line; it defaults to ``logger.info`` so
+    heartbeats follow the structured-logging configuration. ``beats`` and
+    ``depth_histogram`` stay inspectable after the run for tests and
+    reports.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        interval: float = DEFAULT_INTERVAL,
+        emit: Callable[[str], None] | None = None,
+    ):
+        self.interval = interval
+        self.emit = emit if emit is not None else logger.info
+        self.started = time.perf_counter()
+        self.beats = 0
+        self.depth_histogram: dict[int, int] = {}
+        self._last = self.started
+
+    def beat(self, nodes: int, emitted: int, depth: int = 0, phase: str = "search") -> bool:
+        """Record one tick; emit a progress line if ``interval`` elapsed.
+
+        Called on ``_TIME_CHECK_INTERVAL`` boundaries only, so the depth
+        histogram is a *sample* of the search frontier, not an exact count.
+        Returns True when a line was emitted.
+        """
+        self.depth_histogram[depth] = self.depth_histogram.get(depth, 0) + 1
+        now = time.perf_counter()
+        if now - self._last < self.interval:
+            return False
+        self._last = now
+        self.beats += 1
+        elapsed = now - self.started
+        self.emit(
+            f"[heartbeat] {phase}: {emitted} embeddings, {nodes} nodes, "
+            f"depth sample {self.depth_summary()}, {elapsed:.1f}s elapsed"
+        )
+        return True
+
+    def depth_summary(self) -> str:
+        """Compact ``depth:count`` rendering of the sampled histogram."""
+        if not self.depth_histogram:
+            return "{}"
+        items = sorted(self.depth_histogram.items())
+        return "{" + ", ".join(f"{d}: {c}" for d, c in items) + "}"
+
+    def as_dict(self) -> dict:
+        return {
+            "beats": self.beats,
+            "depth_histogram": {str(d): c for d, c in sorted(self.depth_histogram.items())},
+            "elapsed_seconds": time.perf_counter() - self.started,
+        }
+
+
+class NullHeartbeat:
+    """Disabled heartbeat; the hot loops branch on ``enabled`` once."""
+
+    enabled = False
+    beats = 0
+    depth_histogram: dict = {}
+
+    def beat(self, nodes: int, emitted: int, depth: int = 0, phase: str = "search") -> bool:
+        return False
+
+    def depth_summary(self) -> str:
+        return "{}"
+
+    def as_dict(self) -> dict:
+        return {"beats": 0, "depth_histogram": {}, "elapsed_seconds": 0.0}
+
+
+NULL_HEARTBEAT = NullHeartbeat()

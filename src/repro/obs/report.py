@@ -1,0 +1,270 @@
+"""Versioned run-reports: serialize one matching run for later analysis.
+
+A run-report is a single JSON document capturing everything the paper's
+evaluation reads off a run: the per-phase time breakdown (read / optimize /
+execute — the paper's total-time definition, Figs. 6 and 11), the unified
+counter set (:data:`repro.obs.counters.STAT_KEYS` plus CCSR read
+telemetry), the completed span tree, the plan summary with its
+candidate-order rationale, and engine/graph/pattern identity. ``repro
+report PATH`` pretty-prints a saved report; :func:`validate_run_report` is
+the schema gate CI's smoke job runs.
+
+Reports append cleanly to ``.jsonl`` files (one run per line) so bench
+sweeps can stream them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.errors import FormatError
+
+RUN_REPORT_FORMAT = "repro-run-report"
+RUN_REPORT_VERSION = 1
+
+#: Required top-level fields and their types (the lightweight schema).
+_SCHEMA: dict[str, type | tuple] = {
+    "format": str,
+    "version": int,
+    "engine": str,
+    "variant": str,
+    "count": int,
+    "truncated": bool,
+    "timed_out": bool,
+    "timings": dict,
+    "counters": dict,
+    "spans": list,
+}
+
+_TIMING_KEYS = ("read_seconds", "plan_seconds", "execute_seconds", "total_seconds")
+
+
+def build_run_report(
+    result,
+    engine: str = "CSCE",
+    obs=None,
+    plan=None,
+    graph=None,
+    pattern=None,
+    dataset: str | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Assemble a run-report dict from a finished ``MatchResult``.
+
+    ``obs`` contributes the span tree and any registry counters beyond
+    ``result.stats`` (CCSR read telemetry, heartbeat totals); ``plan``,
+    ``graph`` (a ``Graph`` or ``CCSRStore``), and ``pattern`` add identity
+    blocks when available.
+    """
+    counters = dict(result.stats)
+    spans: list[dict] = []
+    if obs is not None:
+        registry = getattr(obs, "counters", None)
+        if registry is not None and registry.enabled:
+            merged = registry.snapshot()
+            # Registry totals win where present; stats fills the gaps.
+            counters = {**counters, **merged}
+        tracer = getattr(obs, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            spans = tracer.to_list()
+        heartbeat = getattr(obs, "heartbeat", None)
+        if heartbeat is not None and heartbeat.enabled:
+            counters["heartbeats"] = heartbeat.beats
+
+    report: dict[str, Any] = {
+        "format": RUN_REPORT_FORMAT,
+        "version": RUN_REPORT_VERSION,
+        "engine": engine,
+        "variant": str(result.variant),
+        "count": int(result.count),
+        "truncated": bool(result.truncated),
+        "timed_out": bool(result.timed_out),
+        "timings": {
+            "read_seconds": result.read_seconds,
+            "plan_seconds": result.plan_seconds,
+            "execute_seconds": result.elapsed,
+            "total_seconds": result.total_seconds,
+        },
+        "throughput": result.throughput,
+        "counters": counters,
+        "spans": spans,
+    }
+    if plan is not None:
+        report["plan"] = plan_summary(plan)
+    if pattern is not None:
+        report["pattern"] = {
+            "name": getattr(pattern, "name", ""),
+            "num_vertices": pattern.num_vertices,
+            "num_edges": pattern.num_edges,
+        }
+    if graph is not None:
+        block = {
+            "name": getattr(graph, "name", ""),
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+        }
+        num_clusters = getattr(graph, "num_clusters", None)
+        if num_clusters is not None:
+            block["num_clusters"] = num_clusters
+        report["graph"] = block
+    if dataset:
+        report["dataset"] = dataset
+    if extra:
+        report["extra"] = dict(extra)
+    return report
+
+
+def plan_summary(plan) -> dict:
+    """The plan block of a run-report (order, planner, cluster usage)."""
+    task = plan.task_clusters
+    summary = {
+        "planner": plan.planner_name,
+        "variant": str(plan.variant),
+        "order": list(plan.order),
+        "num_vertices": plan.num_vertices,
+        "dag_edges": plan.dag.num_edges,
+        "clusters_used": task.num_clusters,
+        "bytes_read": task.bytes_read,
+        "negation_pairs": len(task.negation_checks),
+        "plan_seconds": plan.plan_seconds,
+    }
+    rationale = getattr(plan, "order_rationale", None)
+    if rationale:
+        summary["order_rationale"] = list(rationale)
+    return summary
+
+
+# ----------------------------------------------------------------------
+# Validation / IO
+# ----------------------------------------------------------------------
+def validate_run_report(report: dict) -> None:
+    """Raise :class:`FormatError` unless ``report`` is a valid v1 report."""
+    if not isinstance(report, dict):
+        raise FormatError("run-report must be a JSON object")
+    problems: list[str] = []
+    for field, expected in _SCHEMA.items():
+        if field not in report:
+            problems.append(f"missing field {field!r}")
+        elif not isinstance(report[field], expected):
+            problems.append(
+                f"field {field!r} has type {type(report[field]).__name__}"
+            )
+    if not problems:
+        if report["format"] != RUN_REPORT_FORMAT:
+            problems.append(f"format is {report['format']!r}")
+        if report["version"] != RUN_REPORT_VERSION:
+            problems.append(f"unsupported version {report['version']!r}")
+        for key in _TIMING_KEYS:
+            value = report["timings"].get(key)
+            if not isinstance(value, (int, float)):
+                problems.append(f"timings.{key} missing or non-numeric")
+        for name, value in report["counters"].items():
+            if not isinstance(value, (int, float)):
+                problems.append(f"counter {name!r} is non-numeric")
+    if problems:
+        raise FormatError("invalid run-report: " + "; ".join(problems))
+
+
+def write_run_report(report: dict, path: str | os.PathLike) -> None:
+    """Write one report; ``.jsonl`` paths append a line, others overwrite."""
+    text = json.dumps(report, default=str)
+    if str(path).endswith(".jsonl"):
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(report, indent=2, default=str) + "\n")
+
+
+def load_run_reports(path: str | os.PathLike) -> list[dict]:
+    """Load report(s) from a ``.json`` file or a ``.jsonl`` stream."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if str(path).endswith(".jsonl"):
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
+    loaded = json.loads(text)
+    return loaded if isinstance(loaded, list) else [loaded]
+
+
+# ----------------------------------------------------------------------
+# Pretty-printing (the ``repro report`` subcommand)
+# ----------------------------------------------------------------------
+def _format_span(span: dict, indent: int, lines: list[str]) -> None:
+    attrs = span.get("attrs", {})
+    shown = ", ".join(f"{k}={v}" for k, v in list(attrs.items())[:4])
+    suffix = f"  [{shown}]" if shown else ""
+    lines.append(
+        f"{'  ' * indent}{span.get('name', '?'):<{max(1, 24 - 2 * indent)}}"
+        f" {span.get('duration_seconds', 0.0) * 1000:9.3f} ms{suffix}"
+    )
+    for child in span.get("children", []):
+        _format_span(child, indent + 1, lines)
+
+
+def format_run_report(report: dict) -> str:
+    """Human-readable rendering: identity, phase breakdown, counters, spans."""
+    t = report.get("timings", {})
+    total = t.get("total_seconds", 0.0) or 0.0
+    lines = [
+        f"run-report v{report.get('version')} — engine {report.get('engine')}"
+        f" / variant {report.get('variant')}",
+    ]
+    if "dataset" in report:
+        lines.append(f"dataset     : {report['dataset']}")
+    if "graph" in report:
+        g = report["graph"]
+        lines.append(
+            f"data graph  : {g.get('name', '')} |V|={g.get('num_vertices')}"
+            f" |E|={g.get('num_edges')}"
+        )
+    if "pattern" in report:
+        p = report["pattern"]
+        lines.append(
+            f"pattern     : {p.get('name', '')} |V|={p.get('num_vertices')}"
+            f" |E|={p.get('num_edges')}"
+        )
+    status = []
+    if report.get("truncated"):
+        status.append("truncated")
+    if report.get("timed_out"):
+        status.append("timed out")
+    lines.append(
+        f"embeddings  : {report.get('count')}"
+        + (f" ({', '.join(status)})" if status else "")
+    )
+    lines.append("")
+    lines.append("phase breakdown (paper total = read + optimize + execute):")
+    for label, key in (
+        ("read", "read_seconds"),
+        ("optimize", "plan_seconds"),
+        ("execute", "execute_seconds"),
+    ):
+        seconds = t.get(key, 0.0) or 0.0
+        share = (seconds / total * 100) if total > 0 else 0.0
+        lines.append(f"  {label:<9}: {seconds:10.6f} s  ({share:5.1f}%)")
+    lines.append(f"  {'total':<9}: {total:10.6f} s")
+    if "plan" in report:
+        plan = report["plan"]
+        lines.append("")
+        lines.append(
+            f"plan        : {plan.get('planner')} order={plan.get('order')}"
+        )
+        lines.append(
+            f"clusters    : {plan.get('clusters_used')} used,"
+            f" {plan.get('bytes_read')} bytes read"
+        )
+    counters = report.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<24}: {counters[name]}")
+    spans = report.get("spans", [])
+    if spans:
+        lines.append("")
+        lines.append("spans:")
+        for span in spans:
+            _format_span(span, 1, lines)
+    return "\n".join(lines)

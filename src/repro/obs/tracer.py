@@ -1,0 +1,204 @@
+"""Nested tracing spans with monotonic timings.
+
+A :class:`Tracer` records a tree of :class:`Span` objects per thread —
+``with tracer.span("read"):`` opens a child of whatever span is currently
+active on the calling thread, so the pipeline's natural call structure
+(``match`` → ``read`` / ``plan`` / ``execute`` → per-cluster decompression)
+becomes the span tree without any explicit parent bookkeeping. Timings use
+``time.perf_counter`` (monotonic), so child durations never exceed their
+parent's and re-entrant spans nest correctly.
+
+The disabled path is :data:`NULL_TRACER`: ``span()`` returns a shared
+singleton whose ``__enter__``/``__exit__``/``set`` are no-ops — zero
+allocations, so instrumented call sites cost one attribute load and a
+method call when tracing is off.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Span:
+    """One timed region: name, attributes, and child spans."""
+
+    __slots__ = ("name", "attrs", "start", "end", "children")
+
+    def __init__(self, name: str, attrs: dict | None = None):
+        self.name = name
+        self.attrs: dict = attrs or {}
+        self.start: float = 0.0
+        self.end: float = 0.0
+        self.children: list[Span] = []
+
+    @property
+    def duration(self) -> float:
+        """Seconds between enter and exit (0.0 while still open)."""
+        if self.end < self.start:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, key: str, value) -> None:
+        """Attach an attribute to the span (e.g. bytes read, order chosen)."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (durations in seconds)."""
+        payload: dict = {"name": self.name, "duration_seconds": self.duration}
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if self.children:
+            payload["children"] = [c.to_dict() for c in self.children]
+        return payload
+
+    def find(self, name: str) -> "Span | None":
+        """Depth-first lookup of a descendant (or self) by name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Span {self.name} {self.duration:.6f}s children={len(self.children)}>"
+
+
+class _SpanHandle:
+    """Context manager pushing/popping one span on the tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        self._span.start = time.perf_counter()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._span.end = time.perf_counter()
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self._span)
+        return False
+
+
+class Tracer:
+    """Thread-safe in-memory span collector.
+
+    Each thread keeps its own open-span stack (``threading.local``);
+    completed top-level spans from all threads are appended to a shared,
+    lock-protected ``roots`` list in completion order.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self.roots: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs) -> _SpanHandle:
+        """Open a span as a context manager; attributes are key=value."""
+        return _SpanHandle(self, Span(name, attrs or None))
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._local.stack
+        stack.pop()
+        if not stack:
+            with self._lock:
+                self.roots.append(span)
+
+    # ------------------------------------------------------------------
+    def find(self, name: str) -> Span | None:
+        """First span with this name anywhere in the collected trees."""
+        for root in self.roots:
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_list(self) -> list[dict]:
+        """All completed root spans as JSON-ready dicts."""
+        with self._lock:
+            roots = list(self.roots)
+        return [root.to_dict() for root in roots]
+
+    def clear(self) -> None:
+        with self._lock:
+            self.roots.clear()
+
+    def __repr__(self) -> str:
+        return f"<Tracer roots={len(self.roots)}>"
+
+
+class _NullSpan:
+    """Shared do-nothing span; ``set`` and the context protocol are no-ops."""
+
+    __slots__ = ()
+    name = ""
+    attrs: dict = {}
+    children: list = []
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, key: str, value) -> None:
+        pass
+
+    def to_dict(self) -> dict:
+        return {}
+
+    def find(self, name: str) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The zero-cost disabled tracer (see module docstring)."""
+
+    enabled = False
+    roots: list = []
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def find(self, name: str) -> None:
+        return None
+
+    def to_list(self) -> list:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
