@@ -5,12 +5,19 @@ vertex (space O(d * |V_P|)), its peak matching memory stays low. This bench
 records peak traced allocations for CSCE and the baselines on a shared
 workload and checks that CSCE's execution memory stays within the scaled
 budget and does not dwarf the baselines'.
+
+The numbers come from the observability layer's tracemalloc profiling
+hooks — ``run_task(track_memory=True)`` runs each task under a
+:class:`repro.obs.Profiler` and records its ``peak_mb`` — so this figure
+benchmark and ``--profile`` run-reports report literally the same quantity
+(one definition of "peak memory" across the repo).
 """
 
 from conftest import EMBEDDING_CAP, SCALE, TIME_LIMIT
 from repro.bench.harness import make_engine, run_task
 from repro.datasets import load_dataset
 from repro.graph.sampling import sample_pattern
+from repro.obs import Observation
 
 ENGINES = ["CSCE", "GuP", "RapidMatch", "VEQ"]
 
@@ -64,3 +71,47 @@ def test_matching_memory(benchmark, report):
     ]
     if other_peaks:
         assert max(csce_peaks) <= 10 * max(other_peaks)
+
+
+def test_harness_and_profile_report_same_quantity(benchmark, report):
+    """The figure benchmark's peak and a ``--profile`` run's peak are the
+    same tracemalloc measurement — not two ad-hoc definitions."""
+    graph = load_dataset("yeast", scale=SCALE)
+    pattern = sample_pattern(graph, 8, rng=8, style="dense")
+    engine = make_engine("CSCE", graph)
+
+    def run():
+        record = run_task(
+            "memory",
+            "CSCE",
+            engine,
+            graph.name,
+            pattern,
+            "edge_induced",
+            time_limit=TIME_LIMIT,
+            max_embeddings=EMBEDDING_CAP,
+            track_memory=True,
+        )
+        obs = Observation(profile=True)
+        result = engine.match(
+            pattern,
+            "edge_induced",
+            count_only=True,
+            max_embeddings=EMBEDDING_CAP,
+            time_limit=TIME_LIMIT,
+            obs=obs,
+        )
+        obs.finish(result)
+        return record.peak_mb, obs.profile.peak_mb
+
+    harness_peak, profile_peak = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "Memory: harness vs --profile peak (same workload)",
+        [{"harness_mb": harness_peak, "profile_mb": profile_peak}],
+    )
+    assert harness_peak is not None and harness_peak > 0
+    assert profile_peak > 0
+    # Identical code path, identical instrument; allow slack for allocator
+    # noise between the two runs.
+    ratio = harness_peak / profile_peak
+    assert 0.2 < ratio < 5.0

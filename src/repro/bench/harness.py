@@ -127,11 +127,13 @@ def run_task(
     Unsupported (engine, variant, graph-type) combinations — Table III's
     empty cells — come back flagged ``unsupported`` instead of raising.
     Timeouts record the time limit as the total, the existing-works
-    convention the paper follows. ``track_memory`` additionally records the
-    run's peak traced allocation (the paper's RAM column) at a roughly 2x
-    slowdown, so it is off by default. ``collect_reports`` attaches a full
-    run-report to the record (with span trees when ``trace`` is also set);
-    reports ride in ``record.report``, so ``record.row()`` stays flat.
+    convention the paper follows. ``track_memory`` runs the task under a
+    :class:`~repro.obs.profile.Profiler` and records its ``peak_mb`` — the
+    same tracemalloc quantity ``--profile`` run-reports expose — at a
+    roughly 2x slowdown, so it is off by default. ``collect_reports``
+    attaches a full run-report to the record (with span trees when
+    ``trace`` is also set); reports ride in ``record.report``, so
+    ``record.row()`` stays flat.
     """
     record = ExperimentRecord(
         experiment=experiment,
@@ -141,11 +143,11 @@ def run_task(
         pattern_size=pattern.num_vertices,
         pattern_name=pattern.name,
     )
-    obs = Observation(trace=trace) if collect_reports else None
-    if track_memory:
-        import tracemalloc
-
-        tracemalloc.start()
+    obs = (
+        Observation(trace=trace, profile=track_memory)
+        if (collect_reports or track_memory)
+        else None
+    )
     start = time.perf_counter()
     try:
         result: MatchResult = engine.match(
@@ -158,14 +160,14 @@ def run_task(
         )
     except VariantError:
         record.unsupported = True
-        if track_memory:
-            tracemalloc.stop()
+        if obs is not None:
+            obs.finish()
         return record
     wall = time.perf_counter() - start
+    if obs is not None:
+        obs.finish(result)
     if track_memory:
-        _, peak = tracemalloc.get_traced_memory()
-        tracemalloc.stop()
-        record.peak_mb = round(peak / 2**20, 3)
+        record.peak_mb = obs.profile.peak_mb
     record.embeddings = result.count
     record.execute_seconds = result.elapsed
     record.read_seconds = result.read_seconds
@@ -174,7 +176,7 @@ def run_task(
     record.timed_out = result.timed_out
     record.total_seconds = time_limit if result.timed_out else wall
     record.extra = dict(result.stats)
-    if obs is not None:
+    if collect_reports and obs is not None:
         record.report = build_run_report(
             result,
             engine=engine_name,
@@ -204,6 +206,7 @@ def sweep(
     max_embeddings: int | None = None,
     collect_reports: bool = False,
     trace: bool = False,
+    track_memory: bool = False,
 ) -> list[ExperimentRecord]:
     """Run every engine on every pattern; one record per (engine, pattern).
 
@@ -231,6 +234,7 @@ def sweep(
                     max_embeddings=max_embeddings,
                     collect_reports=collect_reports,
                     trace=trace,
+                    track_memory=track_memory,
                 )
             )
     return records

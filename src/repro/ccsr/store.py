@@ -324,6 +324,7 @@ class CCSRStore:
         obs = obs or NULL_OBS
         tracer = obs.tracer
         counters = obs.counters
+        profile = getattr(obs, "profile", None)
         variant_name = getattr(variant, "value", str(variant))
         with tracer.span("read", variant=variant_name) as read_span:
             start = time.perf_counter()
@@ -345,6 +346,8 @@ class CCSRStore:
                     decompressed.add(id(cluster))
                     bytes_read += nbytes
                     rows_read += rows
+                    if profile is not None and profile.enabled:
+                        profile.record_cluster(str(cluster.key), rows, nbytes)
                 return cluster
 
             labels = pattern.vertex_labels

@@ -8,6 +8,9 @@ Examples::
     csce --log-level INFO match --dataset dip --trace --report out.json
     csce report out.json                # pretty-print a saved run-report
     csce capabilities                   # Table III
+    csce explain --dataset dip --pattern-size 6   # plan EXPLAIN
+    csce bench --dataset yeast --history BENCH_smoke.json
+    csce bench compare --baseline BENCH_smoke.json   # regression gate
 """
 
 from __future__ import annotations
@@ -26,9 +29,14 @@ from repro.errors import FormatError
 from repro.graph.io import load_graph
 from repro.graph.sampling import sample_pattern
 from repro.obs import (
+    JsonlTimeSeriesExporter,
+    MetricsPump,
     Observation,
+    PrometheusTextfileExporter,
+    build_explain,
     build_run_report,
     configure_logging,
+    format_explain,
     format_run_report,
     load_run_reports,
     validate_run_report,
@@ -89,10 +97,31 @@ def _cmd_match(args: argparse.Namespace) -> int:
             graph, args.pattern_size, rng=args.seed, style=args.pattern_style
         )
     engine = make_engine(args.engine, graph)
-    instrumented = args.trace or args.report or args.heartbeat is not None
+    exporters = []
+    if args.metrics_prom:
+        exporters.append(PrometheusTextfileExporter(args.metrics_prom))
+    if args.metrics_jsonl:
+        exporters.append(JsonlTimeSeriesExporter(args.metrics_jsonl))
+    pump = (
+        MetricsPump(
+            exporters,
+            labels={"engine": args.engine, "dataset": args.dataset or "file"},
+        )
+        if exporters
+        else None
+    )
+    instrumented = (
+        args.trace
+        or args.report
+        or args.heartbeat is not None
+        or args.profile
+        or pump is not None
+    )
     obs = (
         Observation(trace=args.trace or bool(args.report),
-                    heartbeat_interval=args.heartbeat)
+                    heartbeat_interval=args.heartbeat,
+                    profile=args.profile,
+                    metrics=pump)
         if instrumented
         else None
     )
@@ -111,6 +140,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
     )
     report = None
     if obs is not None:
+        obs.finish(result)
         report = build_run_report(
             result,
             engine=args.engine,
@@ -123,6 +153,9 @@ def _cmd_match(args: argparse.Namespace) -> int:
     if args.report and report is not None:
         write_run_report(report, args.report)
         print(f"run-report  : {args.report}", file=sys.stderr)
+    if pump is not None:
+        for exporter in pump.exporters:
+            print(f"metrics     : {exporter.path}", file=sys.stderr)
     if args.json:
         payload = {
             "engine": args.engine,
@@ -144,6 +177,10 @@ def _cmd_match(args: argparse.Namespace) -> int:
             "throughput": result.throughput,
             "stats": dict(result.stats),
         }
+        if args.profile and obs is not None:
+            payload["profile"] = obs.profile.as_dict(
+                list(plan.order) if plan is not None else None
+            )
         if args.enumerate and result.embeddings is not None:
             payload["embeddings"] = [
                 {str(u): v for u, v in emb.items()}
@@ -160,6 +197,8 @@ def _cmd_match(args: argparse.Namespace) -> int:
     print(f"total time  : {result.total_seconds:.4f} s"
           f" (read {result.read_seconds:.4f}, plan {result.plan_seconds:.4f},"
           f" execute {result.elapsed:.4f})")
+    if args.profile and obs is not None:
+        print(f"peak memory : {obs.profile.peak_mb} MiB (tracemalloc)")
     if args.trace and report is not None:
         print()
         print(format_run_report(report))
@@ -189,10 +228,81 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    if args.data:
+        graph = load_graph(args.data)
+    elif args.dataset:
+        graph = load_dataset(args.dataset, scale=args.scale)
+    else:
+        print("error: provide --data FILE or --dataset NAME", file=sys.stderr)
+        return 2
+    if args.pattern:
+        pattern = load_graph(args.pattern)
+    else:
+        pattern = sample_pattern(
+            graph, args.pattern_size, rng=args.seed, style=args.pattern_style
+        )
+    engine = CSCE(graph)
+    # A live tracer makes the planner record its order rationale (the GCF
+    # rule firings EXPLAIN renders).
+    obs = Observation()
+    plan = engine.build_plan(
+        pattern, args.variant, planner=args.planner, obs=obs
+    )
+    run_report = None
+    if args.run_report:
+        try:
+            reports = load_run_reports(args.run_report)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {args.run_report}: {exc}",
+                  file=sys.stderr)
+            return 2
+        run_report = reports[-1] if reports else None
+    info = build_explain(plan, report=run_report)
+    if args.json:
+        print(json.dumps(info, indent=2, default=str))
+        return 0
+    print(format_explain(info))
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench.history import compare_histories, load_history
+
+    if not args.baseline:
+        print("error: bench compare requires --baseline PATH", file=sys.stderr)
+        return 2
+    current_path = args.current or args.baseline
+    try:
+        baseline = load_history(args.baseline)
+        current = load_history(current_path)
+    except (OSError, json.JSONDecodeError, FormatError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    comparison = compare_histories(
+        baseline,
+        current,
+        threshold=args.threshold,
+        min_seconds=args.min_seconds,
+    )
+    print_table(
+        [d.row() for d in comparison.deltas],
+        ["config", "baseline_s", "current_s", "ratio", "status"],
+        title=f"bench compare: {args.baseline} vs {current_path}",
+    )
+    print(comparison.summary())
+    return comparison.exit_code
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.harness import average_by, sweep
     from repro.graph.sampling import sample_pattern_suite
 
+    if args.action == "compare":
+        return _cmd_bench_compare(args)
+    if not args.dataset:
+        print("error: bench requires --dataset NAME", file=sys.stderr)
+        return 2
     graph = load_dataset(args.dataset, scale=args.scale)
     suite = sample_pattern_suite(
         graph,
@@ -221,6 +331,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         written = save_reports(records, args.report)
         print(f"run-reports : {written} written to {args.report}",
               file=sys.stderr)
+    if args.history:
+        from repro.bench.history import build_history, write_history
+
+        doc = build_history(args.figure, records)
+        write_history(doc, args.history)
+        print(f"bench-history: {len(doc['configs'])} config(s) written to"
+              f" {args.history}", file=sys.stderr)
     print_table(
         [r.row() for r in records],
         ["engine", "size", "embeddings", "total_s", "throughput", "status"],
@@ -242,6 +359,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.bench.history import BENCH_FORMAT, validate_bench_history
+
     try:
         reports = load_run_reports(args.path)
     except (OSError, json.JSONDecodeError) as exc:
@@ -251,18 +370,41 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"error: no run-reports in {args.path}", file=sys.stderr)
         return 2
     if args.validate:
-        problems = 0
+        # One validator per document family, sharing the schema core
+        # (repro.obs.report.schema_problems). Bench-history mismatches are
+        # configuration errors → exit 2; run-report mismatches → exit 1.
+        report_problems = 0
+        history_problems = 0
         for i, report in enumerate(reports):
+            is_history = (
+                isinstance(report, dict)
+                and report.get("format") == BENCH_FORMAT
+            )
             try:
-                validate_run_report(report)
+                if is_history:
+                    validate_bench_history(report)
+                else:
+                    validate_run_report(report)
             except FormatError as exc:
-                problems += 1
-                print(f"report #{i}: {exc}", file=sys.stderr)
+                if is_history:
+                    history_problems += 1
+                else:
+                    report_problems += 1
+                print(f"document #{i}: {exc}", file=sys.stderr)
+        problems = report_problems + history_problems
         if problems:
-            print(f"{problems}/{len(reports)} report(s) invalid",
+            print(f"{problems}/{len(reports)} document(s) invalid",
                   file=sys.stderr)
-            return 1
-        print(f"{len(reports)} report(s) valid")
+            return 2 if history_problems else 1
+        kinds = (
+            "bench-history document(s)"
+            if all(
+                isinstance(r, dict) and r.get("format") == BENCH_FORMAT
+                for r in reports
+            )
+            else "report(s)"
+        )
+        print(f"{len(reports)} {kinds} valid")
         return 0
     for i, report in enumerate(reports):
         if i:
@@ -331,6 +473,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_match.add_argument("--heartbeat", type=float, metavar="SECONDS",
                          default=None,
                          help="emit search-progress heartbeats this often")
+    p_match.add_argument("--profile", action="store_true",
+                         help="tracemalloc per-span memory + per-depth"
+                         " search profile in the run-report")
+    p_match.add_argument("--metrics-prom", metavar="PATH", default=None,
+                         help="export Prometheus textfile metrics here"
+                         " (atomically rewritten each sample)")
+    p_match.add_argument("--metrics-jsonl", metavar="PATH", default=None,
+                         help="append JSONL time-series metric samples here")
     p_match.set_defaults(func=_cmd_match)
 
     p_plan = sub.add_parser("plan", help="show the optimized matching plan")
@@ -350,10 +500,45 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("csce", "ri_cluster", "ri", "rm"))
     p_plan.set_defaults(func=_cmd_plan)
 
+    p_explain = sub.add_parser(
+        "explain",
+        help="render the optimizer's choices: order, GCF rule firings,"
+        " SCE DAG, equivalence pairs, candidate estimates",
+    )
+    p_explain.add_argument("--data", help="data graph file (.graph format)")
+    p_explain.add_argument(
+        "--dataset", choices=DATASET_NAMES, help="built-in dataset stand-in"
+    )
+    p_explain.add_argument("--scale", type=float, default=0.5)
+    p_explain.add_argument("--pattern", help="pattern graph file")
+    p_explain.add_argument("--pattern-size", type=int, default=8)
+    p_explain.add_argument(
+        "--pattern-style", choices=("induced", "dense", "sparse"), default="induced"
+    )
+    p_explain.add_argument("--seed", type=int, default=0)
+    p_explain.add_argument(
+        "--variant",
+        default="edge_induced",
+        choices=[v.value for v in Variant],
+    )
+    p_explain.add_argument("--planner", default="csce",
+                          choices=("csce", "ri_cluster", "ri", "rm"))
+    p_explain.add_argument("--run-report", metavar="PATH", default=None,
+                          help="join actual per-depth candidate counts from"
+                          " a saved --profile run-report")
+    p_explain.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+    p_explain.set_defaults(func=_cmd_explain)
+
     p_bench = sub.add_parser(
         "bench", help="sweep engines over sampled patterns and print a table"
     )
-    p_bench.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+    p_bench.add_argument(
+        "action", nargs="?", choices=("compare",), default=None,
+        help="'compare' checks a BENCH history against --baseline instead"
+        " of running a sweep",
+    )
+    p_bench.add_argument("--dataset", choices=DATASET_NAMES, default=None)
     p_bench.add_argument("--scale", type=float, default=0.25)
     p_bench.add_argument("--sizes", type=int, nargs="+", default=[4, 8])
     p_bench.add_argument("--patterns", type=int, default=2,
@@ -375,6 +560,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="collect span trees in the run-reports")
     p_bench.add_argument("--report", metavar="PATH", default=None,
                          help="write run-reports (.jsonl streams one/line)")
+    p_bench.add_argument("--history", metavar="PATH", default=None,
+                         help="write a BENCH_<figure>.json history document"
+                         " for later 'bench compare' regression gating")
+    p_bench.add_argument("--figure", default="cli",
+                         help="figure/experiment name stamped into --history")
+    p_bench.add_argument("--baseline", metavar="PATH", default=None,
+                         help="[compare] baseline BENCH_*.json history")
+    p_bench.add_argument("--current", metavar="PATH", default=None,
+                         help="[compare] current history"
+                         " (defaults to --baseline: a self-comparison)")
+    p_bench.add_argument("--threshold", type=float, default=1.5,
+                         help="[compare] normalized slowdown ratio that"
+                         " counts as a regression (default 1.5)")
+    p_bench.add_argument("--min-seconds", type=float, default=0.0005,
+                         help="[compare] baseline noise floor; faster"
+                         " configs never flag regressions")
     p_bench.set_defaults(func=_cmd_bench)
 
     p_report = sub.add_parser(

@@ -74,11 +74,20 @@ class CandidateStats:
 class CandidateComputer:
     """Computes (and, with SCE, reuses) raw candidate arrays per position."""
 
-    def __init__(self, plan: Plan, use_sce: bool = True, memo_limit: int = 1_000_000):
+    def __init__(
+        self,
+        plan: Plan,
+        use_sce: bool = True,
+        memo_limit: int = 1_000_000,
+        profile=None,
+    ):
         self.plan = plan
         self.use_sce = use_sce
         self.memo_limit = memo_limit
         self.stats = CandidateStats()
+        #: Optional :class:`repro.obs.profile.SearchDepthProfile` receiving
+        #: per-depth memo hit/miss events; ``None`` keeps the hot path free.
+        self._profile = profile
         self._memo: dict[tuple, np.ndarray] = {}
         # Intern each distinct memo spec as a small int: NEC-equivalent
         # positions share the same id, and hashing an int beats re-hashing
@@ -103,8 +112,12 @@ class CandidateComputer:
             cached = self._memo.get(key)
             if cached is not None:
                 self.stats.memo_hits += 1
+                if self._profile is not None:
+                    self._profile.memo_hit(pos)
                 return cached
             self.stats.memo_misses += 1
+            if self._profile is not None:
+                self._profile.memo_miss(pos)
         result = self._compute(pos, assignment)
         if self.use_sce and len(self._memo) < self.memo_limit:
             self._memo[key] = result

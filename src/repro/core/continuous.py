@@ -103,6 +103,17 @@ def embeddings_containing_edge(
             if key not in seen:
                 seen.add(key)
                 embeddings.append(mapping)
+    if obs is not None:
+        counters = getattr(obs, "counters", None)
+        if counters is not None and counters.enabled:
+            counters.inc("continuous.updates")
+            counters.inc("continuous.pins", len(pins))
+            counters.inc("continuous.delta_embeddings", len(embeddings))
+        metrics = getattr(obs, "metrics", None)
+        if metrics is not None and metrics.enabled:
+            # One sample per edge update: the continuous workload streams
+            # live metrics even when no heartbeat interval elapses.
+            metrics.sample(obs)
     return DeltaResult(
         edge=edge, embeddings=embeddings, pins_tried=len(pins),
         stats=stats,

@@ -33,7 +33,14 @@ class _Counter:
     def __init__(self, plan: Plan, options: MatchOptions):
         self.plan = plan
         self.options = options
-        self.computer = CandidateComputer(plan, use_sce=options.use_sce)
+        obs = options.obs or NULL_OBS
+        profiler = getattr(obs, "profile", None)
+        self._profile = (
+            profiler.search if profiler is not None and profiler.enabled else None
+        )
+        self.computer = CandidateComputer(
+            plan, use_sce=options.use_sce, profile=self._profile
+        )
         self.position = plan.position
         self.order = plan.order
         self.injective = plan.variant.injective
@@ -83,6 +90,8 @@ class _Counter:
         u = self.order[pos]
         self._tick(pos)
         candidates = self.computer.raw(pos, self.assignment)
+        if self._profile is not None:
+            self._profile.visit(pos, candidates.shape[0])
         total = 0
         for v in candidates.tolist():
             if self.injective and v in self.used:
@@ -99,6 +108,8 @@ class _Counter:
                 self._top_level_count = total
         if total == 0:
             self.backtracks += 1
+            if self._profile is not None:
+                self._profile.backtrack(pos)
         return total
 
     def _count_group(self, positions: tuple[int, ...]) -> int:

@@ -147,7 +147,15 @@ class Enumerator:
     def __init__(self, plan: Plan, options: MatchOptions):
         self.plan = plan
         self.options = options
-        self.computer = CandidateComputer(plan, use_sce=options.use_sce)
+        obs = options.obs or NULL_OBS
+        profiler = getattr(obs, "profile", None)
+        # None when profiling is off: the hot loops pay one is-None branch.
+        self._profile = (
+            profiler.search if profiler is not None and profiler.enabled else None
+        )
+        self.computer = CandidateComputer(
+            plan, use_sce=options.use_sce, profile=self._profile
+        )
         self.nodes = 0
         self.emitted = 0
         self.backtracks = 0
@@ -189,6 +197,7 @@ class Enumerator:
         injective = plan.variant.injective
         max_embeddings = self.options.max_embeddings
         pinned = self.options.seed or {}
+        profile = self._profile
         assignment = [-1] * n
         used: set[int] = set()
         add, discard = used.add, used.discard
@@ -206,6 +215,8 @@ class Enumerator:
             u = order[pos]
             restrictions = restriction_at[pos]
             candidates = raw(pos, assignment)
+            if profile is not None:
+                profile.visit(pos, candidates.shape[0])
             pin = pinned.get(u)
             if pin is not None:
                 values = [pin] if _contains_sorted(candidates, pin) else ()
@@ -228,6 +239,8 @@ class Enumerator:
                 assignment[u] = -1
             if self.emitted == before:
                 self.backtracks += 1
+                if profile is not None:
+                    profile.backtrack(pos)
 
         yield from extend(0)
 
@@ -244,6 +257,7 @@ class Enumerator:
         injective = plan.variant.injective
         max_embeddings = self.options.max_embeddings
         pinned = self.options.seed or {}
+        profile = self._profile
         assignment = [-1] * n
         used: set[int] = set()
         add, discard = used.add, used.discard
@@ -260,6 +274,8 @@ class Enumerator:
             u = order[pos]
             restrictions = restriction_at[pos]
             candidates = raw(pos, assignment)
+            if profile is not None:
+                profile.visit(pos, candidates.shape[0])
             pin = pinned.get(u)
             if pin is not None:
                 values = [pin] if _contains_sorted(candidates, pin) else ()
@@ -282,6 +298,8 @@ class Enumerator:
                 assignment[u] = -1
             if self.emitted == before:
                 self.backtracks += 1
+                if profile is not None:
+                    profile.backtrack(pos)
 
         extend(0)
         return self.emitted

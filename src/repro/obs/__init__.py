@@ -1,13 +1,20 @@
-"""Observability for the CSCE pipeline: spans, counters, logs, heartbeats.
+"""Observability for the CSCE pipeline: spans, counters, logs, heartbeats,
+metrics, and profiling.
 
-One :class:`Observation` bundles the three instruments a run can carry:
+One :class:`Observation` bundles the instruments a run can carry:
 
 * a :class:`~repro.obs.tracer.Tracer` collecting the nested span tree
   (``match`` → ``read`` / ``plan`` / ``execute`` → per-cluster reads);
 * a :class:`~repro.obs.counters.CounterRegistry` aggregating run telemetry
   beyond ``MatchResult.stats`` (CCSR bytes/rows read, heartbeat totals);
 * a :class:`~repro.obs.progress.Heartbeat` emitting periodic progress
-  lines during long enumerations.
+  lines during long enumerations;
+* a :class:`~repro.obs.profile.Profiler` (``profile=True``) adding
+  per-span tracemalloc memory, a per-depth search profile, and the
+  hot-cluster table;
+* a :class:`~repro.obs.metrics.MetricsPump` (``metrics=...``) sampling
+  the counters into typed metrics on the heartbeat tick and pushing them
+  through Prometheus-textfile / JSONL exporters.
 
 Passing ``obs=None`` (the default everywhere) selects the no-op
 instruments — a single branch on the hot paths, so disabled observability
@@ -15,8 +22,9 @@ costs nothing measurable. Typical use::
 
     from repro.obs import Observation
 
-    obs = Observation(heartbeat_interval=5.0)
+    obs = Observation(heartbeat_interval=5.0, profile=True)
     result = engine.match(pattern, obs=obs)
+    obs.finish()
     report = build_run_report(result, obs=obs, plan=...)
 
 Structured logging is configured separately (it is process-global):
@@ -33,7 +41,23 @@ from repro.obs.counters import (
     assert_stat_keys,
     unified_stats,
 )
+from repro.obs.explain import build_explain, estimate_candidates, format_explain
 from repro.obs.logconfig import JsonFormatter, configure_logging, resolve_level
+from repro.obs.metrics import (
+    NULL_METRICS,
+    JsonlTimeSeriesExporter,
+    MetricsPump,
+    MetricsRegistry,
+    NullMetricsPump,
+    PrometheusTextfileExporter,
+)
+from repro.obs.profile import (
+    NULL_PROFILE,
+    MemoryTracer,
+    NullProfiler,
+    Profiler,
+    SearchDepthProfile,
+)
 from repro.obs.progress import NULL_HEARTBEAT, Heartbeat, NullHeartbeat
 from repro.obs.report import (
     RUN_REPORT_VERSION,
@@ -41,6 +65,7 @@ from repro.obs.report import (
     format_run_report,
     load_run_reports,
     plan_summary,
+    schema_problems,
     validate_run_report,
     write_run_report,
 )
@@ -48,13 +73,17 @@ from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 
 class Observation:
-    """Bundle of tracer + counter registry + heartbeat for one run.
+    """Bundle of tracer + counters + heartbeat + profiler + metrics.
 
-    All three default to live instruments; pass ``trace=False`` to skip
-    span collection while keeping counters, or build the pieces yourself.
+    All instruments default to live (tracer/counters) or disabled
+    (heartbeat/profiler/metrics); pass ``trace=False`` to skip span
+    collection, ``profile=True`` (or a :class:`Profiler`) to enable the
+    profiling hooks, ``metrics=MetricsPump(...)`` to stream metrics. When
+    both profiling and tracing are on, the tracer is a
+    :class:`MemoryTracer` so every span carries memory attributes.
     """
 
-    __slots__ = ("tracer", "counters", "heartbeat")
+    __slots__ = ("tracer", "counters", "heartbeat", "profile", "metrics")
 
     enabled = True
 
@@ -65,9 +94,20 @@ class Observation:
         heartbeat: Heartbeat | NullHeartbeat | None = None,
         trace: bool = True,
         heartbeat_interval: float | None = None,
+        profile: bool | Profiler = False,
+        metrics: MetricsPump | NullMetricsPump | None = None,
     ):
+        if profile is True:
+            profile = Profiler()
+        elif not profile:
+            profile = NULL_PROFILE
         if tracer is None:
-            tracer = Tracer() if trace else NULL_TRACER
+            if trace and profile.enabled:
+                tracer = MemoryTracer(profile)
+            elif trace:
+                tracer = Tracer()
+            else:
+                tracer = NULL_TRACER
         if counters is None:
             counters = CounterRegistry()
         if heartbeat is None:
@@ -79,11 +119,25 @@ class Observation:
         self.tracer = tracer
         self.counters = counters
         self.heartbeat = heartbeat
+        self.profile = profile
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        if self.metrics.enabled and heartbeat.enabled:
+            # Sample live metrics at the heartbeat cadence — the hot loops
+            # pay nothing beyond the tick they already pay for.
+            heartbeat.add_listener(lambda: self.metrics.sample(self))
+
+    def finish(self, result=None) -> None:
+        """Close out the run: final metrics sample, profiler teardown."""
+        if self.metrics.enabled:
+            self.metrics.finalize(result, obs=self)
+        self.profile.finish()
 
     def __repr__(self) -> str:
         return (
             f"<Observation trace={self.tracer.enabled}"
-            f" heartbeat={self.heartbeat.enabled}>"
+            f" heartbeat={self.heartbeat.enabled}"
+            f" profile={self.profile.enabled}"
+            f" metrics={self.metrics.enabled}>"
         )
 
 
@@ -96,6 +150,11 @@ class _NullObservation:
     tracer = NULL_TRACER
     counters = NULL_COUNTERS
     heartbeat = NULL_HEARTBEAT
+    profile = NULL_PROFILE
+    metrics = NULL_METRICS
+
+    def finish(self, result=None) -> None:
+        pass
 
 
 NULL_OBS = _NullObservation()
@@ -108,6 +167,7 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "Span",
+    "MemoryTracer",
     "CounterRegistry",
     "NullCounterRegistry",
     "NULL_COUNTERS",
@@ -117,6 +177,16 @@ __all__ = [
     "Heartbeat",
     "NullHeartbeat",
     "NULL_HEARTBEAT",
+    "Profiler",
+    "NullProfiler",
+    "NULL_PROFILE",
+    "SearchDepthProfile",
+    "MetricsRegistry",
+    "MetricsPump",
+    "NullMetricsPump",
+    "NULL_METRICS",
+    "PrometheusTextfileExporter",
+    "JsonlTimeSeriesExporter",
     "configure_logging",
     "resolve_level",
     "JsonFormatter",
@@ -124,7 +194,11 @@ __all__ = [
     "build_run_report",
     "format_run_report",
     "plan_summary",
+    "schema_problems",
     "validate_run_report",
     "write_run_report",
     "load_run_reports",
+    "build_explain",
+    "format_explain",
+    "estimate_candidates",
 ]

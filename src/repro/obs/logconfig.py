@@ -1,4 +1,4 @@
-"""Structured logging configuration (``logging.config.dictConfig``).
+"""Structured logging configuration.
 
 Every module in the package logs through ``logging.getLogger(__name__)``
 (the standard library-friendly idiom); this module owns the one place that
@@ -6,15 +6,21 @@ attaches handlers. Plain text by default; ``json_output=True`` (or
 ``REPRO_LOG_JSON=1``) switches to one JSON object per line for log
 shippers. The level resolves CLI flag > ``REPRO_LOG_LEVEL`` env var >
 ``WARNING`` — libraries stay quiet unless asked.
+
+:func:`configure_logging` is idempotent: it tags the handler it installs
+and reuses (never duplicates) it on repeat calls, so a CLI entry point and
+a library embedder can both call it without records being emitted twice.
+Handlers attached by the embedding application are left untouched.
 """
 
 from __future__ import annotations
 
 import json
 import logging
-import logging.config
-import os
+import sys
 import time
+
+import os
 
 ENV_LEVEL = "REPRO_LOG_LEVEL"
 ENV_JSON = "REPRO_LOG_JSON"
@@ -49,6 +55,22 @@ class JsonFormatter(logging.Formatter):
         return json.dumps(payload, default=str)
 
 
+class _StderrHandler(logging.StreamHandler):
+    """A stream handler bound to *the current* ``sys.stderr``.
+
+    Late binding (a property, not a captured stream object) keeps records
+    flowing to the right place when the embedding application — or a test
+    harness — swaps ``sys.stderr`` after configuration.
+    """
+
+    def __init__(self):
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+
 def resolve_level(level: str | int | None = None) -> str:
     """CLI flag > ``REPRO_LOG_LEVEL`` > WARNING, validated."""
     if level is None:
@@ -63,6 +85,10 @@ def resolve_level(level: str | int | None = None) -> str:
     return name
 
 
+def _managed_handlers(root: logging.Logger) -> list[logging.Handler]:
+    return [h for h in root.handlers if getattr(h, "_repro_managed", False)]
+
+
 def configure_logging(
     level: str | int | None = None,
     json_output: bool | None = None,
@@ -70,8 +96,12 @@ def configure_logging(
 ) -> str:
     """Install handlers for the ``repro`` logger tree; returns the level.
 
-    ``force=False`` leaves an existing configuration alone (library use:
-    applications that already configured logging win).
+    Idempotent: the handler this function installs is tagged and *reused*
+    on repeat calls (level/format are updated in place), so calling setup
+    from both a CLI and a library embedder attaches exactly one handler and
+    emits each record exactly once. Foreign handlers — attached by the
+    embedding application — are never removed. ``force=False`` leaves any
+    existing configuration (managed or foreign) entirely alone.
     """
     root = logging.getLogger("repro")
     if not force and root.handlers:
@@ -79,31 +109,25 @@ def configure_logging(
     name = resolve_level(level)
     if json_output is None:
         json_output = os.environ.get(ENV_JSON, "").lower() in ("1", "true", "yes")
-    logging.config.dictConfig(
-        {
-            "version": 1,
-            "disable_existing_loggers": False,
-            "formatters": {
-                "plain": {
-                    "format": "%(asctime)s %(levelname)-7s %(name)s: %(message)s",
-                    "datefmt": "%H:%M:%S",
-                },
-                "json": {"()": "repro.obs.logconfig.JsonFormatter"},
-            },
-            "handlers": {
-                "repro": {
-                    "class": "logging.StreamHandler",
-                    "stream": "ext://sys.stderr",
-                    "formatter": "json" if json_output else "plain",
-                },
-            },
-            "loggers": {
-                "repro": {
-                    "level": name,
-                    "handlers": ["repro"],
-                    "propagate": False,
-                },
-            },
-        }
+    formatter: logging.Formatter = (
+        JsonFormatter()
+        if json_output
+        else logging.Formatter(
+            "%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+            datefmt="%H:%M:%S",
+        )
     )
+    managed = _managed_handlers(root)
+    if managed:
+        handler = managed[0]
+        for stale in managed[1:]:  # defensive: never keep duplicates
+            root.removeHandler(stale)
+            stale.close()
+    else:
+        handler = _StderrHandler()
+        handler._repro_managed = True
+        root.addHandler(handler)
+    handler.setFormatter(formatter)
+    root.setLevel(name)
+    root.propagate = False
     return name

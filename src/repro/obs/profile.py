@@ -1,0 +1,275 @@
+"""Opt-in profiling: per-span memory, per-depth search profile, hot clusters.
+
+Three questions the paper's evaluation keeps asking — *where does memory
+go* (the RAM columns), *where does the search spend its nodes* (Fig. 12's
+SCE-occurrence analysis), and *which clusters dominate the read phase*
+(Fig. 11's CCSR overhead) — need data the one-shot counters cannot give.
+This module collects it, opt-in (``--profile`` / ``Observation(profile=
+True)``), at a measurable but bounded cost; unprofiled runs keep the
+zero-cost null instruments.
+
+* :class:`MemoryTracer` — a :class:`~repro.obs.tracer.Tracer` that
+  annotates every span with tracemalloc deltas: ``mem_peak_kb`` (absolute
+  peak traced allocation during the span, children included) and
+  ``mem_net_kb`` (net allocation across the span). ``tracemalloc``'s peak
+  counter is process-global, so the enter/exit bookkeeping folds each
+  child's window into its parent — peaks stay correct through nesting.
+* :class:`SearchDepthProfile` — visits, backtracks, SCE memo hits/misses,
+  and candidate-list sizes **per pattern-vertex depth** (plan position):
+  the per-depth breakdown behind the SCE occurrence story.
+* hot clusters — rows/bytes decompressed per cluster key, for the
+  "top-k clusters by rows" table (which reads dominate ReadCSR).
+
+Profiling is single-threaded by design: tracemalloc's peak counter is
+global, so concurrent profiled runs would cross-contaminate their peaks.
+"""
+
+from __future__ import annotations
+
+import threading
+import tracemalloc
+
+from repro.obs.tracer import Span, Tracer
+
+
+class SearchDepthProfile:
+    """Per-depth search counters (depth = plan position, 0-based).
+
+    The hot loops call :meth:`visit` / :meth:`backtrack`, and the
+    candidate computer calls :meth:`memo_hit` / :meth:`memo_miss`, only
+    when a profiler is attached — one ``is not None`` branch per node on
+    the unprofiled path.
+    """
+
+    __slots__ = ("visits", "backtracks", "memo_hits", "memo_misses", "candidates")
+
+    def __init__(self):
+        self.visits: dict[int, int] = {}
+        self.backtracks: dict[int, int] = {}
+        self.memo_hits: dict[int, int] = {}
+        self.memo_misses: dict[int, int] = {}
+        self.candidates: dict[int, int] = {}
+
+    def visit(self, depth: int, num_candidates: int) -> None:
+        self.visits[depth] = self.visits.get(depth, 0) + 1
+        self.candidates[depth] = self.candidates.get(depth, 0) + num_candidates
+
+    def backtrack(self, depth: int) -> None:
+        self.backtracks[depth] = self.backtracks.get(depth, 0) + 1
+
+    def memo_hit(self, depth: int) -> None:
+        self.memo_hits[depth] = self.memo_hits.get(depth, 0) + 1
+
+    def memo_miss(self, depth: int) -> None:
+        self.memo_misses[depth] = self.memo_misses.get(depth, 0) + 1
+
+    def depths(self) -> list[int]:
+        seen = (
+            set(self.visits)
+            | set(self.backtracks)
+            | set(self.memo_hits)
+            | set(self.memo_misses)
+        )
+        return sorted(seen)
+
+    def rows(self, order: list[int] | None = None) -> list[dict]:
+        """One dict per depth, JSON-ready (the run-report's search table)."""
+        rows = []
+        for depth in self.depths():
+            visits = self.visits.get(depth, 0)
+            row = {
+                "depth": depth,
+                "visits": visits,
+                "backtracks": self.backtracks.get(depth, 0),
+                "memo_hits": self.memo_hits.get(depth, 0),
+                "memo_misses": self.memo_misses.get(depth, 0),
+                "candidates": self.candidates.get(depth, 0),
+                "mean_candidates": (
+                    round(self.candidates.get(depth, 0) / visits, 2)
+                    if visits
+                    else 0.0
+                ),
+            }
+            if order is not None and 0 <= depth < len(order):
+                row["vertex"] = order[depth]
+            rows.append(row)
+        return rows
+
+
+class Profiler:
+    """The run's profiling hub (``Observation(profile=True)``).
+
+    Owns the tracemalloc session (started lazily, stopped by
+    :meth:`finish` if this profiler started it), the per-depth
+    :class:`SearchDepthProfile`, the per-span memory summary fed by
+    :class:`MemoryTracer`, and the hot-cluster table fed by
+    :meth:`~repro.ccsr.store.CCSRStore.read`.
+    """
+
+    enabled = True
+
+    def __init__(self, top_k: int = 10, start_tracemalloc: bool = True):
+        self.top_k = top_k
+        self.search = SearchDepthProfile()
+        #: cluster key -> {"rows": ..., "bytes": ..., "reads": ...}
+        self.clusters: dict[str, dict] = {}
+        #: span name -> {"peak_kb": max, "net_kb": sum, "spans": n}
+        self.span_memory: dict[str, dict] = {}
+        self.overall_peak_bytes = 0
+        self._owns_tracemalloc = False
+        if start_tracemalloc and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracemalloc = True
+
+    # ------------------------------------------------------------------
+    def record_cluster(self, key: str, rows: int, nbytes: int) -> None:
+        entry = self.clusters.get(key)
+        if entry is None:
+            self.clusters[key] = {"rows": rows, "bytes": nbytes, "reads": 1}
+        else:
+            entry["rows"] += rows
+            entry["bytes"] += nbytes
+            entry["reads"] += 1
+
+    def hot_clusters(self, k: int | None = None) -> list[dict]:
+        """Top-k clusters by rows decompressed, descending."""
+        ranked = sorted(
+            ({"key": key, **stats} for key, stats in self.clusters.items()),
+            key=lambda row: (-row["rows"], -row["bytes"], row["key"]),
+        )
+        return ranked[: k if k is not None else self.top_k]
+
+    def note_span_memory(self, name: str, peak_bytes: int, net_bytes: int) -> None:
+        entry = self.span_memory.get(name)
+        peak_kb = round(peak_bytes / 1024, 1)
+        net_kb = round(net_bytes / 1024, 1)
+        if entry is None:
+            self.span_memory[name] = {
+                "peak_kb": peak_kb,
+                "net_kb": net_kb,
+                "spans": 1,
+            }
+        else:
+            entry["peak_kb"] = max(entry["peak_kb"], peak_kb)
+            entry["net_kb"] = round(entry["net_kb"] + net_kb, 1)
+            entry["spans"] += 1
+        if peak_bytes > self.overall_peak_bytes:
+            self.overall_peak_bytes = peak_bytes
+
+    # ------------------------------------------------------------------
+    @property
+    def peak_mb(self) -> float:
+        """Peak traced allocation observed in any span, in MiB.
+
+        This is the quantity both ``--profile`` run-reports and the
+        memory-footprint benchmark report — one definition, one number.
+        """
+        peak = self.overall_peak_bytes
+        if tracemalloc.is_tracing():
+            _, live_peak = tracemalloc.get_traced_memory()
+            peak = max(peak, live_peak)
+        return round(peak / 2**20, 3)
+
+    def finish(self) -> None:
+        """Capture the final peak and release tracemalloc if we started it."""
+        if tracemalloc.is_tracing():
+            _, peak = tracemalloc.get_traced_memory()
+            if peak > self.overall_peak_bytes:
+                self.overall_peak_bytes = peak
+            if self._owns_tracemalloc:
+                tracemalloc.stop()
+                self._owns_tracemalloc = False
+
+    # ------------------------------------------------------------------
+    def as_dict(self, order: list[int] | None = None) -> dict:
+        """The run-report ``profile`` block."""
+        return {
+            "peak_mb": self.peak_mb,
+            "memory_by_span": {
+                name: dict(stats) for name, stats in sorted(self.span_memory.items())
+            },
+            "search_depth": self.search.rows(order),
+            "hot_clusters": self.hot_clusters(),
+        }
+
+
+class NullProfiler:
+    """Disabled profiler; hot loops check ``enabled`` once per run."""
+
+    enabled = False
+    search = None
+    clusters: dict = {}
+    span_memory: dict = {}
+    overall_peak_bytes = 0
+    peak_mb = 0.0
+
+    def record_cluster(self, key: str, rows: int, nbytes: int) -> None:
+        pass
+
+    def note_span_memory(self, name: str, peak_bytes: int, net_bytes: int) -> None:
+        pass
+
+    def hot_clusters(self, k: int | None = None) -> list:
+        return []
+
+    def finish(self) -> None:
+        pass
+
+    def as_dict(self, order=None) -> dict:
+        return {}
+
+
+NULL_PROFILE = NullProfiler()
+
+
+class MemoryTracer(Tracer):
+    """A tracer whose spans also record tracemalloc peak/net memory.
+
+    tracemalloc's peak counter is global, so each span's window must be
+    isolated: on push the parent's accumulated window peak is folded into
+    the parent's running maximum before the counter is reset; on pop the
+    child's total peak propagates back up. The net effect: every span's
+    ``mem_peak_kb`` is the true absolute peak of traced memory while that
+    span (and its children) ran.
+    """
+
+    def __init__(self, profiler: Profiler | None = None):
+        super().__init__()
+        self.profiler = profiler
+        self._mlocal = threading.local()
+
+    def _mem_stack(self) -> list:
+        stack = getattr(self._mlocal, "stack", None)
+        if stack is None:
+            stack = self._mlocal.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        super()._push(span)
+        if not tracemalloc.is_tracing():
+            return
+        current, peak = tracemalloc.get_traced_memory()
+        stack = self._mem_stack()
+        if stack:
+            stack[-1][1] = max(stack[-1][1], peak)
+        tracemalloc.reset_peak()
+        # [current-at-entry, max child/window peak seen so far]
+        stack.append([current, 0])
+
+    def _pop(self, span: Span) -> None:
+        if tracemalloc.is_tracing():
+            stack = self._mem_stack()
+            if stack:
+                current, peak = tracemalloc.get_traced_memory()
+                entry_current, child_peak = stack.pop()
+                span_peak = max(peak, child_peak)
+                span.set("mem_peak_kb", round(span_peak / 1024, 1))
+                span.set("mem_net_kb", round((current - entry_current) / 1024, 1))
+                if stack:
+                    stack[-1][1] = max(stack[-1][1], span_peak)
+                tracemalloc.reset_peak()
+                if self.profiler is not None:
+                    self.profiler.note_span_memory(
+                        span.name, span_peak, current - entry_current
+                    )
+        super()._pop(span)

@@ -47,6 +47,12 @@ class Heartbeat:
         self.beats = 0
         self.depth_histogram: dict[int, int] = {}
         self._last = self.started
+        #: Callables invoked (no args) each time a line is emitted — the
+        #: hook the metrics pump uses to sample on the heartbeat cadence.
+        self.listeners: list[Callable[[], None]] = []
+
+    def add_listener(self, listener: Callable[[], None]) -> None:
+        self.listeners.append(listener)
 
     def beat(self, nodes: int, emitted: int, depth: int = 0, phase: str = "search") -> bool:
         """Record one tick; emit a progress line if ``interval`` elapsed.
@@ -66,6 +72,8 @@ class Heartbeat:
             f"[heartbeat] {phase}: {emitted} embeddings, {nodes} nodes, "
             f"depth sample {self.depth_summary()}, {elapsed:.1f}s elapsed"
         )
+        for listener in self.listeners:
+            listener()
         return True
 
     def depth_summary(self) -> str:
@@ -89,6 +97,10 @@ class NullHeartbeat:
     enabled = False
     beats = 0
     depth_histogram: dict = {}
+    listeners: list = []
+
+    def add_listener(self, listener: Callable[[], None]) -> None:
+        pass
 
     def beat(self, nodes: int, emitted: int, depth: int = 0, phase: str = "search") -> bool:
         return False

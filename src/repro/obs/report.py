@@ -41,6 +41,24 @@ _SCHEMA: dict[str, type | tuple] = {
 _TIMING_KEYS = ("read_seconds", "plan_seconds", "execute_seconds", "total_seconds")
 
 
+def schema_problems(
+    doc: object, schema: dict[str, type | tuple], label: str = "document"
+) -> list[str]:
+    """Field-presence/type check shared by run-report and bench-history
+    validation; returns the list of problems (empty when clean)."""
+    if not isinstance(doc, dict):
+        return [f"{label} must be a JSON object"]
+    problems: list[str] = []
+    for field, expected in schema.items():
+        if field not in doc:
+            problems.append(f"missing field {field!r}")
+        elif not isinstance(doc[field], expected):
+            problems.append(
+                f"field {field!r} has type {type(doc[field]).__name__}"
+            )
+    return problems
+
+
 def build_run_report(
     result,
     engine: str = "CSCE",
@@ -72,6 +90,7 @@ def build_run_report(
         heartbeat = getattr(obs, "heartbeat", None)
         if heartbeat is not None and heartbeat.enabled:
             counters["heartbeats"] = heartbeat.beats
+    profiler = getattr(obs, "profile", None) if obs is not None else None
 
     report: dict[str, Any] = {
         "format": RUN_REPORT_FORMAT,
@@ -91,6 +110,9 @@ def build_run_report(
         "counters": counters,
         "spans": spans,
     }
+    if profiler is not None and profiler.enabled:
+        order = list(plan.order) if plan is not None else None
+        report["profile"] = profiler.as_dict(order)
     if plan is not None:
         report["plan"] = plan_summary(plan)
     if pattern is not None:
@@ -141,16 +163,7 @@ def plan_summary(plan) -> dict:
 # ----------------------------------------------------------------------
 def validate_run_report(report: dict) -> None:
     """Raise :class:`FormatError` unless ``report`` is a valid v1 report."""
-    if not isinstance(report, dict):
-        raise FormatError("run-report must be a JSON object")
-    problems: list[str] = []
-    for field, expected in _SCHEMA.items():
-        if field not in report:
-            problems.append(f"missing field {field!r}")
-        elif not isinstance(report[field], expected):
-            problems.append(
-                f"field {field!r} has type {type(report[field]).__name__}"
-            )
+    problems = schema_problems(report, _SCHEMA, label="run-report")
     if not problems:
         if report["format"] != RUN_REPORT_FORMAT:
             problems.append(f"format is {report['format']!r}")
@@ -255,6 +268,34 @@ def format_run_report(report: dict) -> str:
             f"clusters    : {plan.get('clusters_used')} used,"
             f" {plan.get('bytes_read')} bytes read"
         )
+    profile = report.get("profile")
+    if profile:
+        lines.append("")
+        lines.append(f"profile     : peak memory {profile.get('peak_mb', 0.0)} MiB")
+        for name, mem in profile.get("memory_by_span", {}).items():
+            lines.append(
+                f"  span {name:<18}: peak {mem.get('peak_kb', 0.0)} KiB,"
+                f" net {mem.get('net_kb', 0.0)} KiB over {mem.get('spans')} span(s)"
+            )
+        depth_rows = profile.get("search_depth", [])
+        if depth_rows:
+            lines.append("  search depth profile (visits / backtracks /"
+                         " memo hits / mean candidates):")
+            for row in depth_rows:
+                vertex = f" u{row['vertex']}" if "vertex" in row else ""
+                lines.append(
+                    f"    depth {row['depth']:>3}{vertex}:"
+                    f" {row['visits']:>8} / {row['backtracks']:>8}"
+                    f" / {row['memo_hits']:>8} / {row['mean_candidates']:g}"
+                )
+        hot = profile.get("hot_clusters", [])
+        if hot:
+            lines.append("  hot clusters (rows decompressed):")
+            for entry in hot:
+                lines.append(
+                    f"    {entry['key']:<32} {entry['rows']:>10} rows"
+                    f" {entry['bytes']:>10} bytes"
+                )
     counters = report.get("counters", {})
     if counters:
         lines.append("")
