@@ -24,6 +24,7 @@ Quickstart::
 from repro.graph import Graph, Edge, load_graph, save_graph, sample_pattern
 from repro.ccsr import CCSRStore
 from repro.core import CSCE, MatchResult, Plan, Variant
+from repro.engine import EmbeddingStream, MatchSession, PhysicalPlan
 from repro.errors import (
     ReproError,
     GraphError,
@@ -46,6 +47,9 @@ __all__ = [
     "MatchResult",
     "Plan",
     "Variant",
+    "EmbeddingStream",
+    "MatchSession",
+    "PhysicalPlan",
     "ReproError",
     "GraphError",
     "FormatError",

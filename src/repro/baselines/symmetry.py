@@ -17,6 +17,12 @@ vertex in a non-trivial orbit of the current group, require it to map below
 every other orbit member, and descend to its stabilizer. Each automorphism
 orbit of embeddings then has exactly one representative satisfying all
 restrictions.
+
+The restricted search itself runs on the compiled engine: the pattern is
+compiled once per (pattern, restrictions) through a private
+:class:`~repro.engine.MatchSession` and counted by the iterative physical
+executor, so the baseline isolates the *symmetry-breaking strategy* (and
+its optimization cost) rather than differences in backtracking machinery.
 """
 
 from __future__ import annotations
@@ -24,17 +30,15 @@ from __future__ import annotations
 import time
 from typing import Iterator
 
-from repro.baselines.base import (
-    BaselineMatcher,
-    SearchBudget,
-    backward_constraints,
-)
-from repro.core.executor import MatchResult
-from repro.core.gcf import gcf_order
+from repro.baselines.base import BaselineMatcher, SearchBudget
 from repro.core.variants import Variant
+from repro.engine.executor import execute_physical
+from repro.engine.results import MatchOptions, MatchResult
+from repro.engine.session import MatchSession
 from repro.errors import VariantError
 from repro.graph.algorithms import iter_automorphisms
 from repro.graph.model import Graph
+from repro.obs import NULL_OBS
 
 
 def symmetry_restrictions(pattern: Graph) -> tuple[list[tuple[int, int]], int]:
@@ -73,6 +77,9 @@ class SymmetryBreakingMatcher(BaselineMatcher):
     supports_directed = False
     max_tested_pattern_size = 7
 
+    def _prepare(self, graph: Graph) -> None:
+        self._session = MatchSession(graph)
+
     def match(
         self,
         pattern: Graph,
@@ -80,6 +87,8 @@ class SymmetryBreakingMatcher(BaselineMatcher):
         count_only: bool = True,
         max_embeddings: int | None = None,
         time_limit: float | None = None,
+        restrictions: tuple[tuple[int, int], ...] | None = None,
+        obs=None,
     ) -> MatchResult:
         """Count embeddings (symmetry breaking is count-only: the matcher
         never materializes the automorphic copies it skips).
@@ -87,9 +96,15 @@ class SymmetryBreakingMatcher(BaselineMatcher):
         The result's ``count`` is already multiplied by |Aut(P)| so it
         agrees with engines that do not break symmetry (Section VII-B).
         ``stats`` records the optimization time (``symmetry_seconds``) that
-        Finding 2 shows exploding with pattern size.
+        Finding 2 shows exploding with pattern size. Caller-supplied
+        ``restrictions`` are merged with the derived symmetry chain and
+        further constrain the restricted search (the |Aut(P)| multiplier is
+        unchanged). ``max_embeddings`` is accepted for interface parity but
+        ignored: a cap on the *restricted* count has no meaningful
+        embedding-count semantics after the group-size multiplication.
         """
         variant = Variant.parse(variant)
+        obs = obs or NULL_OBS
         self.check_supported(pattern, variant)
         if not count_only:
             raise VariantError(
@@ -97,98 +112,48 @@ class SymmetryBreakingMatcher(BaselineMatcher):
                 " embeddings instead of materializing them"
             )
         optimization_start = time.perf_counter()
-        restrictions, group_size = symmetry_restrictions(pattern)
+        sym_restrictions, group_size = symmetry_restrictions(pattern)
         symmetry_seconds = time.perf_counter() - optimization_start
+        combined = tuple(
+            dict.fromkeys([*(restrictions or ()), *sym_restrictions])
+        ) or None
 
-        budget = SearchBudget(time_limit)
-        start = time.perf_counter()
-        restricted_count = 0
-        timed_out = False
-        try:
-            for _ in self._restricted_embeddings(pattern, restrictions, budget):
-                restricted_count += 1
-        except Exception as exc:  # TimeLimitExceeded from budget.tick
-            from repro.errors import TimeLimitExceeded
-
-            if isinstance(exc, TimeLimitExceeded):
-                timed_out = True
-            else:
-                raise
+        with obs.tracer.span(
+            "match", engine=self.display_name, variant=variant.value
+        ) as span:
+            compiled = self._session.compile(
+                pattern, variant, restrictions=combined, obs=obs
+            )
+            result = execute_physical(
+                compiled.physical,
+                MatchOptions(
+                    count_only=True,
+                    time_limit=time_limit,
+                    restrictions=combined,
+                    obs=obs if obs.enabled else None,
+                ),
+            )
+            span.set("count", result.count * group_size)
+        stats = dict(result.stats)
+        stats.update(
+            symmetry_seconds=symmetry_seconds,
+            automorphisms=group_size,
+            restrictions=len(combined or ()),
+            restricted_count=result.count,
+        )
         return MatchResult(
-            count=restricted_count * group_size,
+            count=result.count * group_size,
             variant=variant,
             embeddings=None,
-            elapsed=time.perf_counter() - start + symmetry_seconds,
-            timed_out=timed_out,
-            stats={
-                "nodes": budget.nodes,
-                "symmetry_seconds": symmetry_seconds,
-                "automorphisms": group_size,
-                "restrictions": len(restrictions),
-                "restricted_count": restricted_count,
-            },
+            elapsed=result.elapsed + symmetry_seconds,
+            read_seconds=result.read_seconds,
+            plan_seconds=result.plan_seconds,
+            compile_seconds=result.compile_seconds,
+            timed_out=result.timed_out,
+            stats=stats,
         )
 
     def _embeddings(
         self, pattern: Graph, variant: Variant, budget: SearchBudget
     ) -> Iterator[dict[int, int]]:
         raise NotImplementedError("use match(); symmetry breaking is count-only")
-
-    def _restricted_embeddings(
-        self,
-        pattern: Graph,
-        restrictions: list[tuple[int, int]],
-        budget: SearchBudget,
-    ) -> Iterator[dict[int, int]]:
-        index = self.index
-        order = gcf_order(pattern, task_clusters=None, use_cluster_tiebreak=False)
-        checks = backward_constraints(pattern, order)
-        n = pattern.num_vertices
-        position = {v: i for i, v in enumerate(order)}
-        # Evaluate each restriction as soon as both endpoints are matched.
-        restriction_at: list[list[tuple[int, int, bool]]] = [[] for _ in range(n)]
-        for u, v in restrictions:
-            later = u if position[u] > position[v] else v
-            restriction_at[position[later]].append((u, v, later == u))
-
-        assignment: dict[int, int] = {}
-        used: set[int] = set()
-
-        def extend(pos: int) -> Iterator[dict[int, int]]:
-            if pos == n:
-                yield dict(assignment)
-                return
-            budget.tick()
-            u = order[pos]
-            backward = checks[pos]
-            if backward:
-                anchor_prior = backward[0][0]
-                pool = index.neighbors[assignment[anchor_prior]]
-            else:
-                pool = index.vertices_with_label(pattern.vertex_label(u))
-            for v in pool:
-                if v in used:
-                    continue
-                ok = True
-                for prior, _lbl, _directed, _forward in backward:
-                    if not index.adjacent(assignment[prior], v):
-                        ok = False
-                        break
-                if not ok:
-                    continue
-                violates = False
-                for a, b, later_is_a in restriction_at[pos]:
-                    fa = v if later_is_a else assignment[a]
-                    fb = assignment[b] if later_is_a else v
-                    if not fa < fb:
-                        violates = True
-                        break
-                if violates:
-                    continue
-                assignment[u] = v
-                used.add(v)
-                yield from extend(pos + 1)
-                used.discard(v)
-                del assignment[u]
-
-        yield from extend(0)

@@ -176,6 +176,7 @@ def run_task(
     record.timed_out = result.timed_out
     record.total_seconds = time_limit if result.timed_out else wall
     record.extra = dict(result.stats)
+    record.extra["compile_seconds"] = result.compile_seconds
     if collect_reports and obs is not None:
         record.report = build_run_report(
             result,

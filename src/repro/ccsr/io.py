@@ -198,6 +198,7 @@ def _load_store(path: str | os.PathLike) -> CCSRStore:
             pair = frozenset((key.src_label, key.dst_label))
             store._pair_index.setdefault(pair, []).append(key)
         store.build_seconds = 0.0
+        store.version = 0
     return store
 
 

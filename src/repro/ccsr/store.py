@@ -148,6 +148,11 @@ class CCSRStore:
             pair = frozenset((key.src_label, key.dst_label))
             self._pair_index.setdefault(pair, []).append(key)
         self.build_seconds = time.perf_counter() - start
+        #: Bumped by every incremental update. Updates rebuild cluster
+        #: objects, so anything holding references resolved against the old
+        #: clusters — compiled plans in a :class:`repro.engine.MatchSession`
+        #: cache above all — keys on this counter to avoid stale reuse.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -227,6 +232,7 @@ class CCSRStore:
             if cluster.in_csr is not None:
                 cluster.in_csr.num_vertices = self.num_vertices
                 cluster.in_csr.full_offsets = None
+        self.version += 1
         return self.num_vertices - 1
 
     def _cluster_edges(self, cluster: Cluster) -> list[tuple[int, int]]:
@@ -268,6 +274,7 @@ class CCSRStore:
             pair = frozenset((key.src_label, key.dst_label))
             self._pair_index.setdefault(pair, []).append(key)
         self.num_edges += 1
+        self.version += 1
 
     def remove_edge(
         self,
@@ -303,6 +310,7 @@ class CCSRStore:
             if not self._pair_index[pair]:
                 del self._pair_index[pair]
         self.num_edges -= 1
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Algorithm 1: ReadCSR

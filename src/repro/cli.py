@@ -25,6 +25,7 @@ from repro.bench.tables import print_table
 from repro.core.csce import CSCE
 from repro.core.variants import Variant
 from repro.datasets import DATASET_NAMES, dataset_table, load_dataset
+from repro.engine.physical import compile_plan
 from repro.errors import FormatError
 from repro.graph.io import load_graph
 from repro.graph.sampling import sample_pattern
@@ -129,15 +130,34 @@ def _cmd_match(args: argparse.Namespace) -> int:
     if isinstance(engine, CSCE) and obs is not None:
         # Build the plan explicitly so the run-report can summarize it.
         plan = engine.build_plan(pattern, args.variant, obs=obs)
-    result = engine.match(
-        pattern,
-        args.variant,
-        count_only=not args.enumerate,
-        max_embeddings=args.limit,
-        time_limit=args.time_limit,
-        obs=obs,
-        **({"plan": plan} if plan is not None else {}),
-    )
+    if args.stream:
+        if not isinstance(engine, CSCE):
+            print("error: --stream requires --engine CSCE", file=sys.stderr)
+            return 2
+        shown = 0
+        with engine.match_iter(
+            pattern,
+            args.variant,
+            max_embeddings=args.limit,
+            time_limit=args.time_limit,
+            obs=obs,
+            **({"plan": plan} if plan is not None else {}),
+        ) as stream:
+            for embedding in stream:
+                if shown < args.show and not args.json:
+                    print(f"  #{shown}: {embedding}")
+                    shown += 1
+            result = stream.result()
+    else:
+        result = engine.match(
+            pattern,
+            args.variant,
+            count_only=not args.enumerate,
+            max_embeddings=args.limit,
+            time_limit=args.time_limit,
+            obs=obs,
+            **({"plan": plan} if plan is not None else {}),
+        )
     report = None
     if obs is not None:
         obs.finish(result)
@@ -222,6 +242,10 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     print(f"clusters     : {plan.task_clusters.num_clusters}"
           f" (read {plan.task_clusters.read_seconds:.4f} s)")
     print(f"plan time    : {plan.plan_seconds:.4f} s")
+    physical = compile_plan(plan)
+    print(f"physical     : {len(physical.ops)} extend ops,"
+          f" {physical.num_specs} candidate specs"
+          f" (compiled {physical.compile_seconds:.4f} s)")
     stats = engine.sce_report(pattern, args.variant)
     print(f"SCE          : {stats.occurrence:.0%} of pattern vertices,"
           f" cluster share {stats.cluster_ratio:.0%}")
@@ -460,6 +484,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_match.add_argument("--engine", default="CSCE", choices=sorted(ENGINES))
     p_match.add_argument("--enumerate", action="store_true",
                          help="materialize embeddings instead of counting")
+    p_match.add_argument("--stream", action="store_true",
+                         help="stream embeddings lazily (CSCE only): print"
+                              " the first --show as they are found, then"
+                              " drain the rest for the count")
     p_match.add_argument("--show", type=int, default=5,
                          help="embeddings to display with --enumerate")
     p_match.add_argument("--limit", type=int, default=None)

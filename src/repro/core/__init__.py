@@ -1,4 +1,10 @@
-"""CSCE core: variants, dependency DAGs, planning, and execution."""
+"""CSCE core: variants, dependency DAGs, planning, and execution.
+
+Execution itself lives in :mod:`repro.engine` (logical plans are compiled
+to physical operators and run iteratively); this package keeps the
+planning pipeline and re-exports the engine's public contract for
+compatibility.
+"""
 
 from repro.core.variants import Variant
 from repro.core.dag import DependencyDAG, build_dag

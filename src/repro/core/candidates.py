@@ -1,20 +1,15 @@
-"""Candidate computation with SCE-based reuse.
+"""Candidate-computation primitives shared with the physical engine.
 
-``C(u | Phi, f)`` — the candidates of a pattern vertex given a partial
-embedding — is computed by intersecting the cluster neighbor lists of the
-vertex's backward constraints, then filtering vertex-induced negations. By
-Definition 1 the raw set depends only on the mappings of the vertex's
-dependency priors, so it is memoized on exactly that key; injectivity
-filtering (the ``\\ {v_x}`` part) happens at use time and never enters the
-cache. NEC falls out for free: equivalent pattern vertices share a memo
-spec and therefore share cached candidate sets.
+The :class:`CandidateComputer` that consumed logical plans moved to
+:mod:`repro.engine.candidates`, where it operates on compiled
+:class:`~repro.engine.ExtendOp` operators. What remains here are the
+engine-independent primitives: the sorted-array intersection kernel and the
+:class:`CandidateStats` counter bundle both layers share.
 """
 
 from __future__ import annotations
 
 import numpy as np
-
-from repro.core.plan import Plan
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -69,92 +64,3 @@ class CandidateStats:
             "intersections": self.intersections,
             "negation_checks": self.negation_checks,
         }
-
-
-class CandidateComputer:
-    """Computes (and, with SCE, reuses) raw candidate arrays per position."""
-
-    def __init__(
-        self,
-        plan: Plan,
-        use_sce: bool = True,
-        memo_limit: int = 1_000_000,
-        profile=None,
-    ):
-        self.plan = plan
-        self.use_sce = use_sce
-        self.memo_limit = memo_limit
-        self.stats = CandidateStats()
-        #: Optional :class:`repro.obs.profile.SearchDepthProfile` receiving
-        #: per-depth memo hit/miss events; ``None`` keeps the hot path free.
-        self._profile = profile
-        self._memo: dict[tuple, np.ndarray] = {}
-        # Intern each distinct memo spec as a small int: NEC-equivalent
-        # positions share the same id, and hashing an int beats re-hashing
-        # the nested spec tuple on every single lookup.
-        spec_ids: dict[tuple, int] = {}
-        self._spec_id = [
-            spec_ids.setdefault(spec, len(spec_ids)) for spec in plan.memo_specs
-        ]
-        self._priors = plan.memo_priors
-
-    def clear(self) -> None:
-        self._memo.clear()
-
-    def raw(self, pos: int, assignment: list[int]) -> np.ndarray:
-        """The sorted raw candidate array of ``plan.order[pos]`` under the
-        current partial embedding (before injectivity filtering)."""
-        if self.use_sce:
-            key = (
-                self._spec_id[pos],
-                *[assignment[p] for p in self._priors[pos]],
-            )
-            cached = self._memo.get(key)
-            if cached is not None:
-                self.stats.memo_hits += 1
-                if self._profile is not None:
-                    self._profile.memo_hit(pos)
-                return cached
-            self.stats.memo_misses += 1
-            if self._profile is not None:
-                self._profile.memo_miss(pos)
-        result = self._compute(pos, assignment)
-        if self.use_sce and len(self._memo) < self.memo_limit:
-            self._memo[key] = result
-        return result
-
-    def _compute(self, pos: int, assignment: list[int]) -> np.ndarray:
-        plan = self.plan
-        self.stats.computed += 1
-        constraints = plan.backward[pos]
-        if constraints:
-            arrays = []
-            for c in constraints:
-                arr = c.neighbor_array(assignment[c.prior])
-                if arr.shape[0] == 0:
-                    return _EMPTY
-                arrays.append(arr)
-            arrays.sort(key=len)
-            result = arrays[0]
-            for arr in arrays[1:]:
-                self.stats.intersections += 1
-                result = intersect_sorted(result, arr)
-                if result.shape[0] == 0:
-                    return _EMPTY
-        else:
-            result = plan.first_candidates[pos]
-        for negation in plan.negations[pos]:
-            if result.shape[0] == 0:
-                break
-            self.stats.negation_checks += 1
-            excluded = negation.exclusion_array(assignment[negation.prior])
-            if excluded.shape[0] == 0:
-                continue
-            # Sorted-array membership: forbid candidates present in the
-            # exclusion list (vectorized version of Definition 1's check).
-            idx = np.searchsorted(excluded, result)
-            idx[idx == excluded.shape[0]] = excluded.shape[0] - 1
-            violates = excluded[idx] == result
-            if violates.any():
-                result = result[~violates]
-        return result

@@ -15,6 +15,11 @@ embedding exactly once per pattern edge that maps onto the new data edge;
 results across pins are deduplicated on the full mapping because distinct
 pins can yield the same embedding when the pattern has automorphisms moving
 one pinned edge onto another.
+
+Each delta compiles the pattern **once** through the engine's
+:class:`~repro.engine.MatchSession` (a cache hit when the store version is
+unchanged), then rebinds the compiled plan's pins per seed with
+:meth:`~repro.engine.PhysicalPlan.with_seed` — no replanning per pin.
 """
 
 from __future__ import annotations
@@ -23,6 +28,8 @@ from dataclasses import dataclass, field
 
 from repro.core.csce import CSCE
 from repro.core.variants import Variant
+from repro.engine.executor import execute_physical
+from repro.engine.results import MatchOptions
 from repro.graph.model import Edge, Graph
 from repro.obs import STAT_KEYS
 
@@ -84,17 +91,22 @@ def embeddings_containing_edge(
     unified counters over all pins.
     """
     variant = Variant.parse(variant)
+    obs = obs or getattr(engine, "obs", None)
     pins = _compatible_pins(pattern, engine.store.vertex_labels, edge)
     seen: set[tuple] = set()
     embeddings: list[dict[int, int]] = []
     stats: dict[str, int] = dict.fromkeys(STAT_KEYS, 0)
+    compiled = (
+        engine.session.compile(pattern, variant, obs=obs) if pins else None
+    )
     for seed in pins:
-        result = engine.match(
-            pattern,
-            variant,
-            seed=seed,
-            time_limit=time_limit,
-            obs=obs,
+        # One compile per delta; each pin is a cheap rebind of the ops.
+        result = execute_physical(
+            compiled.physical.with_seed(seed),
+            MatchOptions(
+                time_limit=time_limit,
+                obs=obs if obs is not None and obs.enabled else None,
+            ),
         )
         for key, value in result.stats.items():
             stats[key] = stats.get(key, 0) + value

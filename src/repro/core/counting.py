@@ -1,229 +1,30 @@
-"""Embedding counting with SCE factorization.
+"""Compatibility shim: counting moved to :mod:`repro.engine.counting`.
 
-Enumeration must spell out every embedding, but counting can exploit
-Sequential Candidate Equivalence directly: once the unmatched suffix of the
-plan splits into regions with no dependency path between them (components of
-``H``), their counts multiply — each region is matched once instead of once
-per sibling combination (the paper's R1/R2 example in Section I).
-
-Under the injective variants the product is only sound when sibling regions
-cannot compete for the same data vertices. Candidates always carry their
-pattern vertex's label, so regions with disjoint label sets are safe —
-exactly Definition 1's observation that ``C \\ {v_x} = C`` when labels
-differ. Regions sharing labels are merged and enumerated jointly.
-
-Region counts are memoized on (region, images of its dependency frontier,
-the used data vertices that could collide with it), so identical subproblems
-across sibling mappings are solved once — SCE's "all succeed or fail the
-same way" reuse.
+The SCE-factorized counter now runs iteratively over compiled
+:class:`~repro.engine.PhysicalPlan` operators (see
+:class:`repro.engine.FactorizedCounter`); this module keeps the historical
+``count_embeddings(plan, options)`` entry point for callers holding a
+logical plan.
 """
 
 from __future__ import annotations
 
-import time
-
-from repro.core.candidates import CandidateComputer
 from repro.core.plan import Plan
-from repro.core.executor import MatchOptions, _TIME_CHECK_INTERVAL
-from repro.errors import TimeLimitExceeded
-from repro.obs import NULL_OBS, unified_stats
+from repro.engine.counting import FactorizedCounter, count_physical
+from repro.engine.physical import compile_plan
+from repro.engine.results import MatchOptions
 
-
-class _Counter:
-    def __init__(self, plan: Plan, options: MatchOptions):
-        self.plan = plan
-        self.options = options
-        obs = options.obs or NULL_OBS
-        profiler = getattr(obs, "profile", None)
-        self._profile = (
-            profiler.search if profiler is not None and profiler.enabled else None
-        )
-        self.computer = CandidateComputer(
-            plan, use_sce=options.use_sce, profile=self._profile
-        )
-        self.position = plan.position
-        self.order = plan.order
-        self.injective = plan.variant.injective
-        self.labels = [plan.pattern.vertex_label(v) for v in range(plan.num_vertices)]
-        self.assignment = [-1] * plan.num_vertices
-        self.used: set[int] = set()
-        self.nodes = 0
-        self.factorizations = 0
-        self.group_memo_hits = 0
-        self.backtracks = 0
-        self.prunes_injective = 0
-        self._group_memo: dict[tuple, int] = {}
-        self._deadline = (
-            time.perf_counter() + options.time_limit
-            if options.time_limit is not None
-            else None
-        )
-        self._heartbeat = (options.obs or NULL_OBS).heartbeat
-        self._ticking = self._deadline is not None or self._heartbeat.enabled
-        self._top_level_count = 0
-
-    # ------------------------------------------------------------------
-    def count(self) -> int:
-        plan = self.plan
-        if plan.impossible():
-            return 0
-        all_positions = tuple(range(plan.num_vertices))
-        return self._count_list(all_positions, top_level=True)
-
-    # ------------------------------------------------------------------
-    def _count_list(self, positions: tuple[int, ...], top_level: bool = False) -> int:
-        if not positions:
-            return 1
-        if self.options.use_sce and len(positions) > 1:
-            groups = self._independent_groups(positions)
-            if len(groups) > 1:
-                self.factorizations += 1
-                total = 1
-                for group in groups:
-                    total *= self._count_group(group)
-                    if total == 0:
-                        break
-                return total
-        # Sequential step: enumerate the first position's candidates.
-        pos = positions[0]
-        rest = positions[1:]
-        u = self.order[pos]
-        self._tick(pos)
-        candidates = self.computer.raw(pos, self.assignment)
-        if self._profile is not None:
-            self._profile.visit(pos, candidates.shape[0])
-        total = 0
-        for v in candidates.tolist():
-            if self.injective and v in self.used:
-                self.prunes_injective += 1
-                continue
-            self.assignment[u] = v
-            if self.injective:
-                self.used.add(v)
-            total += self._count_list(rest)
-            if self.injective:
-                self.used.discard(v)
-            self.assignment[u] = -1
-            if top_level:
-                self._top_level_count = total
-        if total == 0:
-            self.backtracks += 1
-            if self._profile is not None:
-                self._profile.backtrack(pos)
-        return total
-
-    def _count_group(self, positions: tuple[int, ...]) -> int:
-        """Count one independent region, memoized on its frontier state."""
-        members = {self.order[p] for p in positions}
-        frontier = sorted(
-            {
-                prior
-                for p in positions
-                for prior in self.plan.memo_priors[p]
-                if prior not in members
-            }
-        )
-        if self.injective:
-            group_labels = {self.labels[self.order[p]] for p in positions}
-            relevant_used = frozenset(
-                v for v in self.used if self._data_label(v) in group_labels
-            )
-        else:
-            relevant_used = frozenset()
-        key = (
-            positions,
-            tuple(self.assignment[prior] for prior in frontier),
-            relevant_used,
-        )
-        cached = self._group_memo.get(key)
-        if cached is not None:
-            self.group_memo_hits += 1
-            return cached
-        result = self._count_list(positions)
-        self._group_memo[key] = result
-        return result
-
-    def _independent_groups(
-        self, positions: tuple[int, ...]
-    ) -> list[tuple[int, ...]]:
-        """Split the suffix into independent groups.
-
-        Components come from ``H`` restricted to the unmatched vertices; for
-        injective variants, components sharing any vertex label are merged
-        back together (the product would otherwise double-count collisions).
-        """
-        vertices = [self.order[p] for p in positions]
-        components = self.plan.dag.undirected_components(vertices)
-        if len(components) <= 1:
-            return [positions]
-        if self.injective:
-            components = self._merge_by_labels(components)
-            if len(components) <= 1:
-                return [positions]
-        return [
-            tuple(sorted(self.position[v] for v in component))
-            for component in components
-        ]
-
-    def _merge_by_labels(self, components: list[list[int]]) -> list[list[int]]:
-        parent = list(range(len(components)))
-
-        def find(x: int) -> int:
-            while parent[x] != x:
-                parent[x] = parent[parent[x]]
-                x = parent[x]
-            return x
-
-        owner: dict = {}
-        for idx, component in enumerate(components):
-            for v in component:
-                label = self.labels[v]
-                if label in owner:
-                    parent[find(idx)] = find(owner[label])
-                else:
-                    owner[label] = idx
-        merged: dict[int, list[int]] = {}
-        for idx, component in enumerate(components):
-            merged.setdefault(find(idx), []).extend(component)
-        return [sorted(group) for group in merged.values()]
-
-    # ------------------------------------------------------------------
-    def _data_label(self, v: int):
-        return self.plan.task_clusters.data_vertex_labels[v]
-
-    def _tick(self, depth: int = 0) -> None:
-        self.nodes += 1
-        if self._ticking and self.nodes % _TIME_CHECK_INTERVAL == 0:
-            if self._heartbeat.enabled:
-                self._heartbeat.beat(
-                    self.nodes, self._top_level_count, depth, phase="count"
-                )
-            if (
-                self._deadline is not None
-                and time.perf_counter() > self._deadline
-            ):
-                raise TimeLimitExceeded(
-                    "time limit exceeded during counting",
-                    partial_count=self._top_level_count,
-                )
+__all__ = ["FactorizedCounter", "count_embeddings", "count_physical"]
 
 
 def count_embeddings(plan: Plan, options: MatchOptions) -> tuple[int, dict]:
-    """Count embeddings of ``plan``; returns (count, stats).
+    """Count embeddings of a logical plan; returns (count, stats).
 
     ``stats`` carries the full unified key set
     (:data:`repro.obs.counters.STAT_KEYS`), matching the enumeration path
-    key-for-key; ``prunes_restriction`` is always 0 here because
-    restrictions force the enumeration path.
+    key-for-key. Timeouts now surface as a partial count (the engine is
+    cooperative); callers needing the flag should use
+    :func:`repro.engine.count_physical`.
     """
-    counter = _Counter(plan, options)
-    total = counter.count()
-    stats = unified_stats(
-        nodes=counter.nodes,
-        candidate_stats=counter.computer.stats,
-        backtracks=counter.backtracks,
-        prunes_injective=counter.prunes_injective,
-        factorizations=counter.factorizations,
-        group_memo_hits=counter.group_memo_hits,
-    )
+    total, stats, _timed_out = count_physical(compile_plan(plan), options)
     return total, stats

@@ -5,8 +5,17 @@ Usage::
     from repro import CSCE, Variant
 
     engine = CSCE(data_graph)            # offline: builds the CCSR store
-    result = engine.match(pattern)       # online: read + plan + execute
+    result = engine.match(pattern)       # online: read + plan + compile + execute
     print(result.count, result.total_seconds)
+
+    for embedding in engine.match_iter(pattern):   # lazy streaming
+        consume(embedding)
+
+Every query runs through the engine's :class:`repro.engine.MatchSession`:
+logical plans are compiled once into a
+:class:`~repro.engine.PhysicalPlan` and cached per (pattern, variant,
+planner, restrictions, store version), so repeated patterns skip the
+read→optimize→compile pipeline.
 
 Planner configurations reproduce Fig. 13's ablation:
 
@@ -21,40 +30,44 @@ Planner configurations reproduce Fig. 13's ablation:
 from __future__ import annotations
 
 import logging
-import time
 
 from repro.ccsr.store import CCSRStore
+from repro.core.gcf import gcf_order
 from repro.core.dag import build_dag
-from repro.core.descendants import compute_descendant_sizes
-from repro.core.executor import MatchOptions, MatchResult, execute
-from repro.core.gcf import gcf_order, rapidmatch_order
-from repro.core.ldsf import ldsf_order
-from repro.core.plan import Plan, assemble_plan
+from repro.core.plan import Plan
 from repro.core.variants import Variant
+from repro.engine.executor import EmbeddingStream, execute_physical
+from repro.engine.physical import PhysicalPlan, compile_plan
+from repro.engine.results import MatchOptions, MatchResult
+from repro.engine.session import PLANNERS, MatchSession, plan_query
 from repro.errors import PlanError
 from repro.graph.model import Graph
 from repro.obs import NULL_OBS
 
 logger = logging.getLogger(__name__)
 
-PLANNERS = ("csce", "ri_cluster", "ri", "rm", "cost")
+__all__ = ["CSCE", "PLANNERS"]
 
 
 class CSCE:
     """Clustered-CSR + Sequential-Candidate-Equivalence matching engine."""
 
-    def __init__(self, graph: Graph | CCSRStore, obs=None):
+    def __init__(
+        self,
+        graph: Graph | CCSRStore,
+        obs=None,
+        plan_cache_size: int = 64,
+    ):
         """Build (or adopt) the CCSR store for a data graph.
 
         Passing a :class:`Graph` runs the offline clustering stage; passing
         a prebuilt :class:`CCSRStore` shares it across engines. ``obs`` (a
         :class:`repro.obs.Observation`) becomes the engine's default
         instrumentation for every run; per-call ``obs=`` arguments win.
+        ``plan_cache_size`` bounds the session's compiled-plan LRU.
         """
-        if isinstance(graph, CCSRStore):
-            self.store = graph
-        else:
-            self.store = CCSRStore(graph)
+        self.session = MatchSession(graph, obs=obs, cache_size=plan_cache_size)
+        self.store = self.session.store
         self.obs = obs
 
     # ------------------------------------------------------------------
@@ -65,72 +78,43 @@ class CSCE:
         planner: str = "csce",
         obs=None,
     ) -> Plan:
-        """Read clusters and optimize a matching plan (Sections IV–VI)."""
-        if planner not in PLANNERS:
-            raise PlanError(f"unknown planner {planner!r}; choose from {PLANNERS}")
-        variant = Variant.parse(variant)
-        obs = obs or self.obs or NULL_OBS
-        tracer = obs.tracer
-        start = time.perf_counter()
-        task = self.store.read(pattern, variant, obs=obs)
+        """Read clusters and optimize a matching plan (Sections IV–VI).
 
-        rationale: list | None = [] if tracer.enabled else None
-        with tracer.span(
-            "plan", planner=planner, variant=variant.value
-        ) as plan_span:
-            if planner == "rm":
-                order = rapidmatch_order(pattern, task)
-            elif planner == "cost":
-                from repro.core.cost import cost_based_order
-
-                order = cost_based_order(pattern, task)
-            else:
-                with tracer.span("plan.gcf"):
-                    order = gcf_order(
-                        pattern,
-                        task,
-                        use_cluster_tiebreak=planner in ("csce", "ri_cluster"),
-                        rationale=rationale,
-                    )
-            dag = build_dag(pattern, order, variant, task)
-            descendant_sizes = compute_descendant_sizes(dag)
-            if planner == "csce":
-                with tracer.span("plan.ldsf"):
-                    order = ldsf_order(
-                        dag,
-                        pattern,
-                        task,
-                        label_frequency=self.store.label_frequency,
-                        descendant_sizes=descendant_sizes,
-                    )
-                dag = build_dag(pattern, order, variant, task)
-            plan = assemble_plan(
-                self.store,
-                task,
-                pattern,
-                order,
-                dag,
-                variant,
-                planner_name=planner,
-                descendant_sizes=descendant_sizes,
-                obs=obs,
-            )
-            plan_span.set("order", list(order))
-            if rationale:
-                plan_span.set("rationale", rationale)
-        plan.plan_seconds = time.perf_counter() - start - task.read_seconds
-        if rationale:
-            plan.order_rationale = rationale
-        logger.debug(
-            "planned %s/%s: order=%s in %.4fs",
-            planner,
-            variant.value,
-            plan.order,
-            plan.plan_seconds,
+        Always plans fresh (no cache) — this is the inspection entry point
+        behind ``repro plan`` / ``repro explain``. :meth:`match` compiles
+        and caches through the session instead.
+        """
+        return plan_query(
+            self.store,
+            pattern,
+            Variant.parse(variant),
+            planner=planner,
+            obs=obs or self.obs or NULL_OBS,
         )
-        return plan
 
     # ------------------------------------------------------------------
+    def _compiled(
+        self,
+        pattern: Graph,
+        variant: Variant,
+        planner: str,
+        plan: Plan | None,
+        restrictions: tuple[tuple[int, int], ...] | None,
+        obs,
+    ) -> PhysicalPlan:
+        """The physical plan for one call: session-cached, or compiled from
+        a caller-supplied logical plan."""
+        if plan is None:
+            return self.session.compile(
+                pattern, variant, planner=planner,
+                restrictions=restrictions, obs=obs,
+            ).physical
+        if plan.variant is not variant:
+            raise PlanError(
+                f"plan was built for {plan.variant}, not {variant}"
+            )
+        return compile_plan(plan, restrictions=restrictions)
+
     def match(
         self,
         pattern: Graph,
@@ -156,46 +140,90 @@ class CSCE:
             Count embeddings without materializing them; enables the SCE
             count factorization.
         max_embeddings / time_limit:
-            Resource caps; exceeding them returns a truncated result.
+            Resource caps; exceeding them returns a truncated result
+            (cooperative — the engine stops at the next checkpoint).
         use_sce:
             Ablation switch for candidate memoization + factorization.
         plan:
-            A prebuilt plan to execute (skips planning); its variant must
-            agree with ``variant``.
+            A prebuilt logical plan to execute (skips planning and the
+            session cache); its variant must agree with ``variant``.
         restrictions:
             Symmetry restrictions ``(u, v)`` forcing ``f(u) < f(v)``; with a
             full restriction chain each automorphism orbit is found once.
         seed:
             Pinned mappings ``{pattern vertex: data vertex}``; only
             embeddings extending the seed are produced (delta matching).
+            Seeds rebind onto the cached compiled plan without recompiling.
         obs:
             A :class:`repro.obs.Observation` receiving spans (``match`` →
             ``read``/``plan``/``execute``), counters, and heartbeats for
-            this run; ``None`` keeps instrumentation disabled.
+            this run; ``None`` keeps instrumentation disabled. Cache hits
+            skip the read/plan spans (the work didn't happen) and bump the
+            ``plan_cache.hits`` counter instead.
         """
         variant = Variant.parse(variant)
         obs = obs or self.obs or NULL_OBS
+        restrictions = tuple(restrictions) if restrictions else None
         with obs.tracer.span(
             "match", engine="CSCE", variant=variant.value
         ) as span:
-            if plan is None:
-                plan = self.build_plan(pattern, variant, planner=planner, obs=obs)
-            elif plan.variant is not variant:
-                raise PlanError(
-                    f"plan was built for {plan.variant}, not {variant}"
-                )
+            physical = self._compiled(
+                pattern, variant, planner, plan, restrictions, obs
+            )
             options = MatchOptions(
                 count_only=count_only,
                 max_embeddings=max_embeddings,
                 time_limit=time_limit,
                 use_sce=use_sce,
-                restrictions=tuple(restrictions) if restrictions else None,
+                restrictions=restrictions,
                 seed=dict(seed) if seed else None,
                 obs=obs if obs.enabled else None,
             )
-            result = execute(plan, options)
+            result = execute_physical(physical, options)
             span.set("count", result.count)
         return result
+
+    def match_iter(
+        self,
+        pattern: Graph,
+        variant: Variant | str = Variant.EDGE_INDUCED,
+        max_embeddings: int | None = None,
+        time_limit: float | None = None,
+        use_sce: bool = True,
+        planner: str = "csce",
+        plan: Plan | None = None,
+        restrictions: tuple[tuple[int, int], ...] | None = None,
+        seed: dict[int, int] | None = None,
+        obs=None,
+    ) -> EmbeddingStream:
+        """Stream embeddings lazily, one ``{vertex: data vertex}`` dict at
+        a time.
+
+        Returns an :class:`repro.engine.EmbeddingStream`: iterate it (or
+        use it as a context manager) and the search runs exactly as far as
+        you consume — first results of a huge query arrive without paying
+        for the rest. ``max_embeddings`` / ``time_limit`` end the stream
+        cooperatively with the ``truncated`` / ``timed_out`` flags set;
+        ``stream.result()`` snapshots a :class:`MatchResult` at any point.
+
+        The stream holds no tracer span open (its lifetime belongs to the
+        consumer); heartbeats and profiling from ``obs`` stay live.
+        """
+        variant = Variant.parse(variant)
+        obs = obs or self.obs or NULL_OBS
+        restrictions = tuple(restrictions) if restrictions else None
+        physical = self._compiled(
+            pattern, variant, planner, plan, restrictions, obs
+        )
+        options = MatchOptions(
+            max_embeddings=max_embeddings,
+            time_limit=time_limit,
+            use_sce=use_sce,
+            restrictions=restrictions,
+            seed=dict(seed) if seed else None,
+            obs=obs if obs.enabled else None,
+        )
+        return EmbeddingStream(physical, options)
 
     def count(self, pattern: Graph, variant: Variant | str = Variant.EDGE_INDUCED, **kwargs) -> int:
         """Shorthand: the embedding count (``count_only`` matching)."""
@@ -231,7 +259,7 @@ class CSCE:
         from repro.core.equivalence import sce_statistics
 
         variant = Variant.parse(variant)
-        task = self.store.read(pattern, variant)
+        task = self.store.read(pattern, variant, obs=self.obs or NULL_OBS)
         order = gcf_order(pattern, task)
         dag = build_dag(pattern, order, variant, task, paper_faithful=paper_faithful)
         return sce_statistics(pattern, dag)

@@ -1,427 +1,42 @@
-"""The pipelined execution framework (Section III, green stage).
+"""Compatibility shim: execution moved to :mod:`repro.engine`.
 
-Embeddings grow one vertex at a time following the plan order; each step
-intersects cluster neighbor lists (worst-case-optimal-join style) through
-:class:`~repro.core.candidates.CandidateComputer`. Enumeration materializes
-every embedding; counting delegates to :mod:`repro.core.counting`, which
-additionally factorizes over conditionally independent suffix regions.
+The recursive plan interpreter that lived here was replaced by the
+compiled physical-operator engine — logical plans are lowered once by
+:func:`repro.engine.compile_plan` into per-step :class:`~repro.engine.ExtendOp`
+operators and run by the **iterative** executor in
+:mod:`repro.engine.executor` (explicit frame stack, cooperative limits,
+lazy streaming via :class:`~repro.engine.EmbeddingStream`).
+
+This module re-exports the public names so existing
+``from repro.core.executor import ...`` call sites keep working. New code
+should import from :mod:`repro.engine`, and repeated queries should go
+through a :class:`repro.engine.MatchSession` (or the
+:class:`repro.core.CSCE` facade, which owns one) to reuse compiled plans.
 """
 
 from __future__ import annotations
 
-import logging
-import time
-from dataclasses import dataclass, field
-from typing import Iterator
-
-import numpy as np
-
-from repro.core.candidates import CandidateComputer
 from repro.core.plan import Plan
-from repro.core.variants import Variant
-from repro.errors import EmbeddingLimitExceeded, TimeLimitExceeded
-from repro.obs import NULL_OBS, unified_stats
+from repro.engine.executor import EmbeddingStream, execute_physical
+from repro.engine.physical import compile_plan
+from repro.engine.results import MatchOptions, MatchResult
 
-logger = logging.getLogger(__name__)
-
-_TIME_CHECK_INTERVAL = 2048
-
-
-@dataclass
-class MatchOptions:
-    """Knobs for one matching run.
-
-    ``max_embeddings`` truncates the search after that many results (the
-    existing-works convention of stopping at 1e5); ``time_limit`` is a soft
-    wall-clock budget in seconds; ``use_sce`` toggles candidate memoization
-    and count factorization (the paper's headline optimization) for
-    ablations; ``count_only`` skips materializing embeddings.
-    """
-
-    count_only: bool = False
-    max_embeddings: int | None = None
-    time_limit: float | None = None
-    use_sce: bool = True
-    restrictions: tuple[tuple[int, int], ...] | None = None
-    """Optional symmetry restrictions: each ``(u, v)`` requires
-    ``f(u) < f(v)``. With the restrictions from
-    :func:`repro.baselines.symmetry.symmetry_restrictions`, every
-    automorphism orbit is enumerated exactly once — e.g. each k-clique once
-    instead of k! times. Restrictions disable count factorization (they
-    couple otherwise independent regions)."""
-
-    seed: dict[int, int] | None = None
-    """Optional pinned mappings ``{pattern vertex: data vertex}``. Pinned
-    vertices are still validated against their candidate sets (labels,
-    backward edges, negations, injectivity), so a seeded run enumerates
-    exactly the embeddings extending the seed — the building block of
-    continuous/delta matching (:mod:`repro.core.continuous`). Seeds disable
-    count factorization."""
-
-    obs: object | None = None
-    """Optional :class:`repro.obs.Observation` carrying the run's tracer,
-    counter registry, and heartbeat. ``None`` (the default) selects the
-    no-op instruments — the zero-cost-when-disabled path."""
-
-
-@dataclass
-class MatchResult:
-    """Outcome of one matching run, with the paper's reporting fields."""
-
-    count: int
-    variant: Variant
-    embeddings: list[dict[int, int]] | None = None
-    elapsed: float = 0.0
-    read_seconds: float = 0.0
-    plan_seconds: float = 0.0
-    truncated: bool = False
-    timed_out: bool = False
-    stats: dict = field(default_factory=dict)
-    """Unified search counters — the same key set on *every* execution path
-    (enumeration and ``count_only`` factorized counting emit identical
-    keys; see :data:`repro.obs.counters.STAT_KEYS`):
-
-    * ``nodes`` — search-tree nodes expanded;
-    * ``computed`` / ``memo_hits`` / ``memo_misses`` — candidate-set cold
-      computations vs. SCE cache hits and misses (``memo_misses`` stays 0
-      under ``use_sce=False``, distinguishing cold computes from misses);
-    * ``intersections`` — sorted neighbor-list intersections performed;
-    * ``negation_checks`` — vertex-induced negation-cluster probes;
-    * ``backtracks`` — dead-end returns (nodes contributing no embedding);
-    * ``prunes_injective`` / ``prunes_restriction`` — candidates rejected
-      by injectivity or symmetry restrictions;
-    * ``factorizations`` / ``group_memo_hits`` — SCE count-factorization
-      events and memoized-region reuses (0 on the enumeration path).
-    """
-
-    @property
-    def total_seconds(self) -> float:
-        """Total time the paper reports: read + optimize + execute."""
-        return self.elapsed + self.read_seconds + self.plan_seconds
-
-    @property
-    def throughput(self) -> float:
-        """Embeddings per second of execution time (Fig. 7/8 metric)."""
-        if self.elapsed <= 0:
-            return 0.0
-        return self.count / self.elapsed
-
-    def __repr__(self) -> str:
-        flags = []
-        if self.truncated:
-            flags.append("truncated")
-        if self.timed_out:
-            flags.append("timed-out")
-        suffix = f" [{', '.join(flags)}]" if flags else ""
-        return (
-            f"<MatchResult {self.variant} count={self.count}"
-            f" {self.total_seconds:.4f}s{suffix}>"
-        )
-
-
-def _contains_sorted(array: np.ndarray, value: int) -> bool:
-    """Membership test in a sorted candidate array (binary search)."""
-    idx = int(np.searchsorted(array, value))
-    return idx < array.shape[0] and int(array[idx]) == value
-
-
-def _satisfies(
-    candidate: int,
-    assignment: list[int],
-    restrictions: list[tuple[int, bool]],
-) -> bool:
-    """Check the ``f(u) < f(v)`` restrictions anchored at this position."""
-    for other, candidate_is_smaller in restrictions:
-        image = assignment[other]
-        if candidate_is_smaller:
-            if candidate >= image:
-                return False
-        elif candidate <= image:
-            return False
-    return True
-
-
-class Enumerator:
-    """Depth-first embedding enumeration over a plan."""
-
-    def __init__(self, plan: Plan, options: MatchOptions):
-        self.plan = plan
-        self.options = options
-        obs = options.obs or NULL_OBS
-        profiler = getattr(obs, "profile", None)
-        # None when profiling is off: the hot loops pay one is-None branch.
-        self._profile = (
-            profiler.search if profiler is not None and profiler.enabled else None
-        )
-        self.computer = CandidateComputer(
-            plan, use_sce=options.use_sce, profile=self._profile
-        )
-        self.nodes = 0
-        self.emitted = 0
-        self.backtracks = 0
-        self.prunes_injective = 0
-        self.prunes_restriction = 0
-        self._deadline = (
-            time.perf_counter() + options.time_limit
-            if options.time_limit is not None
-            else None
-        )
-        self._heartbeat = (options.obs or NULL_OBS).heartbeat
-        # One flag guards the periodic work: without a deadline or a live
-        # heartbeat, _tick never even computes the interval modulo.
-        self._ticking = self._deadline is not None or self._heartbeat.enabled
-        # Restrictions evaluated at the position where their later endpoint
-        # is matched; (other_vertex, current_is_smaller_side).
-        self.restriction_at: list[list[tuple[int, bool]]] = [
-            [] for _ in range(plan.num_vertices)
-        ]
-        if options.restrictions:
-            position = plan.position
-            for u, v in options.restrictions:
-                if position[u] > position[v]:
-                    self.restriction_at[position[u]].append((v, True))
-                else:
-                    self.restriction_at[position[v]].append((u, False))
-
-    # ------------------------------------------------------------------
-    def run(self) -> Iterator[tuple[int, ...]]:
-        """Yield embeddings as tuples indexed by pattern vertex id."""
-        plan = self.plan
-        if plan.impossible():
-            return
-        # Hot path: everything the recursion touches is bound to locals.
-        n = plan.num_vertices
-        order = plan.order
-        raw = self.computer.raw
-        restriction_at = self.restriction_at
-        injective = plan.variant.injective
-        max_embeddings = self.options.max_embeddings
-        pinned = self.options.seed or {}
-        profile = self._profile
-        assignment = [-1] * n
-        used: set[int] = set()
-        add, discard = used.add, used.discard
-
-        def extend(pos: int) -> Iterator[tuple[int, ...]]:
-            if pos == n:
-                self.emitted += 1
-                yield tuple(assignment)
-                if max_embeddings is not None and self.emitted >= max_embeddings:
-                    raise EmbeddingLimitExceeded(
-                        "embedding limit reached", partial_count=self.emitted
-                    )
-                return
-            self._tick(pos)
-            u = order[pos]
-            restrictions = restriction_at[pos]
-            candidates = raw(pos, assignment)
-            if profile is not None:
-                profile.visit(pos, candidates.shape[0])
-            pin = pinned.get(u)
-            if pin is not None:
-                values = [pin] if _contains_sorted(candidates, pin) else ()
-            else:
-                values = candidates.tolist()
-            before = self.emitted
-            for v in values:
-                if injective and v in used:
-                    self.prunes_injective += 1
-                    continue
-                if restrictions and not _satisfies(v, assignment, restrictions):
-                    self.prunes_restriction += 1
-                    continue
-                assignment[u] = v
-                if injective:
-                    add(v)
-                yield from extend(pos + 1)
-                if injective:
-                    discard(v)
-                assignment[u] = -1
-            if self.emitted == before:
-                self.backtracks += 1
-                if profile is not None:
-                    profile.backtrack(pos)
-
-        yield from extend(0)
-
-    def count_capped(self) -> int:
-        """Count embeddings without yielding — the fast path for capped or
-        restricted counting runs (no per-embedding generator hand-off)."""
-        plan = self.plan
-        if plan.impossible():
-            return 0
-        n = plan.num_vertices
-        order = plan.order
-        raw = self.computer.raw
-        restriction_at = self.restriction_at
-        injective = plan.variant.injective
-        max_embeddings = self.options.max_embeddings
-        pinned = self.options.seed or {}
-        profile = self._profile
-        assignment = [-1] * n
-        used: set[int] = set()
-        add, discard = used.add, used.discard
-
-        def extend(pos: int) -> None:
-            if pos == n:
-                self.emitted += 1
-                if max_embeddings is not None and self.emitted >= max_embeddings:
-                    raise EmbeddingLimitExceeded(
-                        "embedding limit reached", partial_count=self.emitted
-                    )
-                return
-            self._tick(pos)
-            u = order[pos]
-            restrictions = restriction_at[pos]
-            candidates = raw(pos, assignment)
-            if profile is not None:
-                profile.visit(pos, candidates.shape[0])
-            pin = pinned.get(u)
-            if pin is not None:
-                values = [pin] if _contains_sorted(candidates, pin) else ()
-            else:
-                values = candidates.tolist()
-            before = self.emitted
-            for v in values:
-                if injective and v in used:
-                    self.prunes_injective += 1
-                    continue
-                if restrictions and not _satisfies(v, assignment, restrictions):
-                    self.prunes_restriction += 1
-                    continue
-                assignment[u] = v
-                if injective:
-                    add(v)
-                extend(pos + 1)
-                if injective:
-                    discard(v)
-                assignment[u] = -1
-            if self.emitted == before:
-                self.backtracks += 1
-                if profile is not None:
-                    profile.backtrack(pos)
-
-        extend(0)
-        return self.emitted
-
-    def _tick(self, depth: int = 0) -> None:
-        self.nodes += 1
-        if self._ticking and self.nodes % _TIME_CHECK_INTERVAL == 0:
-            if self._heartbeat.enabled:
-                self._heartbeat.beat(
-                    self.nodes, self.emitted, depth, phase="enumerate"
-                )
-            if (
-                self._deadline is not None
-                and time.perf_counter() > self._deadline
-            ):
-                raise TimeLimitExceeded(
-                    "time limit exceeded during enumeration",
-                    partial_count=self.emitted,
-                )
+__all__ = [
+    "MatchOptions",
+    "MatchResult",
+    "EmbeddingStream",
+    "execute",
+]
 
 
 def execute(plan: Plan, options: MatchOptions | None = None) -> MatchResult:
-    """Run a plan to completion and package the result.
+    """Compile a logical plan and run it on the physical engine.
 
-    Counting runs go through the SCE-factorized counter when enabled; every
-    other run enumerates. Limits surface as ``truncated``/``timed_out``
-    flags with the partial count, never as exceptions.
+    Migration note: ``execute`` used to interpret the logical plan with a
+    recursive enumerator; it now compiles the plan per call. Behaviour and
+    result fields are unchanged (plus the new
+    :attr:`~repro.engine.MatchResult.compile_seconds`); to amortize the
+    compile across runs, hold a :class:`repro.engine.MatchSession` and call
+    :func:`repro.engine.execute_physical` with its cached plans.
     """
-    options = options or MatchOptions()
-    obs = options.obs or NULL_OBS
-    # Large patterns (the paper tests up to 2000 vertices) recurse once per
-    # pattern vertex; make sure Python's recursion limit accommodates that.
-    import sys
-
-    needed = 4 * plan.num_vertices + 1000
-    if sys.getrecursionlimit() < needed:
-        sys.setrecursionlimit(needed)
-    start = time.perf_counter()
-    truncated = False
-    timed_out = False
-    embeddings: list[dict[int, int]] | None = None
-    stats: dict = {}
-
-    # Exact SCE-factorized counting only applies to uncapped, unrestricted
-    # counting; a max_embeddings cap needs enumeration semantics (results
-    # are counted one by one up to the cap, the 1e5-cap convention of
-    # existing works), and restrictions couple independent regions.
-    if (
-        options.count_only
-        and not options.restrictions
-        and options.seed is None
-        and options.max_embeddings is None
-    ):
-        from repro.core.counting import count_embeddings
-
-        with obs.tracer.span(
-            "execute", mode="count", variant=plan.variant.value
-        ) as span:
-            try:
-                count, stats = count_embeddings(plan, options)
-            except TimeLimitExceeded as exc:
-                count = exc.partial_count
-                timed_out = True
-            span.set("count", count)
-    else:
-        # Restrictions couple otherwise independent suffix regions, so
-        # counting under restrictions also goes through enumeration;
-        # count-only runs take the no-yield fast path.
-        enumerator = Enumerator(plan, options)
-        collected: list[dict[int, int]] | None = (
-            None if options.count_only else []
-        )
-        count = 0
-        with obs.tracer.span(
-            "execute", mode="enumerate", variant=plan.variant.value
-        ) as span:
-            try:
-                if collected is None:
-                    count = enumerator.count_capped()
-                else:
-                    for embedding in enumerator.run():
-                        count += 1
-                        collected.append(
-                            {u: embedding[u] for u in range(plan.num_vertices)}
-                        )
-            except EmbeddingLimitExceeded:
-                count = enumerator.emitted
-                truncated = True
-            except TimeLimitExceeded:
-                count = enumerator.emitted
-                timed_out = True
-            span.set("count", count)
-            span.set("nodes", enumerator.nodes)
-        embeddings = collected
-        stats = unified_stats(
-            nodes=enumerator.nodes,
-            candidate_stats=enumerator.computer.stats,
-            backtracks=enumerator.backtracks,
-            prunes_injective=enumerator.prunes_injective,
-            prunes_restriction=enumerator.prunes_restriction,
-        )
-
-    if obs.enabled:
-        obs.counters.merge(stats)
-    result = MatchResult(
-        count=count,
-        variant=plan.variant,
-        embeddings=embeddings,
-        elapsed=time.perf_counter() - start,
-        read_seconds=plan.task_clusters.read_seconds,
-        plan_seconds=plan.plan_seconds,
-        truncated=truncated,
-        timed_out=timed_out,
-        stats=stats,
-    )
-    if logger.isEnabledFor(logging.DEBUG):
-        logger.debug(
-            "executed %s: count=%d nodes=%d elapsed=%.4fs%s",
-            plan.variant.value,
-            count,
-            stats.get("nodes", 0),
-            result.elapsed,
-            " (truncated)" if truncated else (" (timed out)" if timed_out else ""),
-        )
-    return result
+    return execute_physical(compile_plan(plan), options)

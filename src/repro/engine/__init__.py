@@ -1,0 +1,71 @@
+"""The physical-operator execution engine.
+
+The engine separates the *logical* plan (what each step must check — see
+:mod:`repro.core.plan`) from the *physical* plan (how it executes):
+
+* :func:`compile_plan` lowers a :class:`~repro.core.plan.Plan` into a
+  :class:`PhysicalPlan` — a tuple of :class:`ExtendOp` step operators with
+  backward-edge fetchers, negation probes, SCE memo ids, symmetry
+  restrictions, and seed pins resolved at compile time;
+* :func:`execute_physical` runs a compiled plan on the **iterative**
+  executor (explicit frame stack, no Python recursion; limits are
+  cooperative flags, not exceptions);
+* :class:`EmbeddingStream` streams embeddings lazily (``CSCE.match_iter``);
+* :func:`count_physical` is the SCE-factorized counting terminal over the
+  same operators;
+* :class:`MatchSession` holds a store plus an LRU cache of compiled plans,
+  shared by enumeration, counting, continuous matching, and baselines.
+
+Layering: this package sits between ``repro.core`` planning and the
+front-ends; it must never import ``repro.cli`` or ``repro.bench``
+(enforced by ``tools/check_layering.py`` in CI).
+"""
+
+from repro.engine.results import (
+    MIN_THROUGHPUT_ELAPSED,
+    MatchOptions,
+    MatchResult,
+)
+from repro.engine.physical import (
+    ExtendOp,
+    PhysicalPlan,
+    compile_plan,
+    pattern_fingerprint,
+)
+from repro.engine.candidates import CandidateComputer
+from repro.engine.executor import (
+    EmbeddingStream,
+    Runtime,
+    count_capped,
+    execute_physical,
+    stream,
+)
+from repro.engine.counting import FactorizedCounter, count_physical
+from repro.engine.session import (
+    PLANNERS,
+    CompiledQuery,
+    MatchSession,
+    plan_query,
+)
+
+__all__ = [
+    "MIN_THROUGHPUT_ELAPSED",
+    "MatchOptions",
+    "MatchResult",
+    "ExtendOp",
+    "PhysicalPlan",
+    "compile_plan",
+    "pattern_fingerprint",
+    "CandidateComputer",
+    "EmbeddingStream",
+    "Runtime",
+    "count_capped",
+    "execute_physical",
+    "stream",
+    "FactorizedCounter",
+    "count_physical",
+    "PLANNERS",
+    "CompiledQuery",
+    "MatchSession",
+    "plan_query",
+]

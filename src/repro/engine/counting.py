@@ -1,0 +1,343 @@
+"""Embedding counting with SCE factorization, on the physical engine.
+
+Enumeration must spell out every embedding, but counting can exploit
+Sequential Candidate Equivalence directly: once the unmatched suffix of the
+plan splits into regions with no dependency path between them (components of
+``H``), their counts multiply — each region is matched once instead of once
+per sibling combination (the paper's R1/R2 example in Section I).
+
+Under the injective variants the product is only sound when sibling regions
+cannot compete for the same data vertices. Candidates always carry their
+pattern vertex's label, so regions with disjoint label sets are safe —
+exactly Definition 1's observation that ``C \\ {v_x} = C`` when labels
+differ. Regions sharing labels are merged and enumerated jointly.
+
+Region counts are memoized on (region, images of its dependency frontier,
+the used data vertices that could collide with it), so identical subproblems
+across sibling mappings are solved once — SCE's "all succeed or fail the
+same way" reuse.
+
+Like the enumeration executor, the counter is **iterative**: each
+``count(positions)`` activation of the old recursion is an explicit frame —
+a *sequential* frame scanning one op's candidates, or a *product* frame
+multiplying independent group counts — on a heap-allocated stack, and time
+limits are cooperative (the partial top-level count is returned with the
+``timed_out`` flag, never an exception).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine.candidates import CandidateComputer
+from repro.engine.physical import PhysicalPlan
+from repro.engine.results import MatchOptions
+from repro.obs import NULL_OBS, unified_stats
+
+_TIME_CHECK_INTERVAL = 2048
+
+_SEQ = 0
+_PROD = 1
+
+
+class _Frame:
+    """One suspended ``count(positions)`` activation."""
+
+    __slots__ = (
+        "kind",
+        "acc",
+        "awaiting",
+        "top_level",
+        # sequential frames: scan one op's candidate list
+        "pos",
+        "u",
+        "rest",
+        "values",
+        "index",
+        # product frames: multiply independent group counts
+        "groups",
+        "group_index",
+        "pending_key",
+    )
+
+    def __init__(self, kind: int, top_level: bool = False):
+        self.kind = kind
+        self.acc = 0 if kind == _SEQ else 1
+        self.awaiting = False
+        self.top_level = top_level
+        self.pending_key = None
+
+
+class FactorizedCounter:
+    """Counts embeddings of a compiled plan with SCE factorization.
+
+    Only sound for unseeded, unrestricted counting — the eligibility gate
+    lives in :func:`repro.engine.executor.execute_physical`.
+    """
+
+    def __init__(self, physical: PhysicalPlan, options: MatchOptions):
+        plan = physical.logical
+        self.physical = physical
+        self.plan = plan
+        self.options = options
+        obs = options.obs or NULL_OBS
+        profiler = getattr(obs, "profile", None)
+        self._profile = (
+            profiler.search if profiler is not None and profiler.enabled else None
+        )
+        self.computer = CandidateComputer(
+            physical,
+            use_sce=options.use_sce,
+            memo_limit=options.memo_limit,
+            profile=self._profile,
+        )
+        self.ops = physical.ops
+        self.position = plan.position
+        self.order = plan.order
+        self.injective = plan.variant.injective
+        self.labels = [
+            plan.pattern.vertex_label(v) for v in range(plan.num_vertices)
+        ]
+        self.assignment = [-1] * plan.num_vertices
+        self.used: set[int] = set()
+        self.nodes = 0
+        self.factorizations = 0
+        self.group_memo_hits = 0
+        self.backtracks = 0
+        self.prunes_injective = 0
+        self.timed_out = False
+        self._group_memo: dict[tuple, int] = {}
+        self._deadline = (
+            time.perf_counter() + options.time_limit
+            if options.time_limit is not None
+            else None
+        )
+        self._heartbeat = obs.heartbeat
+        self._ticking = self._deadline is not None or self._heartbeat.enabled
+        self._top_level_count = 0
+
+    # ------------------------------------------------------------------
+    def count(self) -> int:
+        """Total embedding count (partial top-level count on timeout)."""
+        if self.physical.impossible():
+            return 0
+        n = len(self.ops)
+        stack: list[_Frame] = []
+        retval = self._enter(tuple(range(n)), stack, top_level=True)
+        while stack and not self.timed_out:
+            frame = stack[-1]
+            if frame.kind == _SEQ:
+                retval = self._step_seq(frame, stack, retval)
+            else:
+                retval = self._step_prod(frame, stack, retval)
+        if self.timed_out:
+            return self._top_level_count
+        return retval
+
+    # ------------------------------------------------------------------
+    def _enter(
+        self, positions: tuple[int, ...], stack: list[_Frame], top_level: bool = False
+    ) -> int | None:
+        """Start counting ``positions``: resolve trivially (returning the
+        value) or push the appropriate frame (returning ``None``)."""
+        if not positions:
+            return 1
+        if self.options.use_sce and len(positions) > 1:
+            groups = self._independent_groups(positions)
+            if len(groups) > 1:
+                self.factorizations += 1
+                frame = _Frame(_PROD)
+                frame.groups = groups
+                frame.group_index = 0
+                stack.append(frame)
+                return None
+        # Sequential step: scan the first position's candidates.
+        pos = positions[0]
+        self._tick(pos)
+        op = self.ops[pos]
+        candidates = self.computer.raw(op, self.assignment)
+        if self._profile is not None:
+            self._profile.visit(pos, candidates.shape[0])
+        frame = _Frame(_SEQ, top_level=top_level)
+        frame.pos = pos
+        frame.u = op.u
+        frame.rest = positions[1:]
+        frame.values = candidates.tolist()
+        frame.index = 0
+        stack.append(frame)
+        return None
+
+    def _step_seq(
+        self, frame: _Frame, stack: list[_Frame], retval: int | None
+    ) -> int | None:
+        if frame.awaiting:
+            # A child finished counting the rest under the current value.
+            frame.acc += retval
+            v = self.assignment[frame.u]
+            if self.injective:
+                self.used.discard(v)
+            self.assignment[frame.u] = -1
+            frame.awaiting = False
+            if frame.top_level:
+                self._top_level_count = frame.acc
+        vals = frame.values
+        i = frame.index
+        chosen = -1
+        while i < len(vals):
+            v = vals[i]
+            i += 1
+            if self.injective and v in self.used:
+                self.prunes_injective += 1
+                continue
+            chosen = v
+            break
+        frame.index = i
+        if chosen < 0:
+            if frame.acc == 0:
+                self.backtracks += 1
+                if self._profile is not None:
+                    self._profile.backtrack(frame.pos)
+            stack.pop()
+            return frame.acc
+        self.assignment[frame.u] = chosen
+        if self.injective:
+            self.used.add(chosen)
+        frame.awaiting = True
+        return self._enter(frame.rest, stack)
+
+    def _step_prod(
+        self, frame: _Frame, stack: list[_Frame], retval: int | None
+    ) -> int | None:
+        if frame.awaiting:
+            self._group_memo[frame.pending_key] = retval
+            frame.acc *= retval
+            frame.awaiting = False
+            if frame.acc == 0:
+                stack.pop()
+                return 0
+        if frame.group_index >= len(frame.groups):
+            stack.pop()
+            return frame.acc
+        group = frame.groups[frame.group_index]
+        frame.group_index += 1
+        key = self._group_key(group)
+        cached = self._group_memo.get(key)
+        if cached is not None:
+            self.group_memo_hits += 1
+            frame.acc *= cached
+            if frame.acc == 0:
+                stack.pop()
+                return 0
+            return retval
+        frame.pending_key = key
+        frame.awaiting = True
+        return self._enter(group, stack)
+
+    # ------------------------------------------------------------------
+    def _group_key(self, positions: tuple[int, ...]) -> tuple:
+        """Memo key of one independent region: its dependency-frontier
+        images plus the used data vertices that could collide with it."""
+        members = {self.order[p] for p in positions}
+        frontier = sorted(
+            {
+                prior
+                for p in positions
+                for prior in self.ops[p].priors
+                if prior not in members
+            }
+        )
+        if self.injective:
+            group_labels = {self.labels[self.order[p]] for p in positions}
+            data_labels = self.plan.task_clusters.data_vertex_labels
+            relevant_used = frozenset(
+                v for v in self.used if data_labels[v] in group_labels
+            )
+        else:
+            relevant_used = frozenset()
+        return (
+            positions,
+            tuple(self.assignment[prior] for prior in frontier),
+            relevant_used,
+        )
+
+    def _independent_groups(
+        self, positions: tuple[int, ...]
+    ) -> list[tuple[int, ...]]:
+        """Split the suffix into independent groups.
+
+        Components come from ``H`` restricted to the unmatched vertices; for
+        injective variants, components sharing any vertex label are merged
+        back together (the product would otherwise double-count collisions).
+        """
+        vertices = [self.order[p] for p in positions]
+        components = self.plan.dag.undirected_components(vertices)
+        if len(components) <= 1:
+            return [positions]
+        if self.injective:
+            components = self._merge_by_labels(components)
+            if len(components) <= 1:
+                return [positions]
+        return [
+            tuple(sorted(self.position[v] for v in component))
+            for component in components
+        ]
+
+    def _merge_by_labels(self, components: list[list[int]]) -> list[list[int]]:
+        parent = list(range(len(components)))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        owner: dict = {}
+        for idx, component in enumerate(components):
+            for v in component:
+                label = self.labels[v]
+                if label in owner:
+                    parent[find(idx)] = find(owner[label])
+                else:
+                    owner[label] = idx
+        merged: dict[int, list[int]] = {}
+        for idx, component in enumerate(components):
+            merged.setdefault(find(idx), []).extend(component)
+        return [sorted(group) for group in merged.values()]
+
+    # ------------------------------------------------------------------
+    def _tick(self, depth: int = 0) -> None:
+        self.nodes += 1
+        if self._ticking and self.nodes % _TIME_CHECK_INTERVAL == 0:
+            if self._heartbeat.enabled:
+                self._heartbeat.beat(
+                    self.nodes, self._top_level_count, depth, phase="count"
+                )
+            if (
+                self._deadline is not None
+                and time.perf_counter() > self._deadline
+            ):
+                self.timed_out = True
+
+
+def count_physical(
+    physical: PhysicalPlan, options: MatchOptions
+) -> tuple[int, dict, bool]:
+    """Count embeddings of a compiled plan; returns (count, stats, timed_out).
+
+    ``stats`` carries the full unified key set
+    (:data:`repro.obs.counters.STAT_KEYS`), matching the enumeration path
+    key-for-key; ``prunes_restriction`` is always 0 here because
+    restrictions force the enumeration path. On timeout the count is the
+    partial top-level count (cooperative, no exception).
+    """
+    counter = FactorizedCounter(physical, options)
+    total = counter.count()
+    stats = unified_stats(
+        nodes=counter.nodes,
+        candidate_stats=counter.computer.stats,
+        backtracks=counter.backtracks,
+        prunes_injective=counter.prunes_injective,
+        factorizations=counter.factorizations,
+        group_memo_hits=counter.group_memo_hits,
+    )
+    return total, stats, counter.timed_out

@@ -1,0 +1,233 @@
+"""Physical plans: the compiled, directly-executable form of a logical plan.
+
+A :class:`~repro.core.plan.Plan` describes *what* each matching step must
+check; this module lowers it once into a tuple of :class:`ExtendOp` step
+operators that describe *how* — with everything the hot loop needs resolved
+at compile time instead of per search-tree node:
+
+* backward edge constraints become prebound cluster fetchers
+  (``cluster.successors`` / ``cluster.predecessors``), so the executor calls
+  one function per constraint with no direction branch and no attribute
+  lookups;
+* vertex-induced negation probes likewise become prebound exclusion-list
+  fetchers (the direction arithmetic of
+  :meth:`~repro.core.plan.NegationConstraint.exclusion_array` runs once,
+  here);
+* SCE memo specs are interned to small integer ``spec_id``\\ s — NEC-
+  equivalent steps share an id and therefore share cached candidate sets;
+* symmetry restrictions are folded into per-step slots evaluated at the
+  position where their later endpoint is matched;
+* seed pins ride on the op (:meth:`PhysicalPlan.with_seed` rebinding is a
+  cheap dataclass replace, so continuous matching reuses one compiled plan
+  across every pin of a delta).
+
+Compilation is cheap (linear in plan size) and separated from planning so a
+:class:`repro.engine.MatchSession` can cache the result per
+``(pattern fingerprint, variant, planner, restrictions, store version)``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.ccsr.store import FORWARD
+from repro.core.plan import SUCCESSORS, Plan
+from repro.core.variants import Variant
+from repro.errors import PlanError
+from repro.graph.model import Graph
+
+
+@dataclass(frozen=True)
+class ExtendOp:
+    """One physical matching step: extend the embedding by one vertex.
+
+    All fields are resolved at compile time; execution only indexes into
+    them. ``constraints`` and ``negations`` hold ``(prior, fetch)`` pairs
+    where ``fetch(f(prior))`` returns a sorted neighbor array to intersect
+    (respectively to exclude). ``restrictions`` holds
+    ``(other_vertex, candidate_is_smaller)`` order checks anchored at this
+    step. ``pin`` fixes the step to a single data vertex (seeded runs).
+    """
+
+    pos: int
+    u: int
+    spec_id: int
+    priors: tuple[int, ...]
+    constraints: tuple[tuple[int, Callable[[int], np.ndarray]], ...]
+    negations: tuple[tuple[int, Callable[[int], np.ndarray]], ...]
+    static_pool: np.ndarray | None
+    restrictions: tuple[tuple[int, bool], ...] = ()
+    pin: int | None = None
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """A compiled plan: one :class:`ExtendOp` per order position.
+
+    Holds a reference to the logical plan it was lowered from (for the
+    variant, the dependency DAG used by count factorization, and the
+    EXPLAIN metadata). Immutable; per-run state lives in the executor.
+    """
+
+    logical: Plan
+    ops: tuple[ExtendOp, ...]
+    restrictions: tuple[tuple[int, int], ...]
+    num_specs: int
+    compile_seconds: float
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.ops)
+
+    @property
+    def order(self) -> list[int]:
+        return self.logical.order
+
+    @property
+    def variant(self) -> Variant:
+        return self.logical.variant
+
+    @property
+    def injective(self) -> bool:
+        return self.logical.variant.injective
+
+    @property
+    def has_pins(self) -> bool:
+        return any(op.pin is not None for op in self.ops)
+
+    def impossible(self) -> bool:
+        """True when a pattern edge has no cluster: zero embeddings."""
+        return self.logical.impossible()
+
+    def with_seed(self, seed: dict[int, int] | None) -> PhysicalPlan:
+        """A copy whose pins are exactly ``seed`` (others cleared).
+
+        This is the continuous-matching fast path: one compiled plan is
+        rebound per pin instead of recompiled, so only the two pinned ops
+        are replaced.
+        """
+        pinned = dict(seed) if seed else {}
+        ops = tuple(
+            replace(op, pin=pinned.get(op.u))
+            if op.u in pinned or op.pin is not None
+            else op
+            for op in self.ops
+        )
+        return replace(self, ops=ops)
+
+    def step_table(self) -> list[dict[str, Any]]:
+        """Per-op summary rows for EXPLAIN output and the profiler."""
+        return [
+            {
+                "position": op.pos,
+                "vertex": op.u,
+                "spec": op.spec_id,
+                "constraints": len(op.constraints),
+                "negations": len(op.negations),
+                "static_pool": (
+                    None if op.static_pool is None else int(len(op.static_pool))
+                ),
+                "restrictions": len(op.restrictions),
+                "pinned": op.pin is not None,
+            }
+            for op in self.ops
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"<PhysicalPlan {len(self.ops)} ops"
+            f" specs={self.num_specs} variant={self.logical.variant}>"
+        )
+
+
+def pattern_fingerprint(pattern: Graph) -> tuple:
+    """A hashable structural identity for plan-cache keys.
+
+    Two patterns with the same fingerprint produce the same plan against
+    the same store (labels and canonical edge set match exactly; this is
+    structural identity, not isomorphism).
+    """
+    return pattern.fingerprint()
+
+
+def compile_plan(
+    plan: Plan,
+    restrictions: tuple[tuple[int, int], ...] | None = None,
+    seed: dict[int, int] | None = None,
+) -> PhysicalPlan:
+    """Lower a logical plan into its physical operators.
+
+    ``restrictions`` are baked into per-step slots (each pair checked at
+    the position where its later endpoint is matched); ``seed`` pins ride
+    on the ops and can be rebound later with
+    :meth:`PhysicalPlan.with_seed`.
+    """
+    start = time.perf_counter()
+    n = plan.num_vertices
+    position = plan.position
+    restrictions = tuple(restrictions) if restrictions else ()
+    restriction_at: list[list[tuple[int, bool]]] = [[] for _ in range(n)]
+    for u, v in restrictions:
+        if u == v or not (0 <= u < n and 0 <= v < n):
+            raise PlanError(
+                f"restriction ({u}, {v}) does not name two distinct"
+                f" pattern vertices of a {n}-vertex pattern"
+            )
+        if position[u] > position[v]:
+            restriction_at[position[u]].append((v, True))
+        else:
+            restriction_at[position[v]].append((u, False))
+    pinned = dict(seed) if seed else {}
+
+    # Intern each distinct memo spec as a small int: NEC-equivalent
+    # positions share the same id, and hashing an int beats re-hashing the
+    # nested spec tuple on every candidate lookup.
+    spec_ids: dict[tuple, int] = {}
+    ops: list[ExtendOp] = []
+    for pos in range(n):
+        u = plan.order[pos]
+        constraints = tuple(
+            (
+                c.prior,
+                c.cluster.successors
+                if c.direction == SUCCESSORS
+                else c.cluster.predecessors,
+            )
+            for c in plan.backward[pos]
+        )
+        negations = []
+        for negation in plan.negations[pos]:
+            # Same direction arithmetic as NegationConstraint.exclusion_array,
+            # evaluated once here instead of per probe.
+            use_successors = (negation.check.mode == FORWARD) != negation.swap
+            cluster = negation.check.cluster
+            negations.append(
+                (
+                    negation.prior,
+                    cluster.successors if use_successors else cluster.predecessors,
+                )
+            )
+        ops.append(
+            ExtendOp(
+                pos=pos,
+                u=u,
+                spec_id=spec_ids.setdefault(plan.memo_specs[pos], len(spec_ids)),
+                priors=plan.memo_priors[pos],
+                constraints=constraints,
+                negations=tuple(negations),
+                static_pool=plan.first_candidates[pos],
+                restrictions=tuple(restriction_at[pos]),
+                pin=pinned.get(u),
+            )
+        )
+    return PhysicalPlan(
+        logical=plan,
+        ops=tuple(ops),
+        restrictions=restrictions,
+        num_specs=len(spec_ids),
+        compile_seconds=time.perf_counter() - start,
+    )

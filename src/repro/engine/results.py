@@ -1,0 +1,139 @@
+"""Run options and results for the physical-operator engine.
+
+These used to live in ``repro.core.executor``; they moved here with the
+compiled engine so that every execution front-end (the :class:`repro.core.CSCE`
+facade, :mod:`repro.core.continuous`, the baselines, and the bench harness)
+shares one options/result contract. ``repro.core.executor`` re-exports both
+names for compatibility.
+
+This module deliberately imports nothing from ``repro`` — it sits at the
+bottom of the engine layer and must stay importable mid-way through package
+initialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.core.variants import Variant
+
+#: Minimum elapsed time used as the throughput denominator. Instant runs
+#: (below the clock's resolution) would otherwise report 0 embeddings/s for
+#: a nonzero count, which reads as "no progress" in bench tables.
+MIN_THROUGHPUT_ELAPSED = 1e-6
+
+
+@dataclass
+class MatchOptions:
+    """Knobs for one matching run.
+
+    ``max_embeddings`` truncates the search after that many results (the
+    existing-works convention of stopping at 1e5); ``time_limit`` is a soft
+    wall-clock budget in seconds; ``use_sce`` toggles candidate memoization
+    and count factorization (the paper's headline optimization) for
+    ablations; ``count_only`` skips materializing embeddings. Both limits
+    are cooperative in the iterative engine: the run stops at the next
+    check, sets the ``truncated``/``timed_out`` flag, and returns the
+    partial count — no exceptions on the engine path.
+    """
+
+    count_only: bool = False
+    max_embeddings: int | None = None
+    time_limit: float | None = None
+    use_sce: bool = True
+    restrictions: tuple[tuple[int, int], ...] | None = None
+    """Optional symmetry restrictions: each ``(u, v)`` requires
+    ``f(u) < f(v)``. With the restrictions from
+    :func:`repro.baselines.symmetry.symmetry_restrictions`, every
+    automorphism orbit is enumerated exactly once — e.g. each k-clique once
+    instead of k! times. Restrictions disable count factorization (they
+    couple otherwise independent regions)."""
+
+    seed: dict[int, int] | None = None
+    """Optional pinned mappings ``{pattern vertex: data vertex}``. Pinned
+    vertices are still validated against their candidate sets (labels,
+    backward edges, negations, injectivity), so a seeded run enumerates
+    exactly the embeddings extending the seed — the building block of
+    continuous/delta matching (:mod:`repro.core.continuous`). Seeds disable
+    count factorization."""
+
+    memo_limit: int = 1_000_000
+    """Cap on cached SCE candidate sets; beyond it, computation continues
+    uncached (memory bound for adversarial patterns)."""
+
+    obs: object | None = None
+    """Optional :class:`repro.obs.Observation` carrying the run's tracer,
+    counter registry, and heartbeat. ``None`` (the default) selects the
+    no-op instruments — the zero-cost-when-disabled path."""
+
+
+@dataclass
+class MatchResult:
+    """Outcome of one matching run, with the paper's reporting fields."""
+
+    count: int
+    variant: "Variant"
+    embeddings: list[dict[int, int]] | None = None
+    elapsed: float = 0.0
+    read_seconds: float = 0.0
+    plan_seconds: float = 0.0
+    compile_seconds: float = 0.0
+    """Time spent lowering the logical plan to its physical operators;
+    0.0 when the run reused a cached :class:`repro.engine.PhysicalPlan`
+    from a :class:`repro.engine.MatchSession`."""
+
+    truncated: bool = False
+    timed_out: bool = False
+    stats: dict = field(default_factory=dict)
+    """Unified search counters — the same key set on *every* execution path
+    (enumeration and ``count_only`` factorized counting emit identical
+    keys; see :data:`repro.obs.counters.STAT_KEYS`):
+
+    * ``nodes`` — search-tree nodes expanded;
+    * ``computed`` / ``memo_hits`` / ``memo_misses`` — candidate-set cold
+      computations vs. SCE cache hits and misses (``memo_misses`` stays 0
+      under ``use_sce=False``, distinguishing cold computes from misses);
+    * ``intersections`` — sorted neighbor-list intersections performed;
+    * ``negation_checks`` — vertex-induced negation-cluster probes;
+    * ``backtracks`` — dead-end returns (nodes contributing no embedding);
+    * ``prunes_injective`` / ``prunes_restriction`` — candidates rejected
+      by injectivity or symmetry restrictions;
+    * ``factorizations`` / ``group_memo_hits`` — SCE count-factorization
+      events and memoized-region reuses (0 on the enumeration path).
+    """
+
+    @property
+    def total_seconds(self) -> float:
+        """Total time the paper reports: read + optimize + compile + execute."""
+        return (
+            self.elapsed
+            + self.read_seconds
+            + self.plan_seconds
+            + self.compile_seconds
+        )
+
+    @property
+    def throughput(self) -> float:
+        """Embeddings per second of execution time (Fig. 7/8 metric).
+
+        Instant runs (elapsed below the timer's resolution) are clamped to
+        :data:`MIN_THROUGHPUT_ELAPSED` so a nonzero count never reports a
+        throughput of 0.
+        """
+        if self.count <= 0:
+            return 0.0
+        return self.count / max(self.elapsed, MIN_THROUGHPUT_ELAPSED)
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.truncated:
+            flags.append("truncated")
+        if self.timed_out:
+            flags.append("timed-out")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return (
+            f"<MatchResult {self.variant} count={self.count}"
+            f" {self.total_seconds:.4f}s{suffix}>"
+        )

@@ -355,6 +355,19 @@ class Graph:
     def __hash__(self):  # graphs are mutable
         raise TypeError("Graph objects are unhashable")
 
+    def fingerprint(self) -> tuple:
+        """A hashable structural identity: labels plus canonical edges.
+
+        Graphs themselves are mutable and unhashable; the fingerprint is a
+        snapshot usable as a dict key — e.g. the plan-cache key of
+        :class:`repro.engine.MatchSession`. Equal fingerprints mean equal
+        graphs in the :meth:`__eq__` sense (structural, not isomorphic).
+        """
+        return (
+            tuple(self._vertex_labels),
+            frozenset(self._canonical_edge_set()),
+        )
+
     def _canonical_edge_set(self) -> set[tuple]:
         canon = set()
         for e in self._edges:

@@ -2,8 +2,9 @@
 
 Two layers cooperate here:
 
-* hot loops (:class:`~repro.core.candidates.CandidateComputer`,
-  :class:`~repro.core.executor.Enumerator`, the SCE counter) keep plain
+* hot loops (:class:`~repro.engine.candidates.CandidateComputer`, the
+  iterative executor's :class:`~repro.engine.executor.Runtime`, the SCE
+  counter) keep plain
   integer attributes — a Python ``int`` increment is the cheapest
   instrumentation possible and is what the seed already paid for
   ``nodes``/``memo_hits``;

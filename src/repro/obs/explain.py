@@ -68,13 +68,21 @@ def build_explain(
     plan: Plan,
     sce_stats=None,
     report: dict | None = None,
+    physical=None,
 ) -> dict[str, Any]:
     """Assemble the EXPLAIN document (JSON-ready) for a plan.
 
     ``sce_stats`` is a :class:`~repro.core.equivalence.SCEStats` (computed
     from the plan's DAG when omitted); ``report`` is a saved run-report
     whose profiled per-depth actuals are joined in when present.
+    ``physical`` is the compiled :class:`~repro.engine.PhysicalPlan`
+    (compiled here when omitted), so EXPLAIN reads the operators the
+    executor actually runs, not just the logical plan.
     """
+    if physical is None:
+        from repro.engine.physical import compile_plan
+
+        physical = compile_plan(plan)
     pattern = plan.pattern
     if sce_stats is None:
         sce_stats = sce_statistics(pattern, plan.dag)
@@ -136,6 +144,12 @@ def build_explain(
             "sce_vertices": sce_stats.sce_vertices,
             "sce_pairs": sce_stats.sce_pairs,
             "cluster_pairs": sce_stats.cluster_pairs,
+        },
+        "physical": {
+            "compile_seconds": physical.compile_seconds,
+            "num_ops": len(physical.ops),
+            "num_specs": physical.num_specs,
+            "ops": physical.step_table(),
         },
         "has_actuals": bool(actuals),
     }
@@ -222,6 +236,32 @@ def format_explain(info: dict) -> str:
         f" cluster share {sce['cluster_ratio']:.0%}"
         f" ({sce['sce_pairs']} pairs, {sce['cluster_pairs']} cluster-supplied)"
     )
+    physical = info.get("physical")
+    if physical:
+        lines.append("")
+        lines.append(
+            f"physical plan: {physical['num_ops']} extend ops,"
+            f" {physical['num_specs']} interned candidate specs,"
+            f" compiled in {physical['compile_seconds']:.4f} s"
+        )
+        for op in physical["ops"]:
+            flags = []
+            if op["restrictions"]:
+                flags.append(f"{op['restrictions']} restriction(s)")
+            if op["pinned"]:
+                flags.append("pinned")
+            lines.append(
+                f"  op {op['position']:>2}: extend u{op['vertex']}"
+                f" spec#{op['spec']}"
+                f" constraints={op['constraints']}"
+                f" negations={op['negations']}"
+                + (
+                    f" pool={op['static_pool']}"
+                    if op["static_pool"] is not None
+                    else ""
+                )
+                + (f"  [{', '.join(flags)}]" if flags else "")
+            )
     if not info["has_actuals"]:
         lines.append(
             "(supply --report RUN.json from a --profile run to compare"

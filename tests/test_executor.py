@@ -143,7 +143,10 @@ class TestMatchResult:
     def test_total_seconds_sums_stages(self, square_engine, path3):
         result = square_engine.match(path3, "edge_induced")
         assert result.total_seconds == pytest.approx(
-            result.elapsed + result.read_seconds + result.plan_seconds
+            result.elapsed
+            + result.read_seconds
+            + result.plan_seconds
+            + result.compile_seconds
         )
 
     def test_throughput(self, square_engine, path3):

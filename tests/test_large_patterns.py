@@ -93,21 +93,23 @@ class TestWideFactorization:
 class TestMemoLimit:
     def test_memo_cap_preserves_correctness(self):
         from conftest import make_random_graph
-        from repro.core.candidates import CandidateComputer
-        from repro.core.executor import MatchOptions, execute
+        from repro.engine.executor import execute_physical
+        from repro.engine.physical import compile_plan
+        from repro.engine.results import MatchOptions
         from repro.graph.sampling import sample_pattern
 
         g = make_random_graph(15, 30, num_labels=2, seed=77)
         p = sample_pattern(g, 5, rng=1)
         engine = CSCE(g)
         plan = engine.build_plan(p, "edge_induced")
-        unlimited = execute(plan, MatchOptions(count_only=True)).count
+        physical = compile_plan(plan)
+        unlimited = execute_physical(
+            physical, MatchOptions(count_only=True)
+        ).count
 
-        # Rebuild the execution with a memo capped at one entry.
-        from repro.core.executor import Enumerator
-
-        options = MatchOptions()
-        enumerator = Enumerator(plan, options)
-        enumerator.computer = CandidateComputer(plan, use_sce=True, memo_limit=1)
-        capped = sum(1 for _ in enumerator.run())
+        # Re-run with the SCE memo capped at one entry: evictions must not
+        # change the answer.
+        capped = execute_physical(
+            physical, MatchOptions(count_only=True, memo_limit=1)
+        ).count
         assert capped == unlimited

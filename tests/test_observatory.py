@@ -180,7 +180,7 @@ class TestMetricsPump:
         assert (tmp_path / "m.prom").read_text().startswith("#")
 
     def test_heartbeat_drives_live_samples(self, monkeypatch):
-        monkeypatch.setattr("repro.core.executor._TIME_CHECK_INTERVAL", 4)
+        monkeypatch.setattr("repro.engine.executor._TIME_CHECK_INTERVAL", 4)
         pump = MetricsPump()
         obs = Observation(
             trace=False,

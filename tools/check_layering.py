@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Layering gate: the engine must not depend on the CLI or bench layers.
+
+``repro.engine`` is the execution core that ``repro.core``, the baselines,
+the bench harness, and the CLI all sit on. A dependency in the other
+direction (engine -> cli / engine -> bench) would be an import cycle
+waiting to happen and would drag argparse/IO machinery into every library
+import.
+
+Two checks, both cheap enough for CI's lint job:
+
+1. **Dynamic**: import ``repro.engine`` in a fresh interpreter and assert
+   that neither ``repro.cli`` nor ``repro.bench`` was pulled into
+   ``sys.modules`` transitively.
+2. **Static**: grep the engine sources for ``repro.cli`` / ``repro.bench``
+   imports, which also catches lazy (function-local) imports the dynamic
+   check cannot see.
+
+Exit status 0 when clean, 1 with a diagnostic per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ENGINE_DIR = REPO / "src" / "repro" / "engine"
+FORBIDDEN = ("repro.cli", "repro.bench")
+
+_IMPORT_RE = re.compile(
+    r"^\s*(?:from\s+(repro\.(?:cli|bench)\S*)\s+import|"
+    r"import\s+(repro\.(?:cli|bench)\S*))",
+    re.MULTILINE,
+)
+
+
+def static_check() -> list[str]:
+    problems = []
+    for path in sorted(ENGINE_DIR.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        for match in _IMPORT_RE.finditer(text):
+            module = match.group(1) or match.group(2)
+            line = text.count("\n", 0, match.start()) + 1
+            problems.append(
+                f"{path.relative_to(REPO)}:{line}: imports {module}"
+            )
+    return problems
+
+
+def dynamic_check() -> list[str]:
+    probe = (
+        "import sys; import repro.engine; "
+        "bad = [m for m in sys.modules "
+        f"if m == 'repro.cli' or m.startswith('repro.bench')]; "
+        "print('\\n'.join(bad)); sys.exit(1 if bad else 0)"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", probe],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO / "src")},
+    )
+    if result.returncode == 0:
+        return []
+    loaded = [m for m in result.stdout.splitlines() if m]
+    if loaded:
+        return [
+            f"importing repro.engine transitively loaded {module}"
+            for module in loaded
+        ]
+    return [f"probe interpreter failed:\n{result.stderr.strip()}"]
+
+
+def main() -> int:
+    problems = static_check() + dynamic_check()
+    if problems:
+        print("layering violations (engine must not import cli/bench):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("layering OK: repro.engine is independent of repro.cli/repro.bench")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
