@@ -19,6 +19,7 @@ from typing import Hashable, Iterable
 from repro.ccsr.cluster import Cluster
 from repro.ccsr.key import ClusterKey, cluster_key_for_edge, cluster_key_for_labels
 from repro.graph.model import Edge, Graph
+from repro.testing import faults
 
 logger = logging.getLogger(__name__)
 
@@ -343,6 +344,10 @@ class CCSRStore:
             def use(cluster: Cluster) -> Cluster:
                 nonlocal bytes_read, rows_read
                 if id(cluster) not in decompressed:
+                    if faults.ACTIVE is not None:
+                        # Chaos-suite hook: a production store would hit
+                        # I/O here reading a spilled cluster.
+                        faults.fire("ccsr.read_cluster", key=str(cluster.key))
                     with tracer.span(
                         "read.cluster", key=str(cluster.key)
                     ) as cluster_span:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 
 from repro.baselines import ALL_BASELINES
@@ -40,9 +41,33 @@ from repro.obs import (
     format_explain,
     format_run_report,
     load_run_reports,
+    robustness_problems,
     validate_run_report,
     write_run_report,
 )
+
+
+def _install_sigint(token):
+    """First Ctrl-C trips the cooperative cancel token (the run returns a
+    truncated-but-valid result); a second Ctrl-C aborts hard. Returns the
+    previous handler for the caller's ``finally``, or ``None`` when signal
+    handlers cannot be installed (non-main thread)."""
+
+    def handler(signum, frame):
+        if token.cancelled:
+            raise KeyboardInterrupt
+        token.trip("SIGINT")
+        print(
+            "interrupted: finishing the current step and returning the"
+            " partial result (Ctrl-C again to abort hard)",
+            file=sys.stderr,
+        )
+
+    try:
+        previous = signal.signal(signal.SIGINT, handler)
+    except ValueError:  # not the main thread (e.g. threaded test driver)
+        return None
+    return previous
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -85,14 +110,43 @@ def _cmd_capabilities(_args: argparse.Namespace) -> int:
 
 def _cmd_match(args: argparse.Namespace) -> int:
     if args.data:
-        graph = load_graph(args.data)
+        graph = load_graph(args.data, strict=not args.lenient)
     elif args.dataset:
         graph = load_dataset(args.dataset, scale=args.scale)
     else:
         print("error: provide --data FILE or --dataset NAME", file=sys.stderr)
         return 2
-    if args.pattern:
-        pattern = load_graph(args.pattern)
+    if getattr(graph, "parse_warnings", 0):
+        print(f"warning     : skipped {graph.parse_warnings} malformed"
+              " line(s) in the data graph", file=sys.stderr)
+    robustness = (
+        args.memory_limit is not None
+        or args.checkpoint is not None
+        or args.resume is not None
+    )
+    if robustness and args.engine != "CSCE":
+        print(
+            "error: --memory-limit/--checkpoint/--resume require"
+            " --engine CSCE",
+            file=sys.stderr,
+        )
+        return 2
+    checkpoint_doc = None
+    if args.resume:
+        from repro.engine import load_checkpoint
+        from repro.errors import CheckpointError
+        from repro.graph.io import parse_graph_text
+
+        try:
+            checkpoint_doc = load_checkpoint(args.resume)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        pattern = parse_graph_text(
+            checkpoint_doc["pattern"]["text"], name="resumed"
+        )
+    elif args.pattern:
+        pattern = load_graph(args.pattern, strict=not args.lenient)
     else:
         pattern = sample_pattern(
             graph, args.pattern_size, rng=args.seed, style=args.pattern_style
@@ -130,34 +184,86 @@ def _cmd_match(args: argparse.Namespace) -> int:
     if isinstance(engine, CSCE) and obs is not None:
         # Build the plan explicitly so the run-report can summarize it.
         plan = engine.build_plan(pattern, args.variant, obs=obs)
-    if args.stream:
-        if not isinstance(engine, CSCE):
-            print("error: --stream requires --engine CSCE", file=sys.stderr)
-            return 2
-        shown = 0
-        with engine.match_iter(
-            pattern,
-            args.variant,
-            max_embeddings=args.limit,
-            time_limit=args.time_limit,
+    governor = None
+    previous_handler = None
+    if isinstance(engine, CSCE):
+        from repro.engine import Budget, CancelToken, ResourceGovernor
+
+        token = CancelToken()
+        governor = ResourceGovernor(
+            budget=Budget(memory_limit_mb=args.memory_limit),
+            cancel=token,
             obs=obs,
-            **({"plan": plan} if plan is not None else {}),
-        ) as stream:
-            for embedding in stream:
-                if shown < args.show and not args.json:
-                    print(f"  #{shown}: {embedding}")
-                    shown += 1
-            result = stream.result()
-    else:
-        result = engine.match(
-            pattern,
-            args.variant,
-            count_only=not args.enumerate,
-            max_embeddings=args.limit,
-            time_limit=args.time_limit,
-            obs=obs,
-            **({"plan": plan} if plan is not None else {}),
         )
+        previous_handler = _install_sigint(token)
+    use_stream = args.stream or args.checkpoint or checkpoint_doc is not None
+    checkpoint_block = None
+    try:
+        if use_stream:
+            if not isinstance(engine, CSCE):
+                print("error: --stream requires --engine CSCE",
+                      file=sys.stderr)
+                return 2
+            if checkpoint_doc is not None:
+                from repro.errors import CheckpointError
+
+                try:
+                    stream = engine.resume(
+                        checkpoint_doc,
+                        max_embeddings=args.limit,
+                        time_limit=args.time_limit,
+                        governor=governor,
+                        obs=obs,
+                        checkpoint_path=args.checkpoint or args.resume,
+                    )
+                except CheckpointError as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 2
+            else:
+                # checkpoint_path forbids a caller-supplied plan (resume
+                # recompiles through the session), so only pass `plan`
+                # when not checkpointing.
+                stream = engine.match_iter(
+                    pattern,
+                    args.variant,
+                    max_embeddings=args.limit,
+                    time_limit=args.time_limit,
+                    obs=obs,
+                    governor=governor,
+                    checkpoint_path=args.checkpoint,
+                    **(
+                        {"plan": plan}
+                        if plan is not None and not args.checkpoint
+                        else {}
+                    ),
+                )
+            shown = 0
+            with stream:
+                for embedding in stream:
+                    if args.stream and shown < args.show and not args.json:
+                        print(f"  #{shown}: {embedding}")
+                        shown += 1
+                result = stream.result()
+            sink = stream.checkpoint_sink
+            if sink is not None:
+                checkpoint_block = {
+                    "path": str(sink.path),
+                    "written": sink.written is not None,
+                }
+        else:
+            result = engine.match(
+                pattern,
+                args.variant,
+                count_only=not args.enumerate,
+                max_embeddings=args.limit,
+                time_limit=args.time_limit,
+                obs=obs,
+                **({"plan": plan} if plan is not None else {}),
+                **({"governor": governor} if governor is not None else {}),
+            )
+    finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGINT, previous_handler)
     report = None
     if obs is not None:
         obs.finish(result)
@@ -169,6 +275,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
             graph=engine.store if isinstance(engine, CSCE) else graph,
             pattern=pattern,
             dataset=args.dataset or args.data,
+            checkpoint=checkpoint_block,
         )
     if args.report and report is not None:
         write_run_report(report, args.report)
@@ -188,6 +295,8 @@ def _cmd_match(args: argparse.Namespace) -> int:
             "count": result.count,
             "truncated": result.truncated,
             "timed_out": result.timed_out,
+            "stop_reason": result.stop_reason,
+            "degradation": list(result.degradation),
             "timings": {
                 "read_seconds": result.read_seconds,
                 "plan_seconds": result.plan_seconds,
@@ -197,6 +306,8 @@ def _cmd_match(args: argparse.Namespace) -> int:
             "throughput": result.throughput,
             "stats": dict(result.stats),
         }
+        if checkpoint_block is not None:
+            payload["checkpoint"] = checkpoint_block
         if args.profile and obs is not None:
             payload["profile"] = obs.profile.as_dict(
                 list(plan.order) if plan is not None else None
@@ -211,9 +322,17 @@ def _cmd_match(args: argparse.Namespace) -> int:
     print(f"engine      : {args.engine}")
     print(f"variant     : {result.variant}")
     print(f"pattern     : |V|={pattern.num_vertices} |E|={pattern.num_edges}")
-    print(f"embeddings  : {result.count}"
-          + (" (truncated)" if result.truncated else "")
-          + (" (timed out)" if result.timed_out else ""))
+    if result.stop_reason:
+        suffix = f" (stopped: {result.stop_reason})"
+    else:
+        suffix = ((" (truncated)" if result.truncated else "")
+                  + (" (timed out)" if result.timed_out else ""))
+    print(f"embeddings  : {result.count}{suffix}")
+    if result.degradation:
+        print(f"degradation : {' > '.join(result.degradation)}")
+    if checkpoint_block is not None:
+        written = " (written)" if checkpoint_block["written"] else ""
+        print(f"checkpoint  : {checkpoint_block['path']}{written}")
     print(f"total time  : {result.total_seconds:.4f} s"
           f" (read {result.read_seconds:.4f}, plan {result.plan_seconds:.4f},"
           f" execute {result.elapsed:.4f})")
@@ -395,10 +514,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 2
     if args.validate:
         # One validator per document family, sharing the schema core
-        # (repro.obs.report.schema_problems). Bench-history mismatches are
-        # configuration errors → exit 2; run-report mismatches → exit 1.
+        # (repro.obs.report.schema_problems). Bench-history and robustness
+        # mismatches are configuration errors → exit 2; run-report schema
+        # mismatches → exit 1.
         report_problems = 0
         history_problems = 0
+        robustness_count = 0
         for i, report in enumerate(reports):
             is_history = (
                 isinstance(report, dict)
@@ -415,11 +536,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 else:
                     report_problems += 1
                 print(f"document #{i}: {exc}", file=sys.stderr)
-        problems = report_problems + history_problems
+            else:
+                if not is_history:
+                    bad = robustness_problems(report)
+                    if bad:
+                        robustness_count += 1
+                        for problem in bad:
+                            print(f"document #{i}: {problem}",
+                                  file=sys.stderr)
+        problems = report_problems + history_problems + robustness_count
         if problems:
             print(f"{problems}/{len(reports)} document(s) invalid",
                   file=sys.stderr)
-            return 2 if history_problems else 1
+            return 2 if (history_problems or robustness_count) else 1
         kinds = (
             "bench-history document(s)"
             if all(
@@ -492,6 +621,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="embeddings to display with --enumerate")
     p_match.add_argument("--limit", type=int, default=None)
     p_match.add_argument("--time-limit", type=float, default=60.0)
+    p_match.add_argument("--memory-limit", type=float, metavar="MIB",
+                         default=None,
+                         help="soft memory budget in MiB (CSCE only):"
+                         " breaches climb the degradation ladder"
+                         " (evict memo > disable memo > suspend)")
+    p_match.add_argument("--checkpoint", metavar="PATH", default=None,
+                         help="write a resumable checkpoint here if the"
+                         " run suspends (limit/cancel/memory); CSCE only")
+    p_match.add_argument("--resume", metavar="PATH", default=None,
+                         help="resume a suspended run from this checkpoint"
+                         " (pattern comes from the checkpoint; the data"
+                         " graph must be unchanged)")
+    p_match.add_argument("--lenient", action="store_true",
+                         help="skip malformed graph-file lines with a"
+                         " warning instead of failing (strict=False)")
     p_match.add_argument("--json", action="store_true",
                          help="machine-readable output")
     p_match.add_argument("--trace", action="store_true",

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from repro.core.csce import CSCE
 from repro.core.variants import Variant
 from repro.engine.executor import execute_physical
-from repro.engine.results import MatchOptions
+from repro.engine.results import MatchOptions, raise_stop
 from repro.graph.model import Edge, Graph
 from repro.obs import STAT_KEYS
 
@@ -44,6 +44,12 @@ class DeltaResult:
     stats: dict = field(default_factory=dict)
     """Unified search counters summed over every pinned run (the same key
     set as :attr:`repro.core.executor.MatchResult.stats`)."""
+
+    stop_reason: str | None = None
+    """Why the delta stopped early (a pinned run hit a governor limit or
+    the cancel token tripped), or ``None`` for a complete delta. A partial
+    delta's ``embeddings`` undercount the true delta — callers must not
+    fold them into standing totals (see :class:`ContinuousMatcher`)."""
 
     @property
     def count(self) -> int:
@@ -83,12 +89,16 @@ def embeddings_containing_edge(
     variant: Variant | str = Variant.EDGE_INDUCED,
     time_limit: float | None = None,
     obs=None,
+    governor=None,
 ) -> DeltaResult:
     """All embeddings of ``pattern`` that map some pattern edge onto
     ``edge`` (which must already be present in the engine's store).
 
     ``obs`` instruments every pinned run; the returned ``stats`` sums the
-    unified counters over all pins.
+    unified counters over all pins. A ``governor`` limit or tripped cancel
+    token ends the delta early: remaining pins are skipped and the result
+    carries the triggering ``stop_reason`` (partial, do not trust the
+    delta count).
     """
     variant = Variant.parse(variant)
     obs = obs or getattr(engine, "obs", None)
@@ -96,6 +106,7 @@ def embeddings_containing_edge(
     seen: set[tuple] = set()
     embeddings: list[dict[int, int]] = []
     stats: dict[str, int] = dict.fromkeys(STAT_KEYS, 0)
+    stop_reason: str | None = None
     compiled = (
         engine.session.compile(pattern, variant, obs=obs) if pins else None
     )
@@ -106,6 +117,7 @@ def embeddings_containing_edge(
             MatchOptions(
                 time_limit=time_limit,
                 obs=obs if obs is not None and obs.enabled else None,
+                governor=governor,
             ),
         )
         for key, value in result.stats.items():
@@ -115,6 +127,9 @@ def embeddings_containing_edge(
             if key not in seen:
                 seen.add(key)
                 embeddings.append(mapping)
+        if result.stop_reason is not None:
+            stop_reason = result.stop_reason
+            break
     if obs is not None:
         counters = getattr(obs, "counters", None)
         if counters is not None and counters.enabled:
@@ -128,7 +143,7 @@ def embeddings_containing_edge(
             metrics.sample(obs)
     return DeltaResult(
         edge=edge, embeddings=embeddings, pins_tried=len(pins),
-        stats=stats,
+        stats=stats, stop_reason=stop_reason,
     )
 
 
@@ -151,6 +166,7 @@ class ContinuousMatcher:
         pattern: Graph,
         variant: Variant | str = Variant.EDGE_INDUCED,
         obs=None,
+        governor=None,
     ):
         variant = Variant.parse(variant)
         if variant.induced:
@@ -162,28 +178,49 @@ class ContinuousMatcher:
         self.pattern = pattern
         self.variant = variant
         self.obs = obs
+        self.governor = governor
         self.total = engine.count(pattern, variant, obs=obs)
 
     def insert(
         self, src: int, dst: int, label=None, directed: bool = False
     ) -> DeltaResult:
-        """Insert an edge; returns the embeddings it created."""
+        """Insert an edge; returns the embeddings it created.
+
+        If the delta search stops early (governor limit or tripped cancel
+        token), the insert is **rolled back** and the typed
+        :class:`~repro.errors.LimitExceeded` subclass is raised: a partial
+        delta cannot be folded into ``total`` without corrupting it, and
+        rolling back leaves the matcher consistent and reusable — clear
+        the token and retry the same insert.
+        """
         self.engine.store.insert_edge(src, dst, label, directed)
         edge = Edge(src, dst, label, directed)
         delta = embeddings_containing_edge(
-            self.engine, self.pattern, edge, self.variant, obs=self.obs
+            self.engine, self.pattern, edge, self.variant,
+            obs=self.obs, governor=self.governor,
         )
+        if delta.stop_reason is not None:
+            self.engine.store.remove_edge(src, dst, label, directed)
+            raise_stop(delta.stop_reason, delta.count)
         self.total += delta.count
         return delta
 
     def remove(
         self, src: int, dst: int, label=None, directed: bool = False
     ) -> DeltaResult:
-        """Remove an edge; returns the embeddings it destroyed."""
+        """Remove an edge; returns the embeddings it destroyed.
+
+        As with :meth:`insert`, an early stop raises the typed limit error
+        *before* the store is touched, so the matcher (store, total, and
+        plan cache) is untouched and reusable for the next delta.
+        """
         edge = Edge(src, dst, label, directed)
         delta = embeddings_containing_edge(
-            self.engine, self.pattern, edge, self.variant, obs=self.obs
+            self.engine, self.pattern, edge, self.variant,
+            obs=self.obs, governor=self.governor,
         )
+        if delta.stop_reason is not None:
+            raise_stop(delta.stop_reason, delta.count)
         self.engine.store.remove_edge(src, dst, label, directed)
         self.total -= delta.count
         return delta

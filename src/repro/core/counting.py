@@ -26,5 +26,7 @@ def count_embeddings(plan: Plan, options: MatchOptions) -> tuple[int, dict]:
     cooperative); callers needing the flag should use
     :func:`repro.engine.count_physical`.
     """
-    total, stats, _timed_out = count_physical(compile_plan(plan), options)
+    total, stats, _stop_reason, _degradation = count_physical(
+        compile_plan(plan), options
+    )
     return total, stats

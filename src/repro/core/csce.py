@@ -128,6 +128,7 @@ class CSCE:
         restrictions: tuple[tuple[int, int], ...] | None = None,
         seed: dict[int, int] | None = None,
         obs=None,
+        governor=None,
     ) -> MatchResult:
         """Find embeddings of ``pattern`` in the data graph.
 
@@ -160,6 +161,12 @@ class CSCE:
             this run; ``None`` keeps instrumentation disabled. Cache hits
             skip the read/plan spans (the work didn't happen) and bump the
             ``plan_cache.hits`` counter instead.
+        governor:
+            A :class:`repro.engine.ResourceGovernor` enforcing a unified
+            budget (deadline, embedding cap, memory ceiling with the
+            degradation ladder) and a cooperative cancel token. Stops
+            surface as ``result.stop_reason`` with the partial count;
+            ``result.check()`` converts them to typed exceptions.
         """
         variant = Variant.parse(variant)
         obs = obs or self.obs or NULL_OBS
@@ -178,6 +185,7 @@ class CSCE:
                 restrictions=restrictions,
                 seed=dict(seed) if seed else None,
                 obs=obs if obs.enabled else None,
+                governor=governor,
             )
             result = execute_physical(physical, options)
             span.set("count", result.count)
@@ -195,6 +203,8 @@ class CSCE:
         restrictions: tuple[tuple[int, int], ...] | None = None,
         seed: dict[int, int] | None = None,
         obs=None,
+        governor=None,
+        checkpoint_path=None,
     ) -> EmbeddingStream:
         """Stream embeddings lazily, one ``{vertex: data vertex}`` dict at
         a time.
@@ -202,9 +212,17 @@ class CSCE:
         Returns an :class:`repro.engine.EmbeddingStream`: iterate it (or
         use it as a context manager) and the search runs exactly as far as
         you consume — first results of a huge query arrive without paying
-        for the rest. ``max_embeddings`` / ``time_limit`` end the stream
-        cooperatively with the ``truncated`` / ``timed_out`` flags set;
-        ``stream.result()`` snapshots a :class:`MatchResult` at any point.
+        for the rest. ``max_embeddings`` / ``time_limit`` (or a
+        ``governor`` budget/cancel token) end the stream cooperatively
+        with ``stream.stop_reason`` set; ``stream.result()`` snapshots a
+        :class:`MatchResult` at any point.
+
+        With ``checkpoint_path``, a stream that stops early (any
+        ``stop_reason``) automatically writes a resumable checkpoint
+        there; :meth:`resume` picks it up and continues mid-frame with
+        exact combined counts (see :mod:`repro.engine.checkpoint`).
+        Requires a session-compiled plan (no caller-supplied ``plan``),
+        since resume recompiles through the session.
 
         The stream holds no tracer span open (its lifetime belongs to the
         consumer); heartbeats and profiling from ``obs`` stay live.
@@ -212,6 +230,18 @@ class CSCE:
         variant = Variant.parse(variant)
         obs = obs or self.obs or NULL_OBS
         restrictions = tuple(restrictions) if restrictions else None
+        sink = None
+        if checkpoint_path is not None:
+            if plan is not None:
+                raise PlanError(
+                    "checkpoint_path requires a session-compiled plan;"
+                    " drop the plan= argument"
+                )
+            from repro.engine.checkpoint import CheckpointSink
+
+            sink = CheckpointSink(
+                checkpoint_path, self.store, pattern, variant, planner
+            )
         physical = self._compiled(
             pattern, variant, planner, plan, restrictions, obs
         )
@@ -222,8 +252,44 @@ class CSCE:
             restrictions=restrictions,
             seed=dict(seed) if seed else None,
             obs=obs if obs.enabled else None,
+            governor=governor,
         )
-        return EmbeddingStream(physical, options)
+        return EmbeddingStream(physical, options, checkpoint_sink=sink)
+
+    def resume(
+        self,
+        checkpoint,
+        max_embeddings=...,
+        time_limit=...,
+        governor=None,
+        obs=None,
+        checkpoint_path=None,
+    ) -> EmbeddingStream:
+        """Resume a suspended stream from a checkpoint file (or document).
+
+        Validates the checkpoint against this engine's store —
+        :class:`repro.errors.CheckpointError` if the store has mutated
+        since the checkpoint was written (cluster contents drive the
+        serialized candidate lists, so resuming onto changed data would
+        corrupt counts). ``max_embeddings``/``time_limit`` default to the
+        checkpoint's own limits; pass an override (including ``None`` for
+        unlimited) to change them. ``checkpoint_path`` re-arms
+        auto-checkpointing, so repeated suspend/resume cycles work with
+        the same path.
+        """
+        from repro.engine.checkpoint import KEEP, load_checkpoint, restore_stream
+
+        if not isinstance(checkpoint, dict):
+            checkpoint = load_checkpoint(checkpoint)
+        return restore_stream(
+            checkpoint,
+            self.session,
+            max_embeddings=KEEP if max_embeddings is ... else max_embeddings,
+            time_limit=KEEP if time_limit is ... else time_limit,
+            governor=governor,
+            obs=obs or self.obs,
+            checkpoint_path=checkpoint_path,
+        )
 
     def count(self, pattern: Graph, variant: Variant | str = Variant.EDGE_INDUCED, **kwargs) -> int:
         """Shorthand: the embedding count (``count_only`` matching)."""

@@ -14,7 +14,12 @@ The engine separates the *logical* plan (what each step must check — see
 * :func:`count_physical` is the SCE-factorized counting terminal over the
   same operators;
 * :class:`MatchSession` holds a store plus an LRU cache of compiled plans,
-  shared by enumeration, counting, continuous matching, and baselines.
+  shared by enumeration, counting, continuous matching, and baselines;
+* :class:`ResourceGovernor` enforces a unified :class:`Budget` (deadline,
+  embedding cap, memory ceiling with a graceful-degradation ladder) and a
+  cooperative :class:`CancelToken` over any run;
+* :mod:`repro.engine.checkpoint` suspends/resumes the streaming executor's
+  frame stack across processes (``CSCE.resume``).
 
 Layering: this package sits between ``repro.core`` planning and the
 front-ends; it must never import ``repro.cli`` or ``repro.bench``
@@ -23,9 +28,15 @@ front-ends; it must never import ``repro.cli`` or ``repro.bench``
 
 from repro.engine.results import (
     MIN_THROUGHPUT_ELAPSED,
+    STOP_CANCELLED,
+    STOP_EMBEDDING_LIMIT,
+    STOP_MEMORY_LIMIT,
+    STOP_REASONS,
+    STOP_TIME_LIMIT,
     MatchOptions,
     MatchResult,
 )
+from repro.engine.governor import Budget, CancelToken, ResourceGovernor
 from repro.engine.physical import (
     ExtendOp,
     PhysicalPlan,
@@ -36,9 +47,16 @@ from repro.engine.candidates import CandidateComputer
 from repro.engine.executor import (
     EmbeddingStream,
     Runtime,
+    SearchState,
     count_capped,
     execute_physical,
     stream,
+)
+from repro.engine.checkpoint import (
+    CheckpointSink,
+    load_checkpoint,
+    restore_stream,
+    write_checkpoint,
 )
 from repro.engine.counting import FactorizedCounter, count_physical
 from repro.engine.session import (
@@ -50,8 +68,21 @@ from repro.engine.session import (
 
 __all__ = [
     "MIN_THROUGHPUT_ELAPSED",
+    "STOP_CANCELLED",
+    "STOP_EMBEDDING_LIMIT",
+    "STOP_MEMORY_LIMIT",
+    "STOP_REASONS",
+    "STOP_TIME_LIMIT",
     "MatchOptions",
     "MatchResult",
+    "Budget",
+    "CancelToken",
+    "ResourceGovernor",
+    "SearchState",
+    "CheckpointSink",
+    "load_checkpoint",
+    "restore_stream",
+    "write_checkpoint",
     "ExtendOp",
     "PhysicalPlan",
     "compile_plan",

@@ -46,6 +46,37 @@ class CandidateComputer:
     def clear(self) -> None:
         self._memo.clear()
 
+    @property
+    def memo_size(self) -> int:
+        """Number of cached candidate sets."""
+        return len(self._memo)
+
+    def evict(self, fraction: float = 0.5) -> int:
+        """Drop the oldest ``fraction`` of memo entries; returns how many.
+
+        The memo is an insertion-ordered dict, so dropping the front is an
+        LRU approximation (old entries were keyed by prior assignments the
+        search has likely backtracked past). Like CEMR's redundant
+        extensions, every memo entry is a pure cache — dropping any subset
+        only costs recomputation, never correctness — which is what makes
+        degrade-under-pressure safe.
+        """
+        n = int(len(self._memo) * fraction)
+        if n <= 0:
+            return 0
+        for key in list(self._memo.keys())[:n]:
+            del self._memo[key]
+        return n
+
+    def disable_memo(self) -> None:
+        """Turn memoization off for the rest of the run and free the cache
+        (the degradation ladder's second rung). Candidate computation
+        continues uncached; ``memo_misses`` stops advancing so the stats
+        still distinguish degraded runs from ``use_sce=False`` runs only
+        by their nonzero history."""
+        self.use_sce = False
+        self._memo.clear()
+
     def raw(self, op: ExtendOp, assignment: list[int]) -> np.ndarray:
         """The sorted raw candidate array of ``op.u`` under the current
         partial embedding (before injectivity filtering)."""

@@ -1,0 +1,343 @@
+"""Suspend/resume checkpoints for the streaming executor.
+
+Because the executor keeps its entire search state in an explicit
+:class:`~repro.engine.executor.SearchState` (frame stack, scan cursors,
+injectivity set), a suspended run serializes to a small JSON document and
+resumes *mid-frame*: the per-depth candidate lists are stored verbatim, so
+the resumed scan continues at the exact cursor position and the combined
+embedding count is identical to an uninterrupted run.
+
+Checkpoint document (``format`` = ``"repro-checkpoint"``, ``version`` 1)::
+
+    {
+      "format": "repro-checkpoint", "version": 1,
+      "pattern":  {"text": ..., "digest": ...},       # the query pattern
+      "store":    {"version": ..., "digest": ...},    # guard, see below
+      "query":    {"variant", "planner", "restrictions", "seed", "use_sce"},
+      "limits":   {"max_embeddings", "time_limit"},
+      "progress": {"emitted", "stop_reason", "degradation", "counters"},
+      "state":    <SearchState payload>
+    }
+
+**Compatibility guard.** A checkpoint stores candidate lists of concrete
+data-vertex ids, so it is only valid against the exact store it was taken
+from. Resume re-derives both guards — the pattern digest (from the
+re-parsed pattern text) and the store digest (vertex/edge counts plus every
+cluster's key and size) — and refuses with :class:`~repro.errors.CheckpointError`
+on any mismatch, including a bumped :attr:`~repro.ccsr.store.CCSRStore.version`
+(incremental updates rebuild clusters, invalidating the lists). Planning is
+deterministic given an identical store, so the recompiled physical plan has
+the same op sequence the frame stack was built against.
+
+The SCE candidate memo is deliberately *not* checkpointed — like CEMR's
+redundant extensions it is a pure cache, so a resumed run recomputes what
+it needs; counters, in contrast, are restored so stats stay cumulative
+across the suspend/resume boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.engine.executor import EmbeddingStream, SearchState
+from repro.engine.results import MatchOptions
+from repro.errors import CheckpointError
+
+CHECKPOINT_FORMAT = "repro-checkpoint"
+CHECKPOINT_VERSION = 1
+
+#: Runtime counters carried across the suspend/resume boundary.
+_RUNTIME_COUNTERS = (
+    "nodes",
+    "backtracks",
+    "prunes_injective",
+    "prunes_restriction",
+)
+_CANDIDATE_COUNTERS = (
+    "computed",
+    "memo_hits",
+    "memo_misses",
+    "intersections",
+    "negation_checks",
+)
+
+#: Sentinel for "keep the checkpoint's limit" in resume overrides.
+KEEP = object()
+
+
+def _digest(obj) -> str:
+    return hashlib.sha256(repr(obj).encode("utf-8")).hexdigest()
+
+
+def pattern_digest(pattern) -> str:
+    """Canonical digest of a pattern graph (labels + sorted edge set)."""
+    labels, edges = pattern.fingerprint()
+    return _digest((tuple(labels), sorted(edges, key=repr)))
+
+
+def store_digest(store) -> str:
+    """Canonical digest of a CCSR store's structure: vertex/edge counts
+    plus every cluster's key and entry count. Cheap (no per-edge work)
+    yet sensitive to any incremental update."""
+    clusters = sorted(
+        (str(key), cluster.num_entries)
+        for key, cluster in store.clusters.items()
+    )
+    return _digest((store.num_vertices, store.num_edges, clusters))
+
+
+def checkpoint_payload(
+    stream: EmbeddingStream,
+    store,
+    pattern,
+    variant,
+    planner: str,
+) -> dict:
+    """Serialize a suspended :class:`EmbeddingStream` to a checkpoint
+    document. The stream must not be iterated afterwards (the state
+    snapshot aliases its live frame stack)."""
+    from repro.graph.io import format_graph_text, parse_graph_text
+
+    runtime = stream.runtime
+    options = stream.options
+    # Digest the *re-parsed* text so the guard survives the label
+    # stringification of the text format (int labels round-trip as int,
+    # everything else as str).
+    text = format_graph_text(pattern)
+    digest = pattern_digest(parse_graph_text(text))
+    seed = options.seed
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "pattern": {"text": text, "digest": digest},
+        "store": {
+            "version": store.version,
+            "digest": store_digest(store),
+            "num_vertices": store.num_vertices,
+            "num_edges": store.num_edges,
+            "name": store.name,
+        },
+        "query": {
+            "variant": getattr(variant, "value", str(variant)),
+            "planner": planner,
+            "restrictions": [
+                list(pair) for pair in (options.restrictions or ())
+            ],
+            "seed": sorted(seed.items()) if seed else None,
+            "use_sce": options.use_sce,
+        },
+        "limits": {
+            "max_embeddings": options.max_embeddings,
+            "time_limit": options.time_limit,
+        },
+        "progress": {
+            "emitted": runtime.emitted,
+            "stop_reason": runtime.stop_reason,
+            "degradation": list(runtime.degradation),
+            "counters": {
+                **{k: getattr(runtime, k) for k in _RUNTIME_COUNTERS},
+                **{
+                    k: getattr(runtime.computer.stats, k)
+                    for k in _CANDIDATE_COUNTERS
+                },
+            },
+        },
+        "state": stream.state.to_payload(),
+    }
+
+
+def write_checkpoint(
+    path: str | os.PathLike,
+    stream: EmbeddingStream,
+    store,
+    pattern,
+    variant,
+    planner: str,
+) -> dict:
+    """Write a checkpoint document to ``path`` (atomically, via a temp
+    file) and return it."""
+    payload = checkpoint_payload(stream, store, pattern, variant, planner)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return payload
+
+
+def load_checkpoint(path: str | os.PathLike) -> dict:
+    """Read and structurally validate a checkpoint document."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is not valid JSON: {exc}"
+        ) from exc
+    validate_checkpoint(payload)
+    return payload
+
+
+def validate_checkpoint(payload: dict) -> None:
+    """Raise :class:`CheckpointError` unless ``payload`` is a structurally
+    complete checkpoint of a supported version."""
+    if not isinstance(payload, dict):
+        raise CheckpointError("checkpoint must be a JSON object")
+    if payload.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"not a checkpoint document (format={payload.get('format')!r})"
+        )
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {payload.get('version')!r}"
+            f" (this build reads version {CHECKPOINT_VERSION})"
+        )
+    for section in ("pattern", "store", "query", "limits", "progress", "state"):
+        if not isinstance(payload.get(section), dict):
+            raise CheckpointError(f"checkpoint is missing section {section!r}")
+    for field in ("assignment", "used", "values", "index", "emitted_at", "pos"):
+        if field not in payload["state"]:
+            raise CheckpointError(
+                f"checkpoint state is missing field {field!r}"
+            )
+
+
+def check_store_compatibility(payload: dict, store) -> None:
+    """Refuse to resume onto a store that is not byte-for-byte the one the
+    checkpoint was taken from."""
+    recorded = payload["store"]
+    if recorded.get("version") != store.version:
+        raise CheckpointError(
+            f"store has mutated since the checkpoint was written"
+            f" (checkpoint store version {recorded.get('version')},"
+            f" current {store.version}); the checkpointed candidate lists"
+            " are invalid — re-run the query instead of resuming"
+        )
+    if recorded.get("digest") != store_digest(store):
+        raise CheckpointError(
+            "store contents do not match the checkpoint (digest mismatch);"
+            " resuming would corrupt counts — re-run the query instead"
+        )
+
+
+class CheckpointSink:
+    """Auto-checkpoint hook attached to an :class:`EmbeddingStream`.
+
+    ``CSCE.match_iter(..., checkpoint_path=...)`` installs one; when the
+    stream stops early with a resumable ``stop_reason`` the sink writes
+    the checkpoint document to ``path``. ``written`` holds the last
+    document (None until a suspend happens)."""
+
+    def __init__(self, path, store, pattern, variant, planner: str):
+        self.path = path
+        self.store = store
+        self.pattern = pattern
+        self.variant = variant
+        self.planner = planner
+        self.written: dict | None = None
+
+    def write(self, stream: EmbeddingStream) -> None:
+        self.written = write_checkpoint(
+            self.path, stream, self.store, self.pattern, self.variant,
+            self.planner,
+        )
+
+
+def restore_stream(
+    payload: dict,
+    session,
+    max_embeddings=KEEP,
+    time_limit=KEEP,
+    governor=None,
+    obs=None,
+    checkpoint_path: str | os.PathLike | None = None,
+) -> EmbeddingStream:
+    """Rebuild a live :class:`EmbeddingStream` from a checkpoint document.
+
+    ``session`` is the :class:`repro.engine.session.MatchSession` holding
+    the (unchanged) store; the physical plan is recompiled through it —
+    planning is deterministic against an identical store, which the
+    compatibility guard enforces first. ``max_embeddings``/``time_limit``
+    default to the checkpoint's own limits (pass an override — including
+    ``None`` for unlimited — to change them; a fresh ``time_limit`` budget
+    restarts from resume time). ``checkpoint_path`` re-arms
+    auto-checkpointing on the resumed stream.
+    """
+    from repro.core.variants import Variant
+    from repro.graph.io import parse_graph_text
+
+    validate_checkpoint(payload)
+    check_store_compatibility(payload, session.store)
+
+    pattern_block = payload["pattern"]
+    pattern = parse_graph_text(pattern_block["text"], name="checkpoint")
+    if pattern_digest(pattern) != pattern_block.get("digest"):
+        raise CheckpointError(
+            "checkpoint pattern does not match its digest (corrupt document)"
+        )
+
+    query = payload["query"]
+    variant = Variant.parse(query["variant"])
+    planner = query["planner"]
+    restrictions = (
+        tuple((int(u), int(v)) for u, v in query["restrictions"])
+        if query["restrictions"]
+        else None
+    )
+    seed = (
+        {int(u): int(v) for u, v in query["seed"]}
+        if query.get("seed")
+        else None
+    )
+    limits = payload["limits"]
+    if max_embeddings is KEEP:
+        max_embeddings = limits.get("max_embeddings")
+    if time_limit is KEEP:
+        time_limit = limits.get("time_limit")
+
+    compiled = session.compile(
+        pattern, variant, planner=planner, restrictions=restrictions, obs=obs
+    )
+    progress = payload["progress"]
+    degradation = list(progress.get("degradation") or [])
+    # A run that degraded past "disable_memo" must not re-enable the memo
+    # on resume — the memory pressure that forced it off is still the
+    # operative assumption until the governor says otherwise.
+    use_sce = bool(query["use_sce"]) and "disable_memo" not in degradation
+    options = MatchOptions(
+        max_embeddings=max_embeddings,
+        time_limit=time_limit,
+        use_sce=use_sce,
+        restrictions=restrictions,
+        seed=seed,
+        obs=obs if obs is not None and getattr(obs, "enabled", False) else None,
+        governor=governor,
+    )
+    sink = None
+    if checkpoint_path is not None:
+        sink = CheckpointSink(
+            checkpoint_path, session.store, pattern, variant, planner
+        )
+    state = SearchState.from_payload(payload["state"])
+    stream = EmbeddingStream(
+        compiled.physical,
+        options,
+        state=state,
+        emitted=int(progress["emitted"]),
+        checkpoint_sink=sink,
+    )
+    counters = progress.get("counters") or {}
+    runtime = stream.runtime
+    for key in _RUNTIME_COUNTERS:
+        if key in counters:
+            setattr(runtime, key, int(counters[key]))
+    for key in _CANDIDATE_COUNTERS:
+        if key in counters:
+            setattr(runtime.computer.stats, key, int(counters[key]))
+    runtime.degradation = degradation
+    runtime.gov_stage = 2 if "disable_memo" in degradation else 0
+    return stream

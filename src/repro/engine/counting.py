@@ -31,8 +31,9 @@ import time
 
 from repro.engine.candidates import CandidateComputer
 from repro.engine.physical import PhysicalPlan
-from repro.engine.results import MatchOptions
+from repro.engine.results import MatchOptions, STOP_TIME_LIMIT
 from repro.obs import NULL_OBS, unified_stats
+from repro.testing import faults
 
 _TIME_CHECK_INTERVAL = 2048
 
@@ -106,31 +107,60 @@ class FactorizedCounter:
         self.backtracks = 0
         self.prunes_injective = 0
         self.timed_out = False
+        self.stop_reason: str | None = None
+        self.degradation: list[str] = []
+        self.gov_stage = 0
         self._group_memo: dict[tuple, int] = {}
-        self._deadline = (
-            time.perf_counter() + options.time_limit
-            if options.time_limit is not None
-            else None
-        )
+        gov = options.governor
+        self.governor = gov
+        if gov is not None:
+            gov.ensure_tracing()
+            self._deadline = gov.effective_deadline(options.time_limit)
+        else:
+            self._deadline = (
+                time.perf_counter() + options.time_limit
+                if options.time_limit is not None
+                else None
+            )
         self._heartbeat = obs.heartbeat
-        self._ticking = self._deadline is not None or self._heartbeat.enabled
+        self._interval = 1 if faults.active() else _TIME_CHECK_INTERVAL
+        self._ticking = (
+            self._deadline is not None
+            or self._heartbeat.enabled
+            or gov is not None
+            or self._interval == 1
+        )
         self._top_level_count = 0
 
     # ------------------------------------------------------------------
     def count(self) -> int:
-        """Total embedding count (partial top-level count on timeout)."""
+        """Total embedding count (partial top-level count on a stop).
+
+        On an early stop (deadline, memory suspension, cancellation) the
+        partial count is the last *committed* top-level sequential
+        accumulation — it never overcounts, but if the top-level frame is
+        a product (``_PROD``) the in-flight product is discarded, so the
+        partial count can lag the work done. The same value flows into the
+        exception, the :class:`~repro.engine.results.MatchResult`, and the
+        run-report (the ``partial_count`` consistency contract)."""
         if self.physical.impossible():
             return 0
+        gov = self.governor
+        if gov is not None:
+            reason = gov.check(self)
+            if reason is not None:
+                self.stop_reason = reason
+                return 0
         n = len(self.ops)
         stack: list[_Frame] = []
         retval = self._enter(tuple(range(n)), stack, top_level=True)
-        while stack and not self.timed_out:
+        while stack and self.stop_reason is None:
             frame = stack[-1]
             if frame.kind == _SEQ:
                 retval = self._step_seq(frame, stack, retval)
             else:
                 retval = self._step_prod(frame, stack, retval)
-        if self.timed_out:
+        if self.stop_reason is not None:
             return self._top_level_count
         return retval
 
@@ -307,28 +337,42 @@ class FactorizedCounter:
     # ------------------------------------------------------------------
     def _tick(self, depth: int = 0) -> None:
         self.nodes += 1
-        if self._ticking and self.nodes % _TIME_CHECK_INTERVAL == 0:
+        if self._ticking and self.nodes % self._interval == 0:
+            if faults.ACTIVE is not None:
+                faults.fire(
+                    "engine.tick", depth=depth, phase="count", nodes=self.nodes
+                )
             if self._heartbeat.enabled:
                 self._heartbeat.beat(
                     self.nodes, self._top_level_count, depth, phase="count"
                 )
+            gov = self.governor
+            if gov is not None:
+                reason = gov.check(self)
+                if reason is not None:
+                    self.stop_reason = reason
+                    return
             if (
                 self._deadline is not None
                 and time.perf_counter() > self._deadline
             ):
                 self.timed_out = True
+                self.stop_reason = STOP_TIME_LIMIT
 
 
 def count_physical(
     physical: PhysicalPlan, options: MatchOptions
-) -> tuple[int, dict, bool]:
-    """Count embeddings of a compiled plan; returns (count, stats, timed_out).
+) -> tuple[int, dict, str | None, list[str]]:
+    """Count embeddings of a compiled plan; returns
+    ``(count, stats, stop_reason, degradation)``.
 
     ``stats`` carries the full unified key set
     (:data:`repro.obs.counters.STAT_KEYS`), matching the enumeration path
     key-for-key; ``prunes_restriction`` is always 0 here because
-    restrictions force the enumeration path. On timeout the count is the
-    partial top-level count (cooperative, no exception).
+    restrictions force the enumeration path. On an early stop the count is
+    the partial top-level count (cooperative, no exception) and
+    ``stop_reason`` names the cause; ``degradation`` lists any
+    governor-ladder events.
     """
     counter = FactorizedCounter(physical, options)
     total = counter.count()
@@ -340,4 +384,4 @@ def count_physical(
         factorizations=counter.factorizations,
         group_memo_hits=counter.group_memo_hits,
     )
-    return total, stats, counter.timed_out
+    return total, stats, counter.stop_reason, list(counter.degradation)

@@ -4,22 +4,29 @@ Embeddings grow one vertex at a time following the compiled op sequence;
 each step intersects cluster neighbor lists (worst-case-optimal-join style)
 through :class:`~repro.engine.candidates.CandidateComputer`. The search is
 driven by an explicit per-depth frame stack — no Python recursion — which
-buys three things the old recursive interpreter could not offer:
+buys four things the old recursive interpreter could not offer:
 
 * **streaming**: :func:`stream` is a plain generator over the frame stack,
   so :class:`EmbeddingStream` (behind ``CSCE.match_iter``) yields
   embeddings lazily, one ``next()`` at a time, with the search suspended
   in between;
-* **cooperative limits**: ``max_embeddings`` and ``time_limit`` set the
-  ``truncated`` / ``timed_out`` flags on the :class:`Runtime` and end the
+* **cooperative limits**: deadlines, embedding caps, memory budgets and
+  cancellation set ``stop_reason`` on the :class:`Runtime` and end the
   loop — no control-flow exceptions, and a partially-consumed stream is
   always in a consistent state;
+* **checkpointing**: the frame stack lives in a :class:`SearchState` whose
+  contents serialize to a resumable checkpoint
+  (:mod:`repro.engine.checkpoint`) — suspend on one process, resume on
+  another;
 * **no recursion-limit games**: a 2000-vertex pattern (the paper's largest)
   needs 2000 stack frames under recursion; here it needs three parallel
   arrays of length 2000.
 
 Counting runs share the same :class:`Runtime`; factorized counting lives in
-:mod:`repro.engine.counting` on its own frame machine.
+:mod:`repro.engine.counting` on its own frame machine. Resource governance
+(budgets, the degradation ladder, cancel tokens) is polled at tick
+boundaries via :class:`repro.engine.governor.ResourceGovernor`; the
+``engine.tick`` fault site fires at the same cadence for the chaos suite.
 """
 
 from __future__ import annotations
@@ -31,8 +38,14 @@ import numpy as np
 
 from repro.engine.candidates import CandidateComputer
 from repro.engine.physical import PhysicalPlan, compile_plan
-from repro.engine.results import MatchOptions, MatchResult
+from repro.engine.results import (
+    MatchOptions,
+    MatchResult,
+    STOP_EMBEDDING_LIMIT,
+    STOP_TIME_LIMIT,
+)
 from repro.obs import NULL_OBS, unified_stats
+from repro.testing import faults
 
 logger = logging.getLogger(__name__)
 
@@ -77,17 +90,84 @@ def specialize(physical: PhysicalPlan, options: MatchOptions) -> PhysicalPlan:
     return physical
 
 
+class SearchState:
+    """The enumeration frame stack, extracted so it can be checkpointed.
+
+    Everything :func:`stream` mutates between two yields lives here: the
+    partial ``assignment`` (pattern vertex → data vertex, ``-1`` unbound),
+    the injectivity ``used`` set, the per-depth candidate lists ``values``
+    (``None`` = depth not yet entered), scan cursors ``index``, backtrack
+    watermarks ``emitted_at``, and the current depth ``pos``. The generator
+    keeps ``state.pos`` current at every suspension point (yield, stop,
+    close), so a snapshot taken between ``next()`` calls is always
+    resumable.
+    """
+
+    __slots__ = ("assignment", "used", "values", "index", "emitted_at", "pos")
+
+    def __init__(
+        self,
+        assignment: list[int],
+        used: set[int],
+        values: list[list | None],
+        index: list[int],
+        emitted_at: list[int],
+        pos: int,
+    ):
+        self.assignment = assignment
+        self.used = used
+        self.values = values
+        self.index = index
+        self.emitted_at = emitted_at
+        self.pos = pos
+
+    @classmethod
+    def fresh(cls, n: int) -> "SearchState":
+        return cls([-1] * n, set(), [None] * n, [0] * n, [0] * n, 0)
+
+    def to_payload(self) -> dict:
+        """A JSON-serializable snapshot (candidate lists included, so a
+        mid-scan frame resumes at the exact cursor position)."""
+        return {
+            "assignment": list(self.assignment),
+            "used": sorted(self.used),
+            "values": [None if v is None else list(v) for v in self.values],
+            "index": list(self.index),
+            "emitted_at": list(self.emitted_at),
+            "pos": self.pos,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SearchState":
+        return cls(
+            [int(x) for x in payload["assignment"]],
+            {int(x) for x in payload["used"]},
+            [
+                None if v is None else [int(x) for x in v]
+                for v in payload["values"]
+            ],
+            [int(x) for x in payload["index"]],
+            [int(x) for x in payload["emitted_at"]],
+            int(payload["pos"]),
+        )
+
+
 class Runtime:
     """Mutable per-run execution state: counters, limits, instruments.
 
     Shared by the streaming generator and the counting fast path so both
-    report identical :data:`~repro.obs.counters.STAT_KEYS` semantics.
+    report identical :data:`~repro.obs.counters.STAT_KEYS` semantics. When
+    a :class:`~repro.engine.governor.ResourceGovernor` is attached, its
+    budget folds into the deadline/cap (tightest wins) and its
+    memory/cancellation checks run at tick boundaries; ``degradation`` and
+    ``gov_stage`` record the ladder's progress.
     """
 
     __slots__ = (
         "options",
         "computer",
         "profile",
+        "governor",
         "nodes",
         "emitted",
         "backtracks",
@@ -95,9 +175,14 @@ class Runtime:
         "prunes_restriction",
         "truncated",
         "timed_out",
+        "stop_reason",
+        "degradation",
+        "gov_stage",
+        "max_embeddings",
         "_deadline",
         "_heartbeat",
         "_ticking",
+        "_interval",
     )
 
     def __init__(self, physical: PhysicalPlan, options: MatchOptions):
@@ -121,28 +206,80 @@ class Runtime:
         self.prunes_restriction = 0
         self.truncated = False
         self.timed_out = False
-        self._deadline = (
-            time.perf_counter() + options.time_limit
-            if options.time_limit is not None
-            else None
-        )
+        self.stop_reason: str | None = None
+        self.degradation: list[str] = []
+        self.gov_stage = 0
+        gov = options.governor
+        self.governor = gov
+        if gov is not None:
+            gov.ensure_tracing()
+            self.max_embeddings = gov.effective_cap(options.max_embeddings)
+            self._deadline = gov.effective_deadline(options.time_limit)
+        else:
+            self.max_embeddings = options.max_embeddings
+            self._deadline = (
+                time.perf_counter() + options.time_limit
+                if options.time_limit is not None
+                else None
+            )
         self._heartbeat = obs.heartbeat
-        # One flag guards the periodic work: without a deadline or a live
-        # heartbeat, tick never even computes the interval modulo.
-        self._ticking = self._deadline is not None or self._heartbeat.enabled
+        # Under fault injection every tick must reach the fault site, so
+        # the periodic work runs densely; in production it is amortized.
+        self._interval = 1 if faults.active() else _TIME_CHECK_INTERVAL
+        # One flag guards the periodic work: without a deadline, governor,
+        # injector, or live heartbeat, tick never computes the modulo.
+        self._ticking = (
+            self._deadline is not None
+            or self._heartbeat.enabled
+            or gov is not None
+            or self._interval == 1
+        )
+
+    def preflight(self) -> bool:
+        """Governance check before the first frame step, so a token that
+        was tripped before (or between) runs stops even searches too small
+        to reach a tick boundary. False means: do not start."""
+        gov = self.governor
+        if gov is None:
+            return True
+        reason = gov.check(self)
+        if reason is not None:
+            self.stop_reason = reason
+            return False
+        return True
 
     def tick(self, depth: int = 0, phase: str = "enumerate") -> bool:
-        """Account one search-tree node; False once the deadline passed."""
+        """Account one search-tree node; False once a limit fired (the
+        deadline passed, the governor's budget breached and the ladder
+        bottomed out, or the cancel token tripped). Sets ``stop_reason``
+        (and the legacy ``timed_out`` flag) before returning False."""
         self.nodes += 1
-        if self._ticking and self.nodes % _TIME_CHECK_INTERVAL == 0:
+        if self._ticking and self.nodes % self._interval == 0:
+            if faults.ACTIVE is not None:
+                faults.fire(
+                    "engine.tick", depth=depth, phase=phase, nodes=self.nodes
+                )
             if self._heartbeat.enabled:
                 self._heartbeat.beat(self.nodes, self.emitted, depth, phase=phase)
+            gov = self.governor
+            if gov is not None:
+                reason = gov.check(self)
+                if reason is not None:
+                    self.stop_reason = reason
+                    return False
             if (
                 self._deadline is not None
                 and time.perf_counter() > self._deadline
             ):
+                self.timed_out = True
+                self.stop_reason = STOP_TIME_LIMIT
                 return False
         return True
+
+    def release(self) -> None:
+        """Return governor-owned resources (tracemalloc) after the run."""
+        if self.governor is not None:
+            self.governor.release()
 
     def stats(self) -> dict:
         """The unified stats snapshot (all :data:`STAT_KEYS`)."""
@@ -155,93 +292,107 @@ class Runtime:
         )
 
 
-def stream(physical: PhysicalPlan, runtime: Runtime):
+def stream(
+    physical: PhysicalPlan, runtime: Runtime, state: SearchState | None = None
+):
     """Iteratively enumerate embeddings; yields tuples indexed by pattern
-    vertex id. Cooperative: on a limit, sets the runtime flag and returns.
+    vertex id. Cooperative: on a limit, sets ``runtime.stop_reason`` and
+    returns. Pass a restored :class:`SearchState` to resume a checkpointed
+    search mid-frame; the state is kept current at every suspension point.
     """
     if physical.impossible():
         return
     ops = physical.ops
     n = len(ops)
+    if not runtime.preflight():
+        return
     if n == 0:
         runtime.emitted += 1
         yield ()
         return
+    if state is None:
+        state = SearchState.fresh(n)
     # Hot path: everything the loop touches is bound to locals.
     raw = runtime.computer.raw
     injective = physical.injective
-    max_embeddings = runtime.options.max_embeddings
+    max_embeddings = runtime.max_embeddings
     profile = runtime.profile
-    assignment = [-1] * n
-    used: set[int] = set()
+    assignment = state.assignment
+    used = state.used
     add, discard = used.add, used.discard
     # Per-depth frames: the candidate list, the scan cursor, and the
     # emitted-count watermark for backtrack accounting.
-    values: list[list | None] = [None] * n
-    index = [0] * n
-    emitted_at = [0] * n
-    pos = 0
-    while pos >= 0:
-        op = ops[pos]
-        vals = values[pos]
-        if vals is None:
-            # Entering this depth fresh: one tick per expansion, exactly
-            # like one recursive extend() call.
-            if not runtime.tick(pos):
-                runtime.timed_out = True
-                return
-            candidates = raw(op, assignment)
-            if profile is not None:
-                profile.visit(pos, candidates.shape[0])
-            pin = op.pin
-            if pin is not None:
-                vals = [pin] if _contains_sorted(candidates, pin) else []
-            else:
-                vals = candidates.tolist()
-            values[pos] = vals
-            index[pos] = 0
-            emitted_at[pos] = runtime.emitted
-        u = op.u
-        # Unassign the value the previous iteration consumed at this depth
-        # (returning from a child, or continuing after a leaf emission).
-        if assignment[u] != -1:
-            if injective:
-                discard(assignment[u])
-            assignment[u] = -1
-        i = index[pos]
-        restrictions = op.restrictions
-        chosen = -1
-        while i < len(vals):
-            v = vals[i]
-            i += 1
-            if injective and v in used:
-                runtime.prunes_injective += 1
-                continue
-            if restrictions and not _satisfies(v, assignment, restrictions):
-                runtime.prunes_restriction += 1
-                continue
-            chosen = v
-            break
-        index[pos] = i
-        if chosen < 0:
-            if runtime.emitted == emitted_at[pos]:
-                runtime.backtracks += 1
+    values = state.values
+    index = state.index
+    emitted_at = state.emitted_at
+    pos = state.pos
+    try:
+        while pos >= 0:
+            op = ops[pos]
+            vals = values[pos]
+            if vals is None:
+                # Entering this depth fresh: one tick per expansion, exactly
+                # like one recursive extend() call.
+                if not runtime.tick(pos):
+                    return
+                candidates = raw(op, assignment)
                 if profile is not None:
-                    profile.backtrack(pos)
-            values[pos] = None
-            pos -= 1
-            continue
-        assignment[u] = chosen
-        if injective:
-            add(chosen)
-        if pos + 1 == n:
-            runtime.emitted += 1
-            yield tuple(assignment)
-            if max_embeddings is not None and runtime.emitted >= max_embeddings:
-                runtime.truncated = True
-                return
-            continue
-        pos += 1
+                    profile.visit(pos, candidates.shape[0])
+                pin = op.pin
+                if pin is not None:
+                    vals = [pin] if _contains_sorted(candidates, pin) else []
+                else:
+                    vals = candidates.tolist()
+                values[pos] = vals
+                index[pos] = 0
+                emitted_at[pos] = runtime.emitted
+            u = op.u
+            # Unassign the value the previous iteration consumed at this depth
+            # (returning from a child, or continuing after a leaf emission).
+            if assignment[u] != -1:
+                if injective:
+                    discard(assignment[u])
+                assignment[u] = -1
+            i = index[pos]
+            restrictions = op.restrictions
+            chosen = -1
+            while i < len(vals):
+                v = vals[i]
+                i += 1
+                if injective and v in used:
+                    runtime.prunes_injective += 1
+                    continue
+                if restrictions and not _satisfies(v, assignment, restrictions):
+                    runtime.prunes_restriction += 1
+                    continue
+                chosen = v
+                break
+            index[pos] = i
+            if chosen < 0:
+                if runtime.emitted == emitted_at[pos]:
+                    runtime.backtracks += 1
+                    if profile is not None:
+                        profile.backtrack(pos)
+                values[pos] = None
+                pos -= 1
+                continue
+            assignment[u] = chosen
+            if injective:
+                add(chosen)
+            if pos + 1 == n:
+                runtime.emitted += 1
+                state.pos = pos
+                yield tuple(assignment)
+                if max_embeddings is not None and runtime.emitted >= max_embeddings:
+                    runtime.truncated = True
+                    runtime.stop_reason = STOP_EMBEDDING_LIMIT
+                    return
+                continue
+            pos += 1
+    finally:
+        # Keep the checkpointable state current on every exit path: limit
+        # stops, exhaustion (pos == -1), and generator close().
+        state.pos = pos
 
 
 def count_capped(physical: PhysicalPlan, runtime: Runtime) -> int:
@@ -252,12 +403,14 @@ def count_capped(physical: PhysicalPlan, runtime: Runtime) -> int:
         return 0
     ops = physical.ops
     n = len(ops)
+    if not runtime.preflight():
+        return 0
     if n == 0:
         runtime.emitted += 1
         return runtime.emitted
     raw = runtime.computer.raw
     injective = physical.injective
-    max_embeddings = runtime.options.max_embeddings
+    max_embeddings = runtime.max_embeddings
     profile = runtime.profile
     assignment = [-1] * n
     used: set[int] = set()
@@ -270,8 +423,7 @@ def count_capped(physical: PhysicalPlan, runtime: Runtime) -> int:
         op = ops[pos]
         vals = values[pos]
         if vals is None:
-            if not runtime.tick(pos):
-                runtime.timed_out = True
+            if not runtime.tick(pos, phase="count"):
                 return runtime.emitted
             candidates = raw(op, assignment)
             if profile is not None:
@@ -319,6 +471,7 @@ def count_capped(physical: PhysicalPlan, runtime: Runtime) -> int:
             runtime.emitted += 1
             if max_embeddings is not None and runtime.emitted >= max_embeddings:
                 runtime.truncated = True
+                runtime.stop_reason = STOP_EMBEDDING_LIMIT
                 return runtime.emitted
             continue
         pos += 1
@@ -331,31 +484,53 @@ class EmbeddingStream:
     Yields ``{pattern vertex: data vertex}`` dicts one at a time; the
     search is suspended between ``next()`` calls, so consuming three
     embeddings of a billion-result query does three embeddings of work.
-    Progress counters (``count``, ``stats``) and the cooperative limit
-    flags (``truncated``, ``timed_out``) are readable at any point, also
-    mid-iteration. ``close()`` (or exiting a ``with`` block) abandons the
-    remaining search.
+    Progress counters (``count``, ``stats``) and the cooperative stop
+    flags (``truncated``, ``timed_out``, ``stop_reason``) are readable at
+    any point, also mid-iteration. ``close()`` (or exiting a ``with``
+    block) abandons the remaining search.
+
+    ``state``/``emitted`` restore a checkpointed search
+    (:func:`repro.engine.checkpoint.load_checkpoint` →
+    ``CSCE.resume``); ``checkpoint_sink`` is an object with a
+    ``write(stream)`` method called automatically when the stream stops
+    early with a resumable ``stop_reason`` (the auto-checkpoint-on-suspend
+    behavior of ``CSCE.match_iter(..., checkpoint_path=...)``).
 
     Streams do not fold their stats into an Observation's counter registry
     (the run has no natural end); read ``.stats`` or ``.result()`` instead.
     Heartbeats and per-depth profiling stay live while iterating.
     """
 
-    def __init__(self, physical: PhysicalPlan, options: MatchOptions | None = None):
+    def __init__(
+        self,
+        physical: PhysicalPlan,
+        options: MatchOptions | None = None,
+        state: SearchState | None = None,
+        emitted: int = 0,
+        checkpoint_sink=None,
+    ):
         options = options or MatchOptions()
         physical = specialize(physical, options)
         self.physical = physical
         self.options = options
         self.runtime = Runtime(physical, options)
-        self._gen = stream(physical, self.runtime)
+        self.runtime.emitted = emitted
+        self.state = state or SearchState.fresh(len(physical.ops))
+        self.checkpoint_sink = checkpoint_sink
+        self._gen = stream(physical, self.runtime, self.state)
         self._n = physical.num_vertices
+        self._finished = False
         self._started = time.perf_counter()
 
     def __iter__(self) -> "EmbeddingStream":
         return self
 
     def __next__(self) -> dict[int, int]:
-        tup = next(self._gen)
+        try:
+            tup = next(self._gen)
+        except StopIteration:
+            self._finish()
+            raise
         return {u: tup[u] for u in range(self._n)}
 
     def __enter__(self) -> "EmbeddingStream":
@@ -364,13 +539,26 @@ class EmbeddingStream:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def _finish(self) -> None:
+        """End-of-stream housekeeping: release governor resources, then
+        auto-checkpoint if the run suspended and a sink is attached."""
+        if self._finished:
+            return
+        self._finished = True
+        self.runtime.release()
+        if self.checkpoint_sink is not None and self.stop_reason is not None:
+            self.checkpoint_sink.write(self)
+
     def close(self) -> None:
         """Abandon the remaining search; counters keep their last state."""
         self._gen.close()
+        if not self._finished:
+            self._finished = True
+            self.runtime.release()
 
     @property
     def count(self) -> int:
-        """Embeddings yielded so far."""
+        """Embeddings yielded so far (including any checkpointed prefix)."""
         return self.runtime.emitted
 
     @property
@@ -380,6 +568,12 @@ class EmbeddingStream:
     @property
     def timed_out(self) -> bool:
         return self.runtime.timed_out
+
+    @property
+    def stop_reason(self) -> str | None:
+        """Why the stream stopped early, or ``None`` (still running or
+        ran to exhaustion)."""
+        return self.runtime.stop_reason
 
     @property
     def stats(self) -> dict:
@@ -404,6 +598,8 @@ class EmbeddingStream:
             compile_seconds=self.physical.compile_seconds,
             truncated=self.runtime.truncated,
             timed_out=self.runtime.timed_out,
+            stop_reason=self.runtime.stop_reason,
+            degradation=list(self.runtime.degradation),
             stats=self.runtime.stats(),
         )
 
@@ -415,8 +611,9 @@ def execute_physical(
 
     Counting runs go through the SCE-factorized counter when eligible
     (uncapped, unrestricted, unseeded); every other run drives the
-    iterative frame machine. Limits surface as ``truncated``/``timed_out``
-    flags with the partial count, never as exceptions.
+    iterative frame machine. Limits surface as ``stop_reason`` (plus the
+    legacy ``truncated``/``timed_out`` flags) with the partial count,
+    never as exceptions.
     """
     options = options or MatchOptions()
     obs = options.obs or NULL_OBS
@@ -425,45 +622,60 @@ def execute_physical(
     start = time.perf_counter()
     truncated = False
     timed_out = False
+    stop_reason: str | None = None
+    degradation: list[str] = []
     embeddings: list[dict[int, int]] | None = None
 
+    gov = options.governor
     # Exact SCE-factorized counting only applies to uncapped, unrestricted,
     # unseeded counting; a max_embeddings cap needs enumeration semantics
     # (results are counted one by one up to the cap, the 1e5-cap convention
     # of existing works), and restrictions/seeds couple independent regions.
-    if (
-        options.count_only
-        and not physical.restrictions
-        and not physical.has_pins
-        and options.max_embeddings is None
-    ):
-        from repro.engine.counting import count_physical
+    # A governed embedding cap disqualifies it the same way an option cap
+    # does.
+    try:
+        if (
+            options.count_only
+            and not physical.restrictions
+            and not physical.has_pins
+            and options.max_embeddings is None
+            and (gov is None or gov.budget.max_embeddings is None)
+        ):
+            from repro.engine.counting import count_physical
 
-        with obs.tracer.span(
-            "execute", mode="count", variant=plan.variant.value
-        ) as span:
-            count, stats, timed_out = count_physical(physical, options)
-            span.set("count", count)
-    else:
-        runtime = Runtime(physical, options)
-        count = 0
-        with obs.tracer.span(
-            "execute", mode="enumerate", variant=plan.variant.value
-        ) as span:
-            if options.count_only:
-                count = count_capped(physical, runtime)
-            else:
-                collected: list[dict[int, int]] = []
-                n = physical.num_vertices
-                for tup in stream(physical, runtime):
-                    collected.append({u: tup[u] for u in range(n)})
-                count = runtime.emitted
-                embeddings = collected
-            truncated = runtime.truncated
-            timed_out = runtime.timed_out
-            span.set("count", count)
-            span.set("nodes", runtime.nodes)
-        stats = runtime.stats()
+            with obs.tracer.span(
+                "execute", mode="count", variant=plan.variant.value
+            ) as span:
+                count, stats, stop_reason, degradation = count_physical(
+                    physical, options
+                )
+                timed_out = stop_reason == STOP_TIME_LIMIT
+                span.set("count", count)
+        else:
+            runtime = Runtime(physical, options)
+            count = 0
+            with obs.tracer.span(
+                "execute", mode="enumerate", variant=plan.variant.value
+            ) as span:
+                if options.count_only:
+                    count = count_capped(physical, runtime)
+                else:
+                    collected: list[dict[int, int]] = []
+                    n = physical.num_vertices
+                    for tup in stream(physical, runtime):
+                        collected.append({u: tup[u] for u in range(n)})
+                    count = runtime.emitted
+                    embeddings = collected
+                truncated = runtime.truncated
+                timed_out = runtime.timed_out
+                stop_reason = runtime.stop_reason
+                degradation = list(runtime.degradation)
+                span.set("count", count)
+                span.set("nodes", runtime.nodes)
+            stats = runtime.stats()
+    finally:
+        if gov is not None:
+            gov.release()
 
     if obs.enabled:
         obs.counters.merge(stats)
@@ -477,6 +689,8 @@ def execute_physical(
         compile_seconds=physical.compile_seconds,
         truncated=truncated,
         timed_out=timed_out,
+        stop_reason=stop_reason,
+        degradation=degradation,
         stats=stats,
     )
     if logger.isEnabledFor(logging.DEBUG):
@@ -486,6 +700,6 @@ def execute_physical(
             count,
             stats.get("nodes", 0),
             result.elapsed,
-            " (truncated)" if truncated else (" (timed out)" if timed_out else ""),
+            f" (stopped: {stop_reason})" if stop_reason else "",
         )
     return result

@@ -1,0 +1,253 @@
+"""Resource governance for long-running searches.
+
+CSCE targets large patterns whose searches can run for minutes and whose
+SCE memo tables grow with the number of distinct ``(op, prior-assignment)``
+keys — exactly the regime where a production engine must survive deadlines,
+memory pressure, and operator interrupts instead of dying with a stack
+trace. This module provides the three pieces:
+
+* :class:`Budget` — a unified, immutable resource budget: wall-clock
+  deadline, embedding cap, and a **memory ceiling** (MiB) sampled
+  cooperatively at frame-step boundaries via :mod:`tracemalloc` (the same
+  machinery :class:`repro.obs.profile.Profiler` uses).
+* :class:`CancelToken` — a thread-safe cooperative cancellation flag. The
+  CLI trips it from a SIGINT handler; injected faults trip it from the
+  chaos suite. The engine polls it at tick boundaries and stops with a
+  truncated-but-valid result, never a ``KeyboardInterrupt`` traceback.
+* :class:`ResourceGovernor` — combines both and applies the
+  **graceful-degradation ladder** on a memory breach: first evict half the
+  SCE memo (LRU-style), then disable memoization for the remainder of the
+  run, and only suspend (``stop_reason="memory_limit"``) if pressure
+  persists. Each rung is recorded in the run's ``degradation`` list and
+  the observation counters (``governor_evictions`` etc.).
+
+Because the executor keeps its entire search state in an explicit frame
+stack (PR 3), a governed stop is just a cooperative ``return`` — the
+partial counts are exact, and the frame stack itself can be checkpointed
+(:mod:`repro.engine.checkpoint`) and resumed later.
+
+Memory sampling is cheap but not free (one ``tracemalloc`` read per
+:data:`~repro.engine.executor._TIME_CHECK_INTERVAL` ticks) and tracemalloc
+tracing itself slows allocation; a governor with no memory budget never
+starts tracing, so the default (unlimited) budget adds no overhead beyond
+a single attribute check per tick window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import tracemalloc
+from dataclasses import dataclass
+
+from repro.engine.results import (  # noqa: F401  (re-exported)
+    RESUMABLE_STOP_REASONS,
+    STOP_CANCELLED,
+    STOP_EMBEDDING_LIMIT,
+    STOP_MEMORY_LIMIT,
+    STOP_REASONS,
+    STOP_TIME_LIMIT,
+)
+from repro.testing import faults
+
+#: Degradation-ladder event names, in escalation order.
+DEGRADE_EVICT = "evict_memo"
+DEGRADE_DISABLE = "disable_memo"
+DEGRADE_SUSPEND = "suspend"
+
+#: Fraction of the memo evicted on the ladder's first rung.
+EVICT_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class Budget:
+    """A unified resource budget. ``None`` fields are unlimited.
+
+    ``time_limit`` and ``max_embeddings`` mirror the same-named
+    :class:`~repro.engine.results.MatchOptions` fields; when both a budget
+    and an option specify a limit, the tighter one wins.
+    ``memory_limit_mb`` is new: a ceiling on Python-heap usage (MiB, as
+    reported by :func:`tracemalloc.get_traced_memory`) checked
+    cooperatively at frame-step boundaries.
+    """
+
+    time_limit: float | None = None
+    max_embeddings: int | None = None
+    memory_limit_mb: float | None = None
+
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.time_limit is None
+            and self.max_embeddings is None
+            and self.memory_limit_mb is None
+        )
+
+
+class CancelToken:
+    """A thread-safe cooperative cancellation flag.
+
+    Trip it from a signal handler, another thread, or an injected fault;
+    the engine polls :attr:`cancelled` at tick boundaries and stops with
+    ``stop_reason="cancelled"``. Reusable: :meth:`clear` re-arms it, so a
+    long-lived :class:`~repro.core.continuous.ContinuousMatcher` can absorb
+    a cancellation on one delta and keep serving the next.
+    """
+
+    __slots__ = ("_event", "reason")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self.reason: str | None = None
+
+    def trip(self, reason: str = "cancelled") -> None:
+        """Request cancellation (safe to call from a signal handler)."""
+        self.reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def clear(self) -> None:
+        """Re-arm the token for the next run."""
+        self._event.clear()
+        self.reason = None
+
+    def __repr__(self) -> str:
+        state = f"tripped: {self.reason}" if self.cancelled else "armed"
+        return f"<CancelToken {state}>"
+
+
+class ResourceGovernor:
+    """Enforces a :class:`Budget` + :class:`CancelToken` over one or more
+    runs, applying the graceful-degradation ladder on memory breaches.
+
+    The governor is attached via ``MatchOptions(governor=...)`` and polled
+    by the engine's tick machinery through :meth:`check`, which is
+    duck-typed over the executor's :class:`~repro.engine.executor.Runtime`
+    and the counter's :class:`~repro.engine.counting.FactorizedCounter`
+    (both expose ``computer``, ``options``, ``degradation`` and
+    ``gov_stage``). It owns tracemalloc the same way
+    :class:`repro.obs.profile.Profiler` does: starts tracing only when a
+    memory budget exists and tracing is off, and stops it only if it
+    started it.
+    """
+
+    def __init__(
+        self,
+        budget: Budget | None = None,
+        cancel: CancelToken | None = None,
+        obs: object | None = None,
+    ):
+        self.budget = budget or Budget()
+        self.cancel = cancel or CancelToken()
+        self.obs = obs
+        self._owns_tracing = False
+
+    # -- tracemalloc ownership ----------------------------------------
+    def ensure_tracing(self) -> None:
+        """Start tracemalloc if a memory budget requires sampling."""
+        if self.budget.memory_limit_mb is None:
+            return
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracing = True
+
+    def release(self) -> None:
+        """Stop tracemalloc if (and only if) this governor started it."""
+        if self._owns_tracing:
+            tracemalloc.stop()
+            self._owns_tracing = False
+
+    # -- sampling ------------------------------------------------------
+    def memory_mb(self) -> float:
+        """Current traced Python-heap usage in MiB (0.0 when not tracing),
+        plus any simulated pressure from the ``governor.memory`` fault
+        site (the chaos suite's way of testing the ladder without
+        actually allocating gigabytes)."""
+        current = 0.0
+        if tracemalloc.is_tracing():
+            current = tracemalloc.get_traced_memory()[0] / (1024.0 * 1024.0)
+        extra = faults.fire("governor.memory")
+        if extra is not None:
+            current += float(extra)
+        return current
+
+    # -- the cooperative check ----------------------------------------
+    def check(self, run) -> str | None:
+        """One governance step; returns a stop reason or ``None``.
+
+        ``run`` is the executor's ``Runtime`` or the factorized counter —
+        anything with ``computer`` (a
+        :class:`~repro.engine.candidates.CandidateComputer`),
+        ``degradation`` (list of ladder events) and ``gov_stage`` (int
+        ladder position, starts at 0). Called from ``tick()`` at the same
+        cadence as the deadline check, so its cost is amortized over
+        :data:`~repro.engine.executor._TIME_CHECK_INTERVAL` frame steps.
+
+        The time/embedding dimensions of the budget are *not* checked here
+        — they are folded into the runtime's own deadline/cap at
+        construction (min of option and budget), keeping the hot path
+        identical to the ungoverned engine.
+        """
+        if self.cancel.cancelled:
+            return STOP_CANCELLED
+        limit = self.budget.memory_limit_mb
+        if limit is None:
+            return None
+        if self.memory_mb() <= limit:
+            return None
+        # Memory breach: climb the degradation ladder one rung per breach.
+        stage = run.gov_stage
+        computer = run.computer
+        if stage == 0:
+            evicted = computer.evict(EVICT_FRACTION)
+            run.gov_stage = 1
+            run.degradation.append(DEGRADE_EVICT)
+            self._count("governor_evictions")
+            if evicted:
+                return None
+            # Nothing to evict — fall through to the next rung now rather
+            # than burning another full tick window under pressure.
+            stage = 1
+        if stage == 1:
+            computer.disable_memo()
+            run.gov_stage = 2
+            run.degradation.append(DEGRADE_DISABLE)
+            self._count("governor_memo_disabled")
+            return None
+        # stage >= 2: eviction and disabling did not relieve pressure.
+        run.degradation.append(DEGRADE_SUSPEND)
+        self._count("governor_suspensions")
+        return STOP_MEMORY_LIMIT
+
+    def _count(self, name: str) -> None:
+        obs = self.obs
+        if obs is not None and getattr(obs, "enabled", False):
+            obs.counters.inc(name)
+
+    # -- convenience ---------------------------------------------------
+    def effective_deadline(self, time_limit: float | None) -> float | None:
+        """Absolute deadline combining the budget with a per-run option."""
+        limits = [
+            t for t in (time_limit, self.budget.time_limit) if t is not None
+        ]
+        if not limits:
+            return None
+        return time.perf_counter() + min(limits)
+
+    def effective_cap(self, max_embeddings: int | None) -> int | None:
+        """Embedding cap combining the budget with a per-run option."""
+        caps = [
+            c
+            for c in (max_embeddings, self.budget.max_embeddings)
+            if c is not None
+        ]
+        return min(caps) if caps else None
+
+    def __repr__(self) -> str:
+        return (
+            f"<ResourceGovernor budget={self.budget}"
+            f" cancel={self.cancel!r}>"
+        )

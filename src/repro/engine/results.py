@@ -24,6 +24,53 @@ if TYPE_CHECKING:  # pragma: no cover - annotation only
 #: a nonzero count, which reads as "no progress" in bench tables.
 MIN_THROUGHPUT_ELAPSED = 1e-6
 
+# Stop reasons: why a run ended before exhausting the search space. A
+# completed run has ``stop_reason=None``. Defined here (not in
+# ``engine.governor``) because this module sits at the bottom of the engine
+# layer; the governor re-exports them.
+STOP_TIME_LIMIT = "time_limit"
+STOP_EMBEDDING_LIMIT = "embedding_limit"
+STOP_MEMORY_LIMIT = "memory_limit"
+STOP_CANCELLED = "cancelled"
+
+#: All valid non-None ``stop_reason`` values (run-report validation).
+STOP_REASONS = (
+    STOP_TIME_LIMIT,
+    STOP_EMBEDDING_LIMIT,
+    STOP_MEMORY_LIMIT,
+    STOP_CANCELLED,
+)
+
+#: Stop reasons that leave the frame stack intact and therefore support
+#: checkpoint/resume (an embedding-limit stop is resumable too: the cap
+#: fires *after* emitting, so the next step continues cleanly).
+RESUMABLE_STOP_REASONS = STOP_REASONS
+
+
+def raise_stop(stop_reason: str, partial_count: int):
+    """Raise the typed :class:`~repro.errors.LimitExceeded` subclass for a
+    ``stop_reason``, carrying ``partial_count``. The single place mapping
+    stop reasons to exception types, so every front-end that converts the
+    cooperative flags to exceptions reports the same partial count."""
+    from repro.errors import (
+        EmbeddingLimitExceeded,
+        LimitExceeded,
+        MatchCancelled,
+        MemoryLimitExceeded,
+        TimeLimitExceeded,
+    )
+
+    exc_types = {
+        STOP_TIME_LIMIT: TimeLimitExceeded,
+        STOP_EMBEDDING_LIMIT: EmbeddingLimitExceeded,
+        STOP_MEMORY_LIMIT: MemoryLimitExceeded,
+        STOP_CANCELLED: MatchCancelled,
+    }
+    exc = exc_types.get(stop_reason, LimitExceeded)
+    raise exc(
+        f"run stopped early: {stop_reason}", partial_count=partial_count
+    )
+
 
 @dataclass
 class MatchOptions:
@@ -68,6 +115,12 @@ class MatchOptions:
     counter registry, and heartbeat. ``None`` (the default) selects the
     no-op instruments — the zero-cost-when-disabled path."""
 
+    governor: object | None = None
+    """Optional :class:`repro.engine.governor.ResourceGovernor` enforcing a
+    unified budget (deadline, embedding cap, memory ceiling) and a
+    cooperative cancel token. ``None`` (the default) keeps the legacy
+    per-option limits with zero governance overhead."""
+
 
 @dataclass
 class MatchResult:
@@ -86,6 +139,19 @@ class MatchResult:
 
     truncated: bool = False
     timed_out: bool = False
+    stop_reason: str | None = None
+    """Why the run ended early, or ``None`` for an exhaustive run. One of
+    :data:`STOP_REASONS`: ``"time_limit"``, ``"embedding_limit"``,
+    ``"memory_limit"``, or ``"cancelled"``. The legacy ``truncated`` /
+    ``timed_out`` booleans are kept in sync (embedding-limit ↔ truncated,
+    time-limit ↔ timed_out) for existing callers."""
+
+    degradation: list[str] = field(default_factory=list)
+    """Governor degradation-ladder events, in order: ``"evict_memo"``
+    (LRU-evicted half the SCE memo), ``"disable_memo"`` (memoization off
+    for the rest of the run), ``"suspend"`` (pressure persisted; the run
+    stopped with ``stop_reason="memory_limit"``). Empty on ungoverned runs."""
+
     stats: dict = field(default_factory=dict)
     """Unified search counters — the same key set on *every* execution path
     (enumeration and ``count_only`` factorized counting emit identical
@@ -126,12 +192,31 @@ class MatchResult:
             return 0.0
         return self.count / max(self.elapsed, MIN_THROUGHPUT_ELAPSED)
 
+    def check(self) -> "MatchResult":
+        """Raise the typed :class:`~repro.errors.LimitExceeded` subclass
+        matching ``stop_reason`` (with ``partial_count == count``), or
+        return ``self`` unchanged for complete runs.
+
+        The engine never raises on its own — limits are flags — but some
+        callers prefer exception control flow; this adapter guarantees the
+        exception's ``partial_count`` always equals the result's count.
+        """
+        if self.stop_reason is None:
+            return self
+        raise_stop(self.stop_reason, self.count)
+
     def __repr__(self) -> str:
+        # embedding/time limits keep their legacy names; the newer stop
+        # reasons (memory_limit, cancelled) have no legacy flag to show.
         flags = []
         if self.truncated:
             flags.append("truncated")
         if self.timed_out:
             flags.append("timed-out")
+        if self.stop_reason in (STOP_MEMORY_LIMIT, STOP_CANCELLED):
+            flags.append(self.stop_reason)
+        if self.degradation:
+            flags.append("degraded:" + ">".join(self.degradation))
         suffix = f" [{', '.join(flags)}]" if flags else ""
         return (
             f"<MatchResult {self.variant} count={self.count}"

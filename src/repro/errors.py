@@ -70,3 +70,35 @@ class EmbeddingLimitExceeded(LimitExceeded):
     This is not a failure in the usual sense: the engine uses it internally
     to stop early, and the public API converts it into a truncated result.
     """
+
+
+class MemoryLimitExceeded(LimitExceeded):
+    """The memory budget was exceeded and the degradation ladder bottomed
+    out (memo eviction and memo disabling did not relieve the pressure), so
+    the run was suspended with a partial count."""
+
+
+class MatchCancelled(LimitExceeded):
+    """The run's :class:`~repro.engine.governor.CancelToken` was tripped
+    (operator interrupt, shutdown, or an injected fault) and the engine
+    stopped cooperatively with a partial count."""
+
+
+class StoreError(ReproError):
+    """A CCSR store operation failed at runtime (as opposed to receiving
+    invalid input, which is :class:`GraphError`)."""
+
+
+class ClusterReadError(StoreError):
+    """Reading/decompressing a cluster failed during ``ReadCSR``.
+
+    In production this would wrap an I/O failure from a spilled cluster;
+    in this repository it is raised by the fault-injection registry
+    (:mod:`repro.testing.faults`) to drive the chaos suite.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be read, failed validation, or does not match
+    the store/pattern it is being resumed onto (e.g. the store mutated
+    since the checkpoint was written)."""

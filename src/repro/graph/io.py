@@ -18,15 +18,25 @@ RapidMatch so that it can carry heterogeneity:
 Labels that look like integers are parsed as ``int``; anything else is kept
 as ``str``. This matches how the public datasets ship integer labels while
 letting users write symbolic ones.
+
+Parsers run in **strict** mode by default: any malformed line raises
+:class:`~repro.errors.FormatError` carrying its line number. With
+``strict=False`` (for scraped or truncated real-world files), malformed
+lines are skipped with a logged warning and counted on the returned
+graph's ``parse_warnings`` attribute, so callers can gate on "how dirty
+was this file" instead of dying on the first bad byte.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 from typing import Hashable, Iterable
 
 from repro.errors import FormatError
 from repro.graph.model import Graph
+
+logger = logging.getLogger(__name__)
 
 
 def _parse_label(token: str) -> Hashable:
@@ -44,11 +54,28 @@ def _format_label(label: Hashable) -> str:
     return str(label)
 
 
-def parse_graph_text(text: str, name: str = "") -> Graph:
-    """Parse a graph from the text format described in the module docstring."""
+def parse_graph_text(text: str, name: str = "", strict: bool = True) -> Graph:
+    """Parse a graph from the text format described in the module docstring.
+
+    In strict mode (default) any malformed line raises
+    :class:`FormatError` with its line number. With ``strict=False``,
+    malformed lines are skipped with a logged warning; the returned graph
+    carries the skip count as ``graph.parse_warnings`` (0 for a clean
+    file). Skipping a ``v`` line can cascade (later ids stop being
+    consecutive) — each casualty counts as its own warning.
+    """
     graph = Graph(name=name)
     declared: tuple[int, int] | None = None
     next_vertex = 0
+    warnings = 0
+
+    def problem(exc: FormatError) -> None:
+        nonlocal warnings
+        if strict:
+            raise exc
+        warnings += 1
+        logger.warning("%s: skipping graph line — %s", name or "<text>", exc)
+
     for line_number, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
@@ -57,36 +84,45 @@ def parse_graph_text(text: str, name: str = "") -> Graph:
         kind = fields[0]
         if kind == "t":
             if declared is not None:
-                raise FormatError("duplicate 't' header", line_number)
+                problem(FormatError("duplicate 't' header", line_number))
+                continue
             if len(fields) < 3:
-                raise FormatError("'t' header needs vertex and edge counts", line_number)
+                problem(FormatError(
+                    "'t' header needs vertex and edge counts", line_number
+                ))
+                continue
             try:
                 declared = (int(fields[1]), int(fields[2]))
             except ValueError as exc:
-                raise FormatError(f"bad 't' header: {exc}", line_number) from exc
+                problem(FormatError(f"bad 't' header: {exc}", line_number))
         elif kind == "v":
             if len(fields) < 2:
-                raise FormatError("'v' line needs an id", line_number)
+                problem(FormatError("'v' line needs an id", line_number))
+                continue
             try:
                 vertex_id = int(fields[1])
             except ValueError as exc:
-                raise FormatError(f"bad vertex id: {exc}", line_number) from exc
+                problem(FormatError(f"bad vertex id: {exc}", line_number))
+                continue
             if vertex_id != next_vertex:
-                raise FormatError(
+                problem(FormatError(
                     f"vertex ids must be consecutive; expected {next_vertex},"
                     f" got {vertex_id}",
                     line_number,
-                )
+                ))
+                continue
             label = _parse_label(fields[2]) if len(fields) > 2 else 0
             graph.add_vertex(label if label is not None else 0)
             next_vertex += 1
         elif kind == "e":
             if len(fields) < 3:
-                raise FormatError("'e' line needs two endpoints", line_number)
+                problem(FormatError("'e' line needs two endpoints", line_number))
+                continue
             try:
                 src, dst = int(fields[1]), int(fields[2])
             except ValueError as exc:
-                raise FormatError(f"bad edge endpoints: {exc}", line_number) from exc
+                problem(FormatError(f"bad edge endpoints: {exc}", line_number))
+                continue
             label: Hashable = None
             directed = False
             for token in fields[3:]:
@@ -99,19 +135,20 @@ def parse_graph_text(text: str, name: str = "") -> Graph:
             try:
                 graph.add_edge(src, dst, label=label, directed=directed)
             except Exception as exc:
-                raise FormatError(str(exc), line_number) from exc
+                problem(FormatError(str(exc), line_number))
         else:
-            raise FormatError(f"unknown record type {kind!r}", line_number)
+            problem(FormatError(f"unknown record type {kind!r}", line_number))
     if declared is not None:
         n, m = declared
         if graph.num_vertices != n:
-            raise FormatError(
+            problem(FormatError(
                 f"header declared {n} vertices but file has {graph.num_vertices}"
-            )
+            ))
         if graph.num_edges != m:
-            raise FormatError(
+            problem(FormatError(
                 f"header declared {m} edges but file has {graph.num_edges}"
-            )
+            ))
+    graph.parse_warnings = warnings
     return graph
 
 
@@ -126,11 +163,19 @@ def format_graph_text(graph: Graph) -> str:
     return "\n".join(lines) + "\n"
 
 
-def load_graph(path: str | os.PathLike, name: str = "") -> Graph:
-    """Load a graph from a file in the library text format."""
+def load_graph(
+    path: str | os.PathLike, name: str = "", strict: bool = True
+) -> Graph:
+    """Load a graph from a file in the library text format.
+
+    ``strict=False`` skips malformed lines instead of raising (see
+    :func:`parse_graph_text`); the skip count lands on the returned
+    graph's ``parse_warnings``."""
     with open(path, encoding="utf-8") as handle:
         text = handle.read()
-    return parse_graph_text(text, name=name or os.path.basename(str(path)))
+    return parse_graph_text(
+        text, name=name or os.path.basename(str(path)), strict=strict
+    )
 
 
 def save_graph(graph: Graph, path: str | os.PathLike) -> None:
@@ -143,16 +188,20 @@ def load_edge_list(
     path: str | os.PathLike,
     directed: bool = False,
     name: str = "",
+    strict: bool = True,
 ) -> Graph:
     """Load a SNAP-style whitespace edge list (one ``src dst`` pair per line).
 
     Vertex ids are compacted to ``0 .. n-1`` in first-appearance order and
     all vertices get label ``0``. Duplicate pairs and self-loops are skipped,
-    matching how the paper's datasets are cleaned.
+    matching how the paper's datasets are cleaned. ``strict=False`` skips
+    malformed lines with a logged warning (count on ``parse_warnings``)
+    instead of raising :class:`FormatError`.
     """
     pairs: list[tuple[int, int]] = []
     index: dict[int, int] = {}
     seen: set[tuple[int, int]] = set()
+    warnings = 0
     with open(path, encoding="utf-8") as handle:
         for line_number, raw in enumerate(handle, start=1):
             line = raw.strip()
@@ -160,11 +209,21 @@ def load_edge_list(
                 continue
             fields = line.split()
             if len(fields) < 2:
-                raise FormatError("edge list line needs two fields", line_number)
+                exc = FormatError("edge list line needs two fields", line_number)
+                if strict:
+                    raise exc
+                warnings += 1
+                logger.warning("%s: skipping edge — %s", path, exc)
+                continue
             try:
                 a, b = int(fields[0]), int(fields[1])
-            except ValueError as exc:
-                raise FormatError(f"bad edge: {exc}", line_number) from exc
+            except ValueError as err:
+                exc = FormatError(f"bad edge: {err}", line_number)
+                if strict:
+                    raise exc from err
+                warnings += 1
+                logger.warning("%s: skipping edge — %s", path, exc)
+                continue
             if a == b:
                 continue
             for v in (a, b):
@@ -176,9 +235,11 @@ def load_edge_list(
                 continue
             seen.add(key)
             pairs.append((a, b))
-    return Graph.from_edges(
+    graph = Graph.from_edges(
         len(index), pairs, directed=directed, name=name or os.path.basename(str(path))
     )
+    graph.parse_warnings = warnings
+    return graph
 
 
 def write_edge_list(graph: Graph, path: str | os.PathLike) -> None:

@@ -65,6 +65,7 @@ from repro.obs.report import (
     format_run_report,
     load_run_reports,
     plan_summary,
+    robustness_problems,
     schema_problems,
     validate_run_report,
     write_run_report,
@@ -196,6 +197,7 @@ __all__ = [
     "plan_summary",
     "schema_problems",
     "validate_run_report",
+    "robustness_problems",
     "write_run_report",
     "load_run_reports",
     "build_explain",

@@ -40,6 +40,13 @@ _SCHEMA: dict[str, type | tuple] = {
 
 _TIMING_KEYS = ("read_seconds", "plan_seconds", "execute_seconds", "total_seconds")
 
+# Valid robustness-field values. Literal copies of
+# repro.engine.results.STOP_REASONS and the repro.engine.governor ladder
+# events — obs sits below the engine in the layering, so it cannot import
+# them (tests pin the two lists against each other instead).
+_STOP_REASONS = ("time_limit", "embedding_limit", "memory_limit", "cancelled")
+_DEGRADATION_EVENTS = ("evict_memo", "disable_memo", "suspend")
+
 
 def schema_problems(
     doc: object, schema: dict[str, type | tuple], label: str = "document"
@@ -68,13 +75,17 @@ def build_run_report(
     pattern=None,
     dataset: str | None = None,
     extra: dict | None = None,
+    checkpoint: dict | None = None,
 ) -> dict:
     """Assemble a run-report dict from a finished ``MatchResult``.
 
     ``obs`` contributes the span tree and any registry counters beyond
     ``result.stats`` (CCSR read telemetry, heartbeat totals); ``plan``,
     ``graph`` (a ``Graph`` or ``CCSRStore``), and ``pattern`` add identity
-    blocks when available.
+    blocks when available. ``checkpoint`` (a ``{"path": ..., "written":
+    bool}`` block) records that the run suspended to a resumable
+    checkpoint. The robustness fields ``stop_reason`` and ``degradation``
+    are always present (``None`` / empty for complete ungoverned runs).
     """
     counters = dict(result.stats)
     spans: list[dict] = []
@@ -100,6 +111,8 @@ def build_run_report(
         "count": int(result.count),
         "truncated": bool(result.truncated),
         "timed_out": bool(result.timed_out),
+        "stop_reason": getattr(result, "stop_reason", None),
+        "degradation": list(getattr(result, "degradation", []) or []),
         "timings": {
             "read_seconds": result.read_seconds,
             "plan_seconds": result.plan_seconds,
@@ -133,6 +146,8 @@ def build_run_report(
         report["graph"] = block
     if dataset:
         report["dataset"] = dataset
+    if checkpoint:
+        report["checkpoint"] = dict(checkpoint)
     if extra:
         report["extra"] = dict(extra)
     return report
@@ -178,6 +193,59 @@ def validate_run_report(report: dict) -> None:
                 problems.append(f"counter {name!r} is non-numeric")
     if problems:
         raise FormatError("invalid run-report: " + "; ".join(problems))
+
+
+def robustness_problems(report: dict) -> list[str]:
+    """Validate the robustness fields of a run-report (stop reason,
+    degradation ladder, checkpoint block); returns the problem list.
+
+    Separate from :func:`validate_run_report` because old reports predate
+    these fields: a missing field is fine (legacy report), but a present
+    field with a nonsense value is not. ``repro report --validate`` exits 2
+    when this returns problems, mirroring the bench-history gate.
+    """
+    if not isinstance(report, dict):
+        return ["run-report must be a JSON object"]
+    problems: list[str] = []
+    if "stop_reason" in report:
+        stop = report["stop_reason"]
+        if stop is not None and stop not in _STOP_REASONS:
+            problems.append(
+                f"stop_reason {stop!r} is not one of {list(_STOP_REASONS)}"
+            )
+    if "degradation" in report:
+        ladder = report["degradation"]
+        if not isinstance(ladder, list):
+            problems.append("degradation must be a list")
+        else:
+            for event in ladder:
+                if event not in _DEGRADATION_EVENTS:
+                    problems.append(
+                        f"degradation event {event!r} is not one of"
+                        f" {list(_DEGRADATION_EVENTS)}"
+                    )
+            known = [e for e in ladder if e in _DEGRADATION_EVENTS]
+            ranks = [_DEGRADATION_EVENTS.index(e) for e in known]
+            if ranks != sorted(ranks) or len(set(ranks)) != len(ranks):
+                problems.append(
+                    "degradation events out of ladder order"
+                    f" (expected subsequence of {list(_DEGRADATION_EVENTS)})"
+                )
+    if "checkpoint" in report:
+        block = report["checkpoint"]
+        if not isinstance(block, dict):
+            problems.append("checkpoint must be an object")
+        else:
+            if not isinstance(block.get("path"), str) or not block.get("path"):
+                problems.append("checkpoint.path missing or not a string")
+            if "written" in block and not isinstance(block["written"], bool):
+                problems.append("checkpoint.written must be a boolean")
+            if block.get("written") and report.get("stop_reason") is None:
+                problems.append(
+                    "checkpoint written but stop_reason is null"
+                    " (checkpoints only exist for suspended runs)"
+                )
+    return problems
 
 
 def write_run_report(report: dict, path: str | os.PathLike) -> None:
@@ -239,14 +307,25 @@ def format_run_report(report: dict) -> str:
             f" |E|={p.get('num_edges')}"
         )
     status = []
-    if report.get("truncated"):
-        status.append("truncated")
-    if report.get("timed_out"):
-        status.append("timed out")
+    stop = report.get("stop_reason")
+    if stop:
+        status.append(f"stopped: {stop}")
+    else:
+        if report.get("truncated"):
+            status.append("truncated")
+        if report.get("timed_out"):
+            status.append("timed out")
     lines.append(
         f"embeddings  : {report.get('count')}"
         + (f" ({', '.join(status)})" if status else "")
     )
+    ladder = report.get("degradation") or []
+    if ladder:
+        lines.append(f"degradation : {' > '.join(ladder)}")
+    checkpoint = report.get("checkpoint")
+    if checkpoint:
+        written = " (written)" if checkpoint.get("written") else ""
+        lines.append(f"checkpoint  : {checkpoint.get('path')}{written}")
     lines.append("")
     lines.append("phase breakdown (paper total = read + optimize + execute):")
     for label, key in (

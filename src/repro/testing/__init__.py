@@ -1,0 +1,33 @@
+"""Test-support machinery that ships with the library.
+
+Currently this is the seeded fault-injection registry
+(:mod:`repro.testing.faults`) that drives the chaos suite. The package is
+intentionally dependency-light — it may be imported by production modules
+(the injection points live in ``repro.ccsr.store`` and ``repro.engine``)
+and therefore must never import ``repro.cli`` or ``repro.bench``
+(enforced by ``tools/check_layering.py`` in CI).
+"""
+
+from repro.testing import faults
+from repro.testing.faults import (
+    FaultInjector,
+    FaultRule,
+    cancel,
+    fail_cluster_read,
+    fire,
+    memory_spike,
+    raise_error,
+    slowdown,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultRule",
+    "faults",
+    "fire",
+    "fail_cluster_read",
+    "slowdown",
+    "memory_spike",
+    "cancel",
+    "raise_error",
+]

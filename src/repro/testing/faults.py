@@ -1,0 +1,220 @@
+"""Seeded fault injection for the chaos suite.
+
+Production code exposes named *fault sites* — well-chosen points where a
+real deployment could fail — by calling :func:`fire`:
+
+====================== ======================================================
+site                   where / what an injected fault simulates
+====================== ======================================================
+``ccsr.read_cluster``  :meth:`repro.ccsr.store.CCSRStore.read` decompressing
+                       one cluster: a failed read of a spilled cluster
+``engine.tick``        the executor/counter frame machines, once per
+                       governed tick: scheduler stalls (slowdowns) and
+                       operator interrupts (cancellation)
+``governor.memory``    the governor's cooperative memory sample: returns
+                       extra MiB to add, simulating memory pressure
+====================== ======================================================
+
+When no injector is installed, a site costs one global load and a ``None``
+check — nothing measurable. Tests install a :class:`FaultInjector` (a
+context manager) carrying seeded, ordered rules::
+
+    from repro.testing import faults
+
+    injector = FaultInjector(seed=7).on(
+        "ccsr.read_cluster", faults.fail_cluster_read, after=1
+    )
+    with injector:
+        engine.match(pattern)   # second cluster read raises ClusterReadError
+
+Rules fire deterministically given the seed: ``after`` skips the first N
+matching events, ``times`` caps how often a rule acts, and ``probability``
+draws from the injector's private :class:`random.Random` so a chaos run is
+reproducible from its seed alone.
+
+Layering: this module may be imported from production code (the sites
+above), so it depends only on :mod:`repro.errors`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import Counter
+from typing import Any, Callable
+
+from repro.errors import ClusterReadError, ReproError
+
+#: The installed injector, or ``None`` (the production state).
+ACTIVE: "FaultInjector | None" = None
+
+_INSTALL_LOCK = threading.Lock()
+
+
+def active() -> bool:
+    """True when a fault injector is installed (hot paths poll this once
+    per run to decide whether they must tick densely)."""
+    return ACTIVE is not None
+
+
+def fire(site: str, **ctx) -> Any:
+    """Trigger a fault site. Returns the last non-``None`` action result
+    (used by value-returning sites such as ``governor.memory``); raises
+    whatever a failing action raises. No-op when no injector is installed.
+    """
+    injector = ACTIVE
+    if injector is None:
+        return None
+    return injector.fire(site, **ctx)
+
+
+# ----------------------------------------------------------------------
+# Built-in actions. An action is ``callable(rule, site, ctx) -> Any``;
+# raising propagates out of the fault site, a non-None return value is
+# handed back to the site.
+# ----------------------------------------------------------------------
+def fail_cluster_read(rule: "FaultRule", site: str, ctx: dict) -> None:
+    """Raise :class:`ClusterReadError` — a failed cluster decompression."""
+    key = ctx.get("key", "?")
+    raise ClusterReadError(f"injected cluster read failure at {site}: {key}")
+
+
+def slowdown(seconds: float) -> Callable:
+    """An action that sleeps, simulating I/O stalls or CPU contention."""
+
+    def action(rule: "FaultRule", site: str, ctx: dict) -> None:
+        time.sleep(seconds)
+
+    action.__name__ = f"slowdown({seconds})"
+    return action
+
+
+def memory_spike(mb: float) -> Callable:
+    """An action returning extra MiB for the ``governor.memory`` site —
+    simulated memory pressure without actually allocating."""
+
+    def action(rule: "FaultRule", site: str, ctx: dict) -> float:
+        return float(mb)
+
+    action.__name__ = f"memory_spike({mb})"
+    return action
+
+
+def cancel(token, reason: str = "injected cancellation") -> Callable:
+    """An action tripping a :class:`~repro.engine.governor.CancelToken` —
+    a mid-stream operator interrupt."""
+
+    def action(rule: "FaultRule", site: str, ctx: dict) -> None:
+        token.trip(reason)
+
+    action.__name__ = "cancel"
+    return action
+
+
+def raise_error(exc_factory: Callable[[], ReproError]) -> Callable:
+    """An action raising ``exc_factory()`` — for bespoke failure types."""
+
+    def action(rule: "FaultRule", site: str, ctx: dict) -> None:
+        raise exc_factory()
+
+    action.__name__ = "raise_error"
+    return action
+
+
+class FaultRule:
+    """One injection rule: at ``site``, run ``action`` under gating."""
+
+    __slots__ = ("site", "action", "after", "times", "probability", "seen", "acted")
+
+    def __init__(
+        self,
+        site: str,
+        action: Callable,
+        after: int = 0,
+        times: int | None = None,
+        probability: float = 1.0,
+    ):
+        self.site = site
+        self.action = action
+        self.after = after
+        self.times = times
+        self.probability = probability
+        self.seen = 0
+        self.acted = 0
+
+    def __repr__(self) -> str:
+        name = getattr(self.action, "__name__", repr(self.action))
+        return (
+            f"<FaultRule {self.site} -> {name}"
+            f" after={self.after} times={self.times} p={self.probability}>"
+        )
+
+
+class FaultInjector:
+    """A seeded registry of fault rules, installable as a context manager.
+
+    ``fired`` counts events per site (matched or not), so tests can assert
+    that a site was actually exercised even when no rule acted.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.rng = random.Random(seed)
+        self.rules: list[FaultRule] = []
+        self.fired: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    def on(
+        self,
+        site: str,
+        action: Callable,
+        after: int = 0,
+        times: int | None = None,
+        probability: float = 1.0,
+    ) -> "FaultInjector":
+        """Register a rule; returns ``self`` for chaining."""
+        self.rules.append(FaultRule(site, action, after, times, probability))
+        return self
+
+    def fire(self, site: str, **ctx) -> Any:
+        self.fired[site] += 1
+        result: Any = None
+        for rule in self.rules:
+            if rule.site != site:
+                continue
+            rule.seen += 1
+            if rule.seen <= rule.after:
+                continue
+            if rule.times is not None and rule.acted >= rule.times:
+                continue
+            if rule.probability < 1.0 and self.rng.random() >= rule.probability:
+                continue
+            rule.acted += 1
+            value = rule.action(rule, site, ctx)
+            if value is not None:
+                result = value
+        return result
+
+    # ------------------------------------------------------------------
+    def install(self) -> "FaultInjector":
+        global ACTIVE
+        with _INSTALL_LOCK:
+            if ACTIVE is not None and ACTIVE is not self:
+                raise RuntimeError("another FaultInjector is already installed")
+            ACTIVE = self
+        return self
+
+    def uninstall(self) -> None:
+        global ACTIVE
+        with _INSTALL_LOCK:
+            if ACTIVE is self:
+                ACTIVE = None
+
+    def __enter__(self) -> "FaultInjector":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    def __repr__(self) -> str:
+        return f"<FaultInjector rules={len(self.rules)} fired={dict(self.fired)}>"

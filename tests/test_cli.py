@@ -148,3 +148,92 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "averages" in out
         assert "CSCE" in out
+
+
+class TestRobustnessFlags:
+    """The robustness surface: --memory-limit/--checkpoint/--resume,
+    lenient parsing, and the report --validate exit-code contract."""
+
+    def _graph_file(self, tmp_path):
+        from conftest import make_random_graph
+
+        path = tmp_path / "data.graph"
+        save_graph(make_random_graph(30, 80, num_labels=1, seed=2), path)
+        return str(path)
+
+    def test_parser_accepts_robustness_flags(self):
+        args = build_parser().parse_args(
+            ["match", "--dataset", "dip", "--memory-limit", "256",
+             "--checkpoint", "ck.json", "--lenient"]
+        )
+        assert args.memory_limit == 256.0
+        assert args.checkpoint == "ck.json"
+        assert args.lenient
+
+    def test_robustness_flags_require_csce(self, tmp_path, capsys):
+        data = self._graph_file(tmp_path)
+        code = main(["match", "--data", data, "--engine", "VEQ",
+                     "--memory-limit", "64"])
+        assert code == 2
+        assert "CSCE" in capsys.readouterr().err
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        data = self._graph_file(tmp_path)
+        ck = str(tmp_path / "ck.json")
+        code = main(["match", "--data", data, "--pattern-size", "4",
+                     "--limit", "3", "--checkpoint", ck])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stopped: embedding_limit" in out
+        assert "(written)" in out
+        code = main(["match", "--data", data, "--resume", ck])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stopped" not in out
+
+    def test_resume_refuses_mutated_data(self, tmp_path, capsys):
+        from conftest import make_random_graph
+
+        data = self._graph_file(tmp_path)
+        ck = str(tmp_path / "ck.json")
+        assert main(["match", "--data", data, "--pattern-size", "4",
+                     "--limit", "3", "--checkpoint", ck]) == 0
+        capsys.readouterr()
+        mutated = tmp_path / "mutated.graph"
+        save_graph(make_random_graph(31, 80, num_labels=1, seed=2), mutated)
+        code = main(["match", "--data", str(mutated), "--resume", ck])
+        assert code == 2
+        assert "store" in capsys.readouterr().err
+
+    def test_lenient_data_file(self, tmp_path, capsys):
+        path = tmp_path / "dirty.graph"
+        path.write_text("t 3 2\nv 0 0\nv 1 0\nv 2 0\ne 0 1\nbroken\ne 1 2\n")
+        with pytest.raises(Exception):
+            main(["match", "--data", str(path), "--pattern-size", "3"])
+        capsys.readouterr()
+        code = main(["match", "--data", str(path), "--pattern-size", "3",
+                     "--lenient"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "skipped 1 malformed" in captured.err
+
+    def test_validate_flags_robustness_fields_exit_2(self, tmp_path, capsys):
+        import json
+
+        data = self._graph_file(tmp_path)
+        report_path = str(tmp_path / "report.json")
+        assert main(["match", "--data", data, "--pattern-size", "4",
+                     "--trace", "--report", report_path]) == 0
+        capsys.readouterr()
+        assert main(["report", report_path, "--validate"]) == 0
+        capsys.readouterr()
+        doc = json.loads(open(report_path).read())
+        doc["stop_reason"] = "cosmic_rays"
+        open(report_path, "w").write(json.dumps(doc))
+        assert main(["report", report_path, "--validate"]) == 2
+        assert "cosmic_rays" in capsys.readouterr().err
+        # A structural (schema) problem stays exit 1.
+        del doc["stop_reason"], doc["count"]
+        open(report_path, "w").write(json.dumps(doc))
+        capsys.readouterr()
+        assert main(["report", report_path, "--validate"]) == 1

@@ -319,14 +319,15 @@ class TestFactorizedCountingParity:
         p = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
         plan = engine.build_plan(p, "homomorphic")
         physical = compile_plan(plan)
-        total, stats, timed_out = count_physical(
+        total, stats, stop_reason, degradation = count_physical(
             physical, MatchOptions(count_only=True)
         )
         enumerated = execute_physical(
             physical, MatchOptions(count_only=True, max_embeddings=10**9)
         ).count
         assert total == enumerated
-        assert not timed_out
+        assert stop_reason is None
+        assert degradation == []
         assert stats["nodes"] >= 0
 
     def test_compile_seconds_in_result(self, engine):

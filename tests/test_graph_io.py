@@ -105,3 +105,65 @@ class TestEdgeList:
         path.write_text("1\n")
         with pytest.raises(FormatError):
             load_edge_list(path)
+
+
+GARBAGE = """\
+t 3 2
+v 0 A
+v one B
+v 2 A
+e 0 1 x d
+e 1 zzz
+banana split
+"""
+
+
+class TestLenientParsing:
+    """Satellite: ``strict=False`` skips malformed lines with a warning
+    counter instead of dying on the first bad byte."""
+
+    def test_strict_default_raises_with_line_number(self):
+        with pytest.raises(FormatError) as exc:
+            parse_graph_text(GARBAGE)
+        assert exc.value.line_number == 3
+
+    def test_lenient_skips_and_counts(self):
+        graph = parse_graph_text(GARBAGE, strict=False)
+        # Skipping 'v one' cascades: 'v 2' stops being consecutive and
+        # both edges reference now-missing vertices. Casualties: 'v one',
+        # 'v 2', 'e 0 1' (missing vertex 1), 'e 1 zzz', 'banana', and the
+        # two header mismatches — each counted as its own warning.
+        assert graph.parse_warnings == 7
+        assert graph.num_vertices == 1
+        assert graph.num_edges == 0
+
+    def test_lenient_keeps_good_lines(self):
+        text = "t 3 2\nv 0 A\nv 1 B\nv 2 A\ne 0 1\nbad line\ne 1 2\n"
+        graph = parse_graph_text(text, strict=False)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+        assert graph.parse_warnings == 1
+
+    def test_clean_file_has_zero_warnings(self):
+        graph = parse_graph_text(SAMPLE, strict=False)
+        assert graph.parse_warnings == 0
+
+    def test_truncated_file_lenient(self, tmp_path):
+        # A header promising more than the (truncated) body delivers.
+        path = tmp_path / "trunc.graph"
+        path.write_text("t 5 4\nv 0 A\nv 1 B\ne 0 1\n")
+        with pytest.raises(FormatError):
+            load_graph(path)
+        graph = load_graph(path, strict=False)
+        assert graph.num_vertices == 2
+        assert graph.num_edges == 1
+        assert graph.parse_warnings == 2  # vertex + edge header mismatch
+
+    def test_edge_list_lenient(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n1\nnot numbers here\n1 2\n")
+        with pytest.raises(FormatError):
+            load_edge_list(path)
+        graph = load_edge_list(path, strict=False)
+        assert graph.num_edges == 2
+        assert graph.parse_warnings == 2

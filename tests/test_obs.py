@@ -344,6 +344,51 @@ class TestRunReport:
         for needle in ("read", "optimize", "execute", "counters:", "spans:"):
             assert needle in text
 
+    def test_robustness_fields_always_present(self):
+        report = self._report(trace=False)
+        assert report["stop_reason"] is None
+        assert report["degradation"] == []
+        assert "checkpoint" not in report
+
+    def test_robustness_problems(self):
+        from repro.obs import robustness_problems
+
+        report = self._report(trace=False)
+        assert robustness_problems(report) == []
+        # Legacy reports without the fields stay clean.
+        legacy = dict(report)
+        del legacy["stop_reason"], legacy["degradation"]
+        assert robustness_problems(legacy) == []
+        # Bad values are flagged.
+        assert robustness_problems({**report, "stop_reason": "nope"})
+        assert robustness_problems({**report, "degradation": "evict_memo"})
+        assert robustness_problems(
+            {**report, "degradation": ["disable_memo", "evict_memo"]}
+        )
+        assert robustness_problems({**report, "checkpoint": {"written": True}})
+        good = {
+            **report,
+            "stop_reason": "memory_limit",
+            "degradation": ["evict_memo", "disable_memo", "suspend"],
+            "checkpoint": {"path": "ck.json", "written": True},
+        }
+        assert robustness_problems(good) == []
+        # A written checkpoint on a completed run is contradictory.
+        bad = {**good, "stop_reason": None}
+        assert robustness_problems(bad)
+
+    def test_format_run_report_shows_robustness(self):
+        report = {
+            **self._report(trace=False),
+            "stop_reason": "cancelled",
+            "degradation": ["evict_memo"],
+            "checkpoint": {"path": "ck.json", "written": True},
+        }
+        text = format_run_report(report)
+        assert "stopped: cancelled" in text
+        assert "degradation : evict_memo" in text
+        assert "ck.json (written)" in text
+
 
 # ----------------------------------------------------------------------
 class TestLogging:

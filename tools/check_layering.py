@@ -1,18 +1,19 @@
 #!/usr/bin/env python
-"""Layering gate: the engine must not depend on the CLI or bench layers.
+"""Layering gate: core library layers must not depend on the CLI or bench.
 
 ``repro.engine`` is the execution core that ``repro.core``, the baselines,
-the bench harness, and the CLI all sit on. A dependency in the other
-direction (engine -> cli / engine -> bench) would be an import cycle
-waiting to happen and would drag argparse/IO machinery into every library
-import.
+the bench harness, and the CLI all sit on; ``repro.testing`` (the
+fault-injection registry) is imported from engine/ccsr hot paths. A
+dependency in the other direction (engine/testing -> cli / bench) would be
+an import cycle waiting to happen and would drag argparse/IO machinery
+into every library import.
 
-Two checks, both cheap enough for CI's lint job:
+Two checks per guarded package, both cheap enough for CI's lint job:
 
-1. **Dynamic**: import ``repro.engine`` in a fresh interpreter and assert
-   that neither ``repro.cli`` nor ``repro.bench`` was pulled into
+1. **Dynamic**: import the package in a fresh interpreter and assert that
+   neither ``repro.cli`` nor ``repro.bench`` was pulled into
    ``sys.modules`` transitively.
-2. **Static**: grep the engine sources for ``repro.cli`` / ``repro.bench``
+2. **Static**: grep the package sources for ``repro.cli`` / ``repro.bench``
    imports, which also catches lazy (function-local) imports the dynamic
    check cannot see.
 
@@ -27,7 +28,9 @@ import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-ENGINE_DIR = REPO / "src" / "repro" / "engine"
+
+#: Packages that must stay independent of the CLI/bench layers.
+GUARDED = ("repro.engine", "repro.testing")
 FORBIDDEN = ("repro.cli", "repro.bench")
 
 _IMPORT_RE = re.compile(
@@ -37,9 +40,13 @@ _IMPORT_RE = re.compile(
 )
 
 
-def static_check() -> list[str]:
+def _package_dir(package: str) -> Path:
+    return REPO / "src" / Path(*package.split("."))
+
+
+def static_check(package: str) -> list[str]:
     problems = []
-    for path in sorted(ENGINE_DIR.rglob("*.py")):
+    for path in sorted(_package_dir(package).rglob("*.py")):
         text = path.read_text(encoding="utf-8")
         for match in _IMPORT_RE.finditer(text):
             module = match.group(1) or match.group(2)
@@ -50,11 +57,11 @@ def static_check() -> list[str]:
     return problems
 
 
-def dynamic_check() -> list[str]:
+def dynamic_check(package: str) -> list[str]:
     probe = (
-        "import sys; import repro.engine; "
+        f"import sys; import {package}; "
         "bad = [m for m in sys.modules "
-        f"if m == 'repro.cli' or m.startswith('repro.bench')]; "
+        "if m == 'repro.cli' or m.startswith('repro.bench')]; "
         "print('\\n'.join(bad)); sys.exit(1 if bad else 0)"
     )
     result = subprocess.run(
@@ -68,20 +75,30 @@ def dynamic_check() -> list[str]:
     loaded = [m for m in result.stdout.splitlines() if m]
     if loaded:
         return [
-            f"importing repro.engine transitively loaded {module}"
+            f"importing {package} transitively loaded {module}"
             for module in loaded
         ]
     return [f"probe interpreter failed:\n{result.stderr.strip()}"]
 
 
 def main() -> int:
-    problems = static_check() + dynamic_check()
+    problems = []
+    for package in GUARDED:
+        problems += static_check(package)
+        problems += dynamic_check(package)
     if problems:
-        print("layering violations (engine must not import cli/bench):")
+        print(
+            "layering violations"
+            f" ({'/'.join(GUARDED)} must not import cli/bench):"
+        )
         for problem in problems:
             print(f"  {problem}")
         return 1
-    print("layering OK: repro.engine is independent of repro.cli/repro.bench")
+    print(
+        "layering OK: "
+        + " and ".join(GUARDED)
+        + " are independent of repro.cli/repro.bench"
+    )
     return 0
 
 
