@@ -37,7 +37,9 @@ class CompressedCSR:
 
     __slots__ = ("rows", "row_counts", "cols", "_offsets", "full_offsets", "num_vertices")
 
-    def __init__(self, adjacency: dict[int, list[int]], num_vertices: int):
+    def __init__(
+        self, adjacency: dict[int, list[int]], num_vertices: int
+    ) -> None:
         rows = sorted(adjacency)
         self.num_vertices = num_vertices
         self.rows = np.asarray(rows, dtype=np.int64)
@@ -144,7 +146,7 @@ class Cluster:
         key: ClusterKey,
         edges: Sequence[tuple[int, int]],
         num_vertices: int,
-    ):
+    ) -> None:
         """``edges`` are (src, dst) pairs; for an undirected cluster each
         undirected edge must appear exactly once (either orientation)."""
         self.key = key

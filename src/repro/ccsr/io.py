@@ -18,7 +18,7 @@ import io
 import json
 import logging
 import os
-from typing import Hashable
+from typing import Any, Hashable
 
 import numpy as np
 
@@ -68,7 +68,7 @@ def _csr_arrays(csr: CompressedCSR, prefix: str) -> dict[str, np.ndarray]:
 
 
 def _csr_from_arrays(
-    archive, prefix: str, num_vertices: int
+    archive: np.lib.npyio.NpzFile, prefix: str, num_vertices: int
 ) -> CompressedCSR:
     csr = CompressedCSR.__new__(CompressedCSR)
     csr.num_vertices = num_vertices
@@ -80,7 +80,9 @@ def _csr_from_arrays(
     return csr
 
 
-def save_store(store: CCSRStore, path: str | os.PathLike, obs=None) -> None:
+def save_store(
+    store: CCSRStore, path: str | os.PathLike, obs: Any = None
+) -> None:
     """Write a store to ``path`` as an ``.npz`` archive.
 
     ``obs`` (a :class:`repro.obs.Observation`) records a ``ccsr.save``
@@ -133,7 +135,7 @@ def _save_store(store: CCSRStore, path: str | os.PathLike) -> None:
         np.savez_compressed(handle, **arrays)
 
 
-def load_store(path: str | os.PathLike, obs=None) -> CCSRStore:
+def load_store(path: str | os.PathLike, obs: Any = None) -> CCSRStore:
     """Load a store previously written by :func:`save_store`.
 
     ``obs`` (a :class:`repro.obs.Observation`) records a ``ccsr.load``

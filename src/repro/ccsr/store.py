@@ -14,12 +14,15 @@ from __future__ import annotations
 import logging
 import time
 from collections import Counter
-from typing import Hashable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable
 
 from repro.ccsr.cluster import Cluster
 from repro.ccsr.key import ClusterKey, cluster_key_for_edge, cluster_key_for_labels
 from repro.graph.model import Edge, Graph
 from repro.testing import faults
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.core.variants import Variant
 
 logger = logging.getLogger(__name__)
 
@@ -34,7 +37,7 @@ class NegationCheck:
 
     __slots__ = ("cluster", "mode")
 
-    def __init__(self, cluster: Cluster, mode: str):
+    def __init__(self, cluster: Cluster, mode: str) -> None:
         self.cluster = cluster
         self.mode = mode
 
@@ -73,7 +76,7 @@ class TaskClusters:
         read_seconds: float,
         bytes_read: int,
         data_vertex_labels: list[Hashable] | None = None,
-    ):
+    ) -> None:
         self.pattern = pattern
         self.variant_name = variant_name
         self.edge_clusters = edge_clusters
@@ -125,7 +128,7 @@ class CCSRStore:
     source :class:`Graph` is not retained.
     """
 
-    def __init__(self, graph: Graph):
+    def __init__(self, graph: Graph) -> None:
         start = time.perf_counter()
         self.num_vertices = graph.num_vertices
         self.num_edges = graph.num_edges
@@ -211,7 +214,9 @@ class CCSRStore:
         return [self.clusters[k] for k in keys]
 
     def vertices_with_label(self, label: Hashable) -> list[int]:
-        return [v for v, l in enumerate(self.vertex_labels) if l == label]
+        return [
+            v for v, lab in enumerate(self.vertex_labels) if lab == label
+        ]
 
     # ------------------------------------------------------------------
     # Incremental updates
@@ -316,7 +321,9 @@ class CCSRStore:
     # ------------------------------------------------------------------
     # Algorithm 1: ReadCSR
     # ------------------------------------------------------------------
-    def read(self, pattern: Graph, variant, obs=None) -> TaskClusters:
+    def read(
+        self, pattern: Graph, variant: Variant | str, obs: Any = None
+    ) -> TaskClusters:
         """Select and decompress the clusters this task needs (Alg. 1).
 
         ``variant`` is a :class:`repro.core.Variant` or its string name; only
@@ -406,7 +413,11 @@ class CCSRStore:
         )
 
     def _negation_checks_for_pair(
-        self, pattern: Graph, u_i: int, u_j: int, use
+        self,
+        pattern: Graph,
+        u_i: int,
+        u_j: int,
+        use: Callable[[Cluster], Cluster],
     ) -> list[NegationCheck]:
         """Build the "must be absent" probes for one pattern vertex pair.
 

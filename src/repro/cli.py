@@ -409,6 +409,70 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.ccsr.store import CCSRStore
+    from repro.engine.physical import pattern_fingerprint
+    from repro.engine.session import plan_query
+    from repro.engine.verify import verify_physical
+    from repro.graph.patterns import CATALOG
+
+    if args.data:
+        graph = load_graph(args.data)
+    elif args.dataset:
+        graph = load_dataset(args.dataset, scale=args.scale)
+    else:
+        print("error: provide --data FILE or --dataset NAME", file=sys.stderr)
+        return 2
+    store = CCSRStore(graph)
+    if args.catalog:
+        patterns = [(name, factory()) for name, factory in CATALOG.items()]
+    elif args.pattern:
+        pattern = load_graph(args.pattern)
+        patterns = [(pattern.name or "pattern", pattern)]
+    else:
+        pattern = sample_pattern(
+            graph, args.pattern_size, rng=args.seed, style=args.pattern_style
+        )
+        patterns = [(pattern.name or "sampled", pattern)]
+    variants = (
+        [v.value for v in Variant] if args.variant == "all" else [args.variant]
+    )
+    rows = []
+    failed = 0
+    for name, pattern in patterns:
+        for variant in variants:
+            plan = plan_query(store, pattern, variant, planner=args.planner)
+            physical = compile_plan(plan)
+            report = verify_physical(physical, store)
+            rows.append(
+                {
+                    "pattern": name,
+                    "fingerprint_size": len(pattern_fingerprint(pattern)),
+                    "variant": variant,
+                    "planner": args.planner,
+                    **report.as_dict(),
+                }
+            )
+            if not report.ok:
+                failed += 1
+                print(f"FAIL {name} / {variant}", file=sys.stderr)
+                for diagnostic in report.diagnostics:
+                    print(f"  {diagnostic.render()}", file=sys.stderr)
+    if args.json:
+        print(
+            json.dumps(
+                {"checked": len(rows), "failed": failed, "plans": rows},
+                indent=2,
+            )
+        )
+    else:
+        print(f"verified    : {len(rows)} plan(s)"
+              f" ({len(patterns)} pattern(s) x {len(variants)} variant(s))")
+        print(f"result      : {'FAIL' if failed else 'ok'}"
+              + (f" ({failed} plan(s) rejected)" if failed else ""))
+    return 1 if failed else 0
+
+
 def _cmd_bench_compare(args: argparse.Namespace) -> int:
     from repro.bench.history import compare_histories, load_history
 
@@ -701,6 +765,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument("--json", action="store_true",
                           help="machine-readable output")
     p_explain.set_defaults(func=_cmd_explain)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="statically verify compiled plans (order/DAG/cluster/negation"
+        " invariants) without executing them",
+    )
+    p_verify.add_argument("--data", help="data graph file (.graph format)")
+    p_verify.add_argument(
+        "--dataset", choices=DATASET_NAMES, help="built-in dataset stand-in"
+    )
+    p_verify.add_argument("--scale", type=float, default=0.5)
+    p_verify.add_argument("--pattern", help="pattern graph file")
+    p_verify.add_argument("--pattern-size", type=int, default=8)
+    p_verify.add_argument(
+        "--pattern-style", choices=("induced", "dense", "sparse"), default="induced"
+    )
+    p_verify.add_argument("--seed", type=int, default=0)
+    p_verify.add_argument("--catalog", action="store_true",
+                          help="verify every named pattern in the catalog"
+                          " instead of one pattern")
+    p_verify.add_argument(
+        "--variant",
+        default="all",
+        choices=[v.value for v in Variant] + ["all"],
+        help="variant to plan for ('all' sweeps every variant)",
+    )
+    p_verify.add_argument("--planner", default="csce",
+                          choices=("csce", "ri_cluster", "ri", "rm", "cost"))
+    p_verify.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+    p_verify.set_defaults(func=_cmd_verify)
 
     p_bench = sub.add_parser(
         "bench", help="sweep engines over sampled patterns and print a table"

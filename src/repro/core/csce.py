@@ -32,8 +32,8 @@ from __future__ import annotations
 import logging
 
 from repro.ccsr.store import CCSRStore
-from repro.core.gcf import gcf_order
 from repro.core.dag import build_dag
+from repro.core.gcf import gcf_order
 from repro.core.plan import Plan
 from repro.core.variants import Variant
 from repro.engine.executor import EmbeddingStream, execute_physical
@@ -57,6 +57,7 @@ class CSCE:
         graph: Graph | CCSRStore,
         obs=None,
         plan_cache_size: int = 64,
+        verify: bool = False,
     ):
         """Build (or adopt) the CCSR store for a data graph.
 
@@ -65,8 +66,14 @@ class CSCE:
         :class:`repro.obs.Observation`) becomes the engine's default
         instrumentation for every run; per-call ``obs=`` arguments win.
         ``plan_cache_size`` bounds the session's compiled-plan LRU.
+        ``verify=True`` is a debug mode: every freshly compiled plan runs
+        the ahead-of-execution verifier
+        (:mod:`repro.engine.verify`) and an unsound plan raises
+        :class:`~repro.errors.PlanVerificationError` instead of executing.
         """
-        self.session = MatchSession(graph, obs=obs, cache_size=plan_cache_size)
+        self.session = MatchSession(
+            graph, obs=obs, cache_size=plan_cache_size, verify=verify
+        )
         self.store = self.session.store
         self.obs = obs
 

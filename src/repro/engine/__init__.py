@@ -19,11 +19,14 @@ The engine separates the *logical* plan (what each step must check — see
   embedding cap, memory ceiling with a graceful-degradation ladder) and a
   cooperative :class:`CancelToken` over any run;
 * :mod:`repro.engine.checkpoint` suspends/resumes the streaming executor's
-  frame stack across processes (``CSCE.resume``).
+  frame stack across processes (``CSCE.resume``);
+* :mod:`repro.engine.verify` statically verifies a compiled plan against
+  its store before execution (``csce verify``,
+  ``MatchSession(verify=True)``).
 
 Layering: this package sits between ``repro.core`` planning and the
 front-ends; it must never import ``repro.cli`` or ``repro.bench``
-(enforced by ``tools/check_layering.py`` in CI).
+(enforced by the ``layering`` pass of ``python -m tools.reprolint`` in CI).
 """
 
 from repro.engine.results import (
@@ -65,6 +68,12 @@ from repro.engine.session import (
     MatchSession,
     plan_query,
 )
+from repro.engine.verify import (
+    Diagnostic,
+    VerificationReport,
+    verify_physical,
+    verify_plan,
+)
 
 __all__ = [
     "MIN_THROUGHPUT_ELAPSED",
@@ -99,4 +108,8 @@ __all__ = [
     "CompiledQuery",
     "MatchSession",
     "plan_query",
+    "Diagnostic",
+    "VerificationReport",
+    "verify_physical",
+    "verify_plan",
 ]

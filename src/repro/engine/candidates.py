@@ -16,6 +16,8 @@ the hot loop is two function calls and an intersection per constraint.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.core.candidates import CandidateStats, intersect_sorted
@@ -32,8 +34,8 @@ class CandidateComputer:
         physical: PhysicalPlan,
         use_sce: bool = True,
         memo_limit: int = 1_000_000,
-        profile=None,
-    ):
+        profile: Any = None,
+    ) -> None:
         self.physical = physical
         self.use_sce = use_sce
         self.memo_limit = memo_limit

@@ -41,9 +41,18 @@ import hashlib
 import json
 import os
 
+from typing import TYPE_CHECKING, Any
+
 from repro.engine.executor import EmbeddingStream, SearchState
 from repro.engine.results import MatchOptions
 from repro.errors import CheckpointError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.ccsr.store import CCSRStore
+    from repro.core.variants import Variant
+    from repro.engine.governor import ResourceGovernor
+    from repro.engine.session import MatchSession
+    from repro.graph.model import Graph
 
 CHECKPOINT_FORMAT = "repro-checkpoint"
 CHECKPOINT_VERSION = 1
@@ -67,17 +76,17 @@ _CANDIDATE_COUNTERS = (
 KEEP = object()
 
 
-def _digest(obj) -> str:
+def _digest(obj: object) -> str:
     return hashlib.sha256(repr(obj).encode("utf-8")).hexdigest()
 
 
-def pattern_digest(pattern) -> str:
+def pattern_digest(pattern: Graph) -> str:
     """Canonical digest of a pattern graph (labels + sorted edge set)."""
     labels, edges = pattern.fingerprint()
     return _digest((tuple(labels), sorted(edges, key=repr)))
 
 
-def store_digest(store) -> str:
+def store_digest(store: CCSRStore) -> str:
     """Canonical digest of a CCSR store's structure: vertex/edge counts
     plus every cluster's key and entry count. Cheap (no per-edge work)
     yet sensitive to any incremental update."""
@@ -90,9 +99,9 @@ def store_digest(store) -> str:
 
 def checkpoint_payload(
     stream: EmbeddingStream,
-    store,
-    pattern,
-    variant,
+    store: CCSRStore,
+    pattern: Graph,
+    variant: Variant | str,
     planner: str,
 ) -> dict:
     """Serialize a suspended :class:`EmbeddingStream` to a checkpoint
@@ -151,9 +160,9 @@ def checkpoint_payload(
 def write_checkpoint(
     path: str | os.PathLike,
     stream: EmbeddingStream,
-    store,
-    pattern,
-    variant,
+    store: CCSRStore,
+    pattern: Graph,
+    variant: Variant | str,
     planner: str,
 ) -> dict:
     """Write a checkpoint document to ``path`` (atomically, via a temp
@@ -206,7 +215,7 @@ def validate_checkpoint(payload: dict) -> None:
             )
 
 
-def check_store_compatibility(payload: dict, store) -> None:
+def check_store_compatibility(payload: dict, store: CCSRStore) -> None:
     """Refuse to resume onto a store that is not byte-for-byte the one the
     checkpoint was taken from."""
     recorded = payload["store"]
@@ -232,7 +241,14 @@ class CheckpointSink:
     the checkpoint document to ``path``. ``written`` holds the last
     document (None until a suspend happens)."""
 
-    def __init__(self, path, store, pattern, variant, planner: str):
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        store: CCSRStore,
+        pattern: Graph,
+        variant: Variant | str,
+        planner: str,
+    ) -> None:
         self.path = path
         self.store = store
         self.pattern = pattern
@@ -249,11 +265,11 @@ class CheckpointSink:
 
 def restore_stream(
     payload: dict,
-    session,
-    max_embeddings=KEEP,
-    time_limit=KEEP,
-    governor=None,
-    obs=None,
+    session: MatchSession,
+    max_embeddings: Any = KEEP,
+    time_limit: Any = KEEP,
+    governor: ResourceGovernor | None = None,
+    obs: Any = None,
     checkpoint_path: str | os.PathLike | None = None,
 ) -> EmbeddingStream:
     """Rebuild a live :class:`EmbeddingStream` from a checkpoint document.

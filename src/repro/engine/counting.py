@@ -61,7 +61,7 @@ class _Frame:
         "pending_key",
     )
 
-    def __init__(self, kind: int, top_level: bool = False):
+    def __init__(self, kind: int, top_level: bool = False) -> None:
         self.kind = kind
         self.acc = 0 if kind == _SEQ else 1
         self.awaiting = False
@@ -76,7 +76,7 @@ class FactorizedCounter:
     lives in :func:`repro.engine.executor.execute_physical`.
     """
 
-    def __init__(self, physical: PhysicalPlan, options: MatchOptions):
+    def __init__(self, physical: PhysicalPlan, options: MatchOptions) -> None:
         plan = physical.logical
         self.physical = physical
         self.plan = plan

@@ -36,6 +36,8 @@ import time
 
 import numpy as np
 
+from typing import TYPE_CHECKING, Iterator
+
 from repro.engine.candidates import CandidateComputer
 from repro.engine.physical import PhysicalPlan, compile_plan
 from repro.engine.results import (
@@ -46,6 +48,9 @@ from repro.engine.results import (
 )
 from repro.obs import NULL_OBS, unified_stats
 from repro.testing import faults
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.engine.checkpoint import CheckpointSink
 
 logger = logging.getLogger(__name__)
 
@@ -113,7 +118,7 @@ class SearchState:
         index: list[int],
         emitted_at: list[int],
         pos: int,
-    ):
+    ) -> None:
         self.assignment = assignment
         self.used = used
         self.values = values
@@ -185,7 +190,7 @@ class Runtime:
         "_interval",
     )
 
-    def __init__(self, physical: PhysicalPlan, options: MatchOptions):
+    def __init__(self, physical: PhysicalPlan, options: MatchOptions) -> None:
         self.options = options
         obs = options.obs or NULL_OBS
         profiler = getattr(obs, "profile", None)
@@ -294,7 +299,7 @@ class Runtime:
 
 def stream(
     physical: PhysicalPlan, runtime: Runtime, state: SearchState | None = None
-):
+) -> Iterator[tuple[int, ...]]:
     """Iteratively enumerate embeddings; yields tuples indexed by pattern
     vertex id. Cooperative: on a limit, sets ``runtime.stop_reason`` and
     returns. Pass a restored :class:`SearchState` to resume a checkpointed
@@ -507,8 +512,8 @@ class EmbeddingStream:
         options: MatchOptions | None = None,
         state: SearchState | None = None,
         emitted: int = 0,
-        checkpoint_sink=None,
-    ):
+        checkpoint_sink: CheckpointSink | None = None,
+    ) -> None:
         options = options or MatchOptions()
         physical = specialize(physical, options)
         self.physical = physical
@@ -536,7 +541,7 @@ class EmbeddingStream:
     def __enter__(self) -> "EmbeddingStream":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def _finish(self) -> None:

@@ -35,6 +35,8 @@ a single attribute check per tick window.
 
 from __future__ import annotations
 
+from typing import Any
+
 import threading
 import time
 import tracemalloc
@@ -96,7 +98,7 @@ class CancelToken:
 
     __slots__ = ("_event", "reason")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._event = threading.Event()
         self.reason: str | None = None
 
@@ -139,7 +141,7 @@ class ResourceGovernor:
         budget: Budget | None = None,
         cancel: CancelToken | None = None,
         obs: object | None = None,
-    ):
+    ) -> None:
         self.budget = budget or Budget()
         self.cancel = cancel or CancelToken()
         self.obs = obs
@@ -175,7 +177,7 @@ class ResourceGovernor:
         return current
 
     # -- the cooperative check ----------------------------------------
-    def check(self, run) -> str | None:
+    def check(self, run: Any) -> str | None:
         """One governance step; returns a stop reason or ``None``.
 
         ``run`` is the executor's ``Runtime`` or the factorized counter —

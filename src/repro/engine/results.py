@@ -14,7 +14,7 @@ initialization.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, NoReturn
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
     from repro.core.variants import Variant
@@ -47,7 +47,7 @@ STOP_REASONS = (
 RESUMABLE_STOP_REASONS = STOP_REASONS
 
 
-def raise_stop(stop_reason: str, partial_count: int):
+def raise_stop(stop_reason: str, partial_count: int) -> NoReturn:
     """Raise the typed :class:`~repro.errors.LimitExceeded` subclass for a
     ``stop_reason``, carrying ``partial_count``. The single place mapping
     stop reasons to exception types, so every front-end that converts the

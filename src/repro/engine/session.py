@@ -26,6 +26,7 @@ import logging
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Any
 
 from repro.ccsr.store import CCSRStore
 from repro.core.dag import build_dag
@@ -53,7 +54,7 @@ def plan_query(
     pattern: Graph,
     variant: Variant | str = Variant.EDGE_INDUCED,
     planner: str = "csce",
-    obs=None,
+    obs: Any = None,
 ) -> Plan:
     """Read clusters and optimize a matching plan (Sections IV–VI).
 
@@ -157,15 +158,23 @@ class MatchSession:
     def __init__(
         self,
         graph: Graph | CCSRStore,
-        obs=None,
+        obs: Any = None,
         cache_size: int = 64,
-    ):
+        verify: bool = False,
+    ) -> None:
         if isinstance(graph, CCSRStore):
             self.store = graph
         else:
             self.store = CCSRStore(graph)
         self.obs = obs
         self.cache_size = cache_size
+        self.verify = verify
+        """Debug mode: run the ahead-of-execution verifier
+        (:func:`repro.engine.verify.verify_physical`) on every freshly
+        compiled plan, raising
+        :class:`~repro.errors.PlanVerificationError` before the executor
+        ever sees an unsound plan. Cache hits were verified when first
+        compiled and are not re-checked."""
         self._cache: OrderedDict[tuple, CompiledQuery] = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
@@ -192,7 +201,7 @@ class MatchSession:
         variant: Variant | str = Variant.EDGE_INDUCED,
         planner: str = "csce",
         restrictions: tuple[tuple[int, int], ...] | None = None,
-        obs=None,
+        obs: Any = None,
     ) -> CompiledQuery:
         """The cached read→optimize→compile pipeline.
 
@@ -221,6 +230,10 @@ class MatchSession:
         physical = compile_plan(
             plan, restrictions=tuple(restrictions) if restrictions else None
         )
+        if self.verify:
+            from repro.engine.verify import verify_physical
+
+            verify_physical(physical, self.store).raise_for_errors()
         entry = CompiledQuery(plan=plan, physical=physical, cached=False)
         self._cache[key] = entry
         while len(self._cache) > self.cache_size:

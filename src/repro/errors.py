@@ -41,6 +41,23 @@ class PlanError(ReproError):
     """
 
 
+class PlanVerificationError(PlanError):
+    """The ahead-of-execution verifier (:mod:`repro.engine.verify`)
+    rejected a plan.
+
+    Attributes
+    ----------
+    diagnostics:
+        The list of :class:`repro.engine.verify.Diagnostic` records that
+        failed — each carries a stable ``code`` (e.g. ``"dag-cycle"``,
+        ``"cluster-key-unknown"``) plus a human-readable message.
+    """
+
+    def __init__(self, message: str, diagnostics: list | None = None):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
+
+
 class VariantError(ReproError):
     """An engine was asked to solve a subgraph-matching variant it does not
     support (used mainly by the baseline matchers, mirroring Table III)."""

@@ -85,7 +85,7 @@ def _tokenize(text: str) -> list[_Token]:
 
 
 class _Parser:
-    def __init__(self, text: str):
+    def __init__(self, text: str) -> None:
         self.text = text
         self.tokens = _tokenize(text)
         self.index = 0

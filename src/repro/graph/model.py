@@ -53,7 +53,7 @@ class Graph:
         Optional human-readable name, shown in dataset tables.
     """
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self._vertex_labels: list[Hashable] = []
         self._edges: list[Edge] = []
@@ -352,7 +352,7 @@ class Graph:
             return False
         return self._canonical_edge_set() == other._canonical_edge_set()
 
-    def __hash__(self):  # graphs are mutable
+    def __hash__(self) -> int:  # graphs are mutable
         raise TypeError("Graph objects are unhashable")
 
     def fingerprint(self) -> tuple:

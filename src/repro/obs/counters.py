@@ -41,6 +41,26 @@ STAT_KEYS: tuple[str, ...] = (
     "group_memo_hits",
 )
 
+#: Every registry counter name bumped outside the unified stats fold —
+#: the dotted subsystem counters (``ccsr.*``, ``plan_cache.*``,
+#: ``continuous.*``) and the governor's degradation events. The
+#: ``obs_keys`` reprolint pass checks every ``.inc()``/``._count()``
+#: string literal against ``STAT_KEYS`` + this tuple, so a new counter
+#: name must be registered here before the code bumping it can land.
+KNOWN_COUNTERS: tuple[str, ...] = (
+    "plan_cache.hits",
+    "plan_cache.misses",
+    "ccsr.clusters_read",
+    "ccsr.bytes_read",
+    "ccsr.rows_read",
+    "continuous.updates",
+    "continuous.pins",
+    "continuous.delta_embeddings",
+    "governor_evictions",
+    "governor_memo_disabled",
+    "governor_suspensions",
+)
+
 
 def unified_stats(
     nodes: int = 0,

@@ -1,0 +1,232 @@
+"""Tests for the ahead-of-execution plan verifier (``repro.engine.verify``).
+
+The positive direction sweeps the pattern catalog across all three
+variants (what CI's plan-verify step runs through the CLI); the negative
+direction seeds four classes of invalid plans — a cyclic DAG, a
+disconnected matching order, a cluster from a foreign store, and a
+deleted negation probe — and asserts each is rejected with its typed
+diagnostic code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.ccsr.store import CCSRStore
+from repro.core.dag import build_dag
+from repro.core.plan import assemble_plan
+from repro.core.variants import Variant
+from repro.datasets.registry import load_dataset
+from repro.engine.physical import compile_plan
+from repro.engine.session import MatchSession, plan_query
+from repro.engine.verify import (
+    CLUSTER_KEY_UNKNOWN,
+    DAG_CYCLE,
+    NEGATION_PROBE_MISSING,
+    NEGATION_UNEXPECTED,
+    ORDER_DISCONNECTED,
+    ORDER_NOT_PERMUTATION,
+    RESTRICTION_MALFORMED,
+    SEED_PIN_INVALID,
+    VerificationReport,
+    verify_physical,
+    verify_plan,
+)
+from repro.errors import PlanVerificationError
+from repro.graph.patterns import CATALOG, by_name
+
+VARIANTS = [v.value for v in Variant]
+
+
+@pytest.fixture(scope="module")
+def store() -> CCSRStore:
+    return CCSRStore(load_dataset("dip", scale=0.2))
+
+
+# ---------------------------------------------------------------------------
+# Positive: every catalog pattern x variant verifies clean
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(CATALOG))
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_catalog_plans_verify(store, name, variant):
+    plan = plan_query(store, by_name(name), variant=variant)
+    report = verify_physical(compile_plan(plan), store)
+    assert report.ok, report.render()
+
+
+def test_report_api(store):
+    plan = plan_query(store, by_name("triangle"))
+    report = verify_plan(plan, store)
+    assert report.ok
+    assert report.codes() == []
+    assert report.as_dict() == {"ok": True, "diagnostics": []}
+    assert report.render() == "plan verification: ok"
+    # raise_for_errors on a clean report is a no-op returning the report.
+    assert report.raise_for_errors() is report
+
+
+# ---------------------------------------------------------------------------
+# Negative: four seeded-invalid plan classes, each with a typed diagnostic
+# ---------------------------------------------------------------------------
+def test_cyclic_dag_rejected(store):
+    plan = plan_query(store, by_name("house"))
+    plan.dag.add_edge(plan.order[-1], plan.order[0])
+    report = verify_plan(plan, store)
+    assert DAG_CYCLE in report.codes()
+    with pytest.raises(PlanVerificationError) as exc:
+        report.raise_for_errors()
+    assert any(d.code == DAG_CYCLE for d in exc.value.diagnostics)
+
+
+def test_disconnected_order_rejected(store):
+    # path4 is 0-1-2-3; matching 2 right after 0 leaves it with no earlier
+    # pattern neighbor although its component already started.
+    pattern = by_name("path4")
+    task = store.read(pattern, Variant.EDGE_INDUCED)
+    order = [0, 2, 1, 3]
+    dag = build_dag(pattern, order, Variant.EDGE_INDUCED, task)
+    plan = assemble_plan(
+        store, task, pattern, order, dag, Variant.EDGE_INDUCED,
+        planner_name="csce",
+    )
+    report = verify_plan(plan, store)
+    assert ORDER_DISCONNECTED in report.codes()
+    diagnostic = next(
+        d for d in report.diagnostics if d.code == ORDER_DISCONNECTED
+    )
+    assert diagnostic.position == 1
+
+
+def test_foreign_cluster_rejected(store):
+    # A cluster resolved against a different store: same shape of object,
+    # but not the live cluster the verifying store owns for any key.
+    other = CCSRStore(load_dataset("dip", scale=0.1))
+    plan = plan_query(store, by_name("triangle"))
+    constraint = plan.backward[1][0]
+    foreign = next(iter(other.clusters.values()))
+    plan.backward[1][0] = dataclasses.replace(constraint, cluster=foreign)
+    report = verify_physical(compile_plan(plan), store)
+    assert CLUSTER_KEY_UNKNOWN in report.codes()
+
+
+def test_missing_negation_probe_rejected(store):
+    plan = plan_query(store, by_name("path4"), variant="vertex_induced")
+    victims = [pos for pos, n in enumerate(plan.negations) if n]
+    assert victims, "vertex-induced path4 must carry negation probes"
+    plan.negations[victims[-1]].pop()
+    report = verify_physical(compile_plan(plan), store)
+    assert NEGATION_PROBE_MISSING in report.codes()
+
+
+# ---------------------------------------------------------------------------
+# More invariants
+# ---------------------------------------------------------------------------
+def test_non_permutation_order_rejected(store):
+    plan = plan_query(store, by_name("triangle"))
+    plan.order[0] = plan.order[1]  # duplicate vertex, 3-cycle order broken
+    report = verify_plan(plan, store)
+    assert report.codes() == [ORDER_NOT_PERMUTATION]
+
+
+def test_negation_on_non_induced_plan_rejected(store):
+    edge_plan = plan_query(store, by_name("path4"), variant="edge_induced")
+    induced = plan_query(store, by_name("path4"), variant="vertex_induced")
+    donor_pos = next(
+        pos for pos, n in enumerate(induced.negations) if n
+    )
+    edge_plan.negations[donor_pos].append(induced.negations[donor_pos][0])
+    report = verify_plan(edge_plan, store)
+    assert NEGATION_UNEXPECTED in report.codes()
+
+
+def test_bad_seed_pin_rejected(store):
+    plan = plan_query(store, by_name("triangle"))
+    physical = compile_plan(plan).with_seed({plan.order[0]: store.num_vertices + 7})
+    report = verify_physical(physical, store)
+    assert SEED_PIN_INVALID in report.codes()
+
+
+def test_misplaced_restriction_rejected(store):
+    plan = plan_query(store, by_name("triangle"))
+    physical = compile_plan(plan, restrictions=((plan.order[0], plan.order[1]),))
+    assert verify_physical(physical, store).ok
+    # Blank out the op slots while keeping the pair list: the recomputed
+    # placement no longer matches.
+    ops = tuple(dataclasses.replace(op, restrictions=()) for op in physical.ops)
+    broken = dataclasses.replace(physical, ops=ops)
+    report = verify_physical(broken, store)
+    assert RESTRICTION_MALFORMED in report.codes()
+
+
+def test_stale_store_version_rejected(store):
+    """A plan compiled before an incremental update references rebuilt
+    clusters: the object-identity check rejects it."""
+    local = CCSRStore(load_dataset("dip", scale=0.1))
+    plan = plan_query(local, by_name("triangle"))
+    physical = compile_plan(plan)
+    assert verify_physical(physical, local).ok
+    from repro.errors import GraphError
+
+    for dst in range(1, local.num_vertices):
+        try:
+            local.insert_edge(0, dst, None)
+            break
+        except GraphError:  # that edge already exists; try the next
+            continue
+    else:
+        pytest.skip("vertex 0 is connected to every other vertex")
+    report = verify_physical(physical, local)
+    assert CLUSTER_KEY_UNKNOWN in report.codes()
+
+
+# ---------------------------------------------------------------------------
+# MatchSession(verify=True) debug mode
+# ---------------------------------------------------------------------------
+def test_session_verify_mode_accepts_sound_plans(store):
+    session = MatchSession(store, verify=True)
+    entry = session.compile(by_name("house"), "vertex_induced")
+    assert entry.physical.num_vertices == 5
+    # Cache hits skip re-verification but still return the entry.
+    again = session.compile(by_name("house"), "vertex_induced")
+    assert again.cached
+
+
+def test_csce_verify_passthrough(store):
+    from repro.core.csce import CSCE
+
+    engine = CSCE(store, verify=True)
+    assert engine.session.verify is True
+    result = engine.match(by_name("triangle"))
+    assert result.count >= 0
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def test_cli_verify_catalog(capsys):
+    from repro.cli import main
+
+    code = main(
+        ["verify", "--dataset", "dip", "--scale", "0.1", "--catalog",
+         "--variant", "all"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "result      : ok" in out
+
+
+def test_cli_verify_json(capsys):
+    import json
+
+    from repro.cli import main
+
+    code = main(
+        ["verify", "--dataset", "dip", "--scale", "0.1",
+         "--pattern-size", "5", "--variant", "edge_induced", "--json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["failed"] == 0
+    assert payload["plans"][0]["ok"] is True

@@ -1,0 +1,189 @@
+"""Tests for the reprolint static-analysis suite (``tools/reprolint``).
+
+Each pass is exercised two ways:
+
+* *fixture mode* — the pass runs on a known-bad file under
+  ``tools/reprolint/fixtures/`` and must flag every seeded violation (and
+  nothing else on the fixture's clean lines);
+* *live mode* — the pass runs on the real tree and must be clean, which
+  is exactly what CI asserts.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO) not in sys.path:
+    sys.path.insert(0, str(REPO))
+
+from tools.reprolint import (  # noqa: E402
+    REGISTRY,
+    LintContext,
+    load_passes,
+    run_passes,
+)
+from tools.reprolint.__main__ import main as reprolint_main  # noqa: E402
+
+FIXTURES = REPO / "tools" / "reprolint" / "fixtures"
+
+load_passes()
+
+ALL_PASSES = sorted(REGISTRY)
+
+
+def run_fixture(pass_name: str, fixture: str):
+    ctx = LintContext(root=REPO, explicit_paths=[FIXTURES / fixture])
+    return run_passes(ctx, select=[pass_name])
+
+
+# ---------------------------------------------------------------------------
+# Framework
+# ---------------------------------------------------------------------------
+def test_every_pass_registered():
+    assert set(ALL_PASSES) == {
+        "api_all",
+        "checkpoint_fields",
+        "clock_discipline",
+        "layering",
+        "no_recursion",
+        "obs_keys",
+        "stop_reasons",
+    }
+
+
+def test_unknown_pass_rejected():
+    ctx = LintContext(root=REPO)
+    with pytest.raises(KeyError):
+        run_passes(ctx, select=["no_such_pass"])
+
+
+def test_violation_render_format():
+    violations = run_fixture("clock_discipline", "clock_discipline.py")
+    assert violations
+    line = violations[0].render()
+    assert "[clock_discipline]" in line
+    assert "clock_discipline.py" in line
+    d = violations[0].as_dict()
+    assert set(d) == {"pass", "path", "line", "message"}
+
+
+# ---------------------------------------------------------------------------
+# Per-pass fixtures: every seeded violation is flagged
+# ---------------------------------------------------------------------------
+def test_layering_fixture_flagged():
+    violations = run_fixture("layering", "layering.py")
+    assert violations, "layering fixture must be flagged"
+    assert all(v.pass_name == "layering" for v in violations)
+    # Both the plain and the lazy (function-body) forbidden import.
+    assert len(violations) >= 2
+
+
+def test_no_recursion_fixture_flagged():
+    violations = run_fixture("no_recursion", "no_recursion.py")
+    flagged = {v.message.split(" is ")[0] for v in violations}
+    assert flagged == {"descend", "ping", "pong", "Walker.walk"}
+    # The explicit-stack function must NOT be flagged.
+    assert "iterative" not in flagged
+
+
+def test_obs_keys_fixture_flagged():
+    violations = run_fixture("obs_keys", "obs_keys.py")
+    messages = " ".join(v.message for v in violations)
+    assert "ccsr.bytes_red" in messages  # counter typo
+    assert "reed_seconds" in messages  # metric typo
+    # The fixture's clean literals (STAT_KEYS / KNOWN_COUNTERS /
+    # KNOWN_METRICS members) are not flagged.
+    assert "plan_cache.hits" not in messages
+    assert "embeddings" not in messages
+    assert len(violations) == 2
+
+
+def test_stop_reasons_fixture_flagged():
+    violations = run_fixture("stop_reasons", "stop_reasons.py")
+    flagged = {v.message.split("'")[1] for v in violations}
+    assert flagged == {"time-limit", "memory", "emb_limit"}
+    # The canonical member on the clean line is not flagged.
+    assert "cancelled" not in flagged
+
+
+def test_checkpoint_fields_fixture_flagged():
+    violations = run_fixture("checkpoint_fields", "checkpoint_fields.py")
+    messages = " ".join(v.message for v in violations)
+    assert "progress" in messages  # dropped document key
+    assert "extra" in messages  # added document key
+    assert "node_visits" in messages  # non-STAT_KEYS counter
+
+
+def test_clock_discipline_fixture_flagged():
+    violations = run_fixture("clock_discipline", "clock_discipline.py")
+    messages = " ".join(v.message for v in violations)
+    assert "naked 'except:'" in messages
+    assert "time.time()" in messages
+    # Both the plain and the from-import alias wall-clock reads.
+    assert sum("time.time()" in v.message for v in violations) == 2
+
+
+def test_api_all_fixture_flagged():
+    violations = run_fixture("api_all", "api_all.py")
+    messages = " ".join(v.message for v in violations)
+    assert "removed_function" in messages  # listed but never bound
+    assert "lists 'parse' twice" in messages  # duplicate entry
+    assert "string literals" in messages  # the 42 entry
+
+
+# ---------------------------------------------------------------------------
+# Live tree: the repository itself is clean
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("pass_name", ALL_PASSES)
+def test_live_tree_clean(pass_name):
+    ctx = LintContext(root=REPO)
+    violations = run_passes(ctx, select=[pass_name])
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes
+# ---------------------------------------------------------------------------
+def test_cli_exit_zero_on_clean_tree():
+    assert reprolint_main([]) == 0
+
+
+def test_cli_exit_one_on_bad_fixture(capsys):
+    code = reprolint_main(
+        ["--select", "api_all", str(FIXTURES / "api_all.py")]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "[api_all]" in out
+
+
+def test_cli_exit_two_on_missing_path(capsys):
+    assert reprolint_main(["/no/such/file.py"]) == 2
+
+
+def test_cli_json_output(capsys):
+    import json
+
+    code = reprolint_main(
+        ["--json", "--select", "stop_reasons",
+         str(FIXTURES / "stop_reasons.py")]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["violations"]
+    assert all(v["pass"] == "stop_reasons" for v in payload["violations"])
+
+
+def test_check_layering_shim():
+    result = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_layering.py")],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

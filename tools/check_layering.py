@@ -1,105 +1,33 @@
 #!/usr/bin/env python
-"""Layering gate: core library layers must not depend on the CLI or bench.
+"""Layering gate — compatibility shim.
 
-``repro.engine`` is the execution core that ``repro.core``, the baselines,
-the bench harness, and the CLI all sit on; ``repro.testing`` (the
-fault-injection registry) is imported from engine/ccsr hot paths. A
-dependency in the other direction (engine/testing -> cli / bench) would be
-an import cycle waiting to happen and would drag argparse/IO machinery
-into every library import.
+The check lives in ``tools/reprolint/passes/layering.py`` now (with the
+rest of the repository's invariant passes); this wrapper keeps the old
+entry point working for scripts and muscle memory::
 
-Two checks per guarded package, both cheap enough for CI's lint job:
+    python tools/check_layering.py
+    python -m tools.reprolint --select layering   # equivalent
 
-1. **Dynamic**: import the package in a fresh interpreter and assert that
-   neither ``repro.cli`` nor ``repro.bench`` was pulled into
-   ``sys.modules`` transitively.
-2. **Static**: grep the package sources for ``repro.cli`` / ``repro.bench``
-   imports, which also catches lazy (function-local) imports the dynamic
-   check cannot see.
-
-Exit status 0 when clean, 1 with a diagnostic per violation otherwise.
+The move also fixed the original script's subprocess environment: the
+import probe used to run with ``env={"PYTHONPATH": ...}``, wiping the
+inherited environment (``PATH``, any pre-set ``PYTHONPATH``); the pass
+extends ``os.environ`` instead.
 """
 
 from __future__ import annotations
 
-import re
-import subprocess
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 
-#: Packages that must stay independent of the CLI/bench layers.
-GUARDED = ("repro.engine", "repro.testing")
-FORBIDDEN = ("repro.cli", "repro.bench")
-
-_IMPORT_RE = re.compile(
-    r"^\s*(?:from\s+(repro\.(?:cli|bench)\S*)\s+import|"
-    r"import\s+(repro\.(?:cli|bench)\S*))",
-    re.MULTILINE,
-)
-
-
-def _package_dir(package: str) -> Path:
-    return REPO / "src" / Path(*package.split("."))
-
-
-def static_check(package: str) -> list[str]:
-    problems = []
-    for path in sorted(_package_dir(package).rglob("*.py")):
-        text = path.read_text(encoding="utf-8")
-        for match in _IMPORT_RE.finditer(text):
-            module = match.group(1) or match.group(2)
-            line = text.count("\n", 0, match.start()) + 1
-            problems.append(
-                f"{path.relative_to(REPO)}:{line}: imports {module}"
-            )
-    return problems
-
-
-def dynamic_check(package: str) -> list[str]:
-    probe = (
-        f"import sys; import {package}; "
-        "bad = [m for m in sys.modules "
-        "if m == 'repro.cli' or m.startswith('repro.bench')]; "
-        "print('\\n'.join(bad)); sys.exit(1 if bad else 0)"
-    )
-    result = subprocess.run(
-        [sys.executable, "-c", probe],
-        capture_output=True,
-        text=True,
-        env={"PYTHONPATH": str(REPO / "src")},
-    )
-    if result.returncode == 0:
-        return []
-    loaded = [m for m in result.stdout.splitlines() if m]
-    if loaded:
-        return [
-            f"importing {package} transitively loaded {module}"
-            for module in loaded
-        ]
-    return [f"probe interpreter failed:\n{result.stderr.strip()}"]
-
 
 def main() -> int:
-    problems = []
-    for package in GUARDED:
-        problems += static_check(package)
-        problems += dynamic_check(package)
-    if problems:
-        print(
-            "layering violations"
-            f" ({'/'.join(GUARDED)} must not import cli/bench):"
-        )
-        for problem in problems:
-            print(f"  {problem}")
-        return 1
-    print(
-        "layering OK: "
-        + " and ".join(GUARDED)
-        + " are independent of repro.cli/repro.bench"
-    )
-    return 0
+    if str(REPO) not in sys.path:
+        sys.path.insert(0, str(REPO))
+    from tools.reprolint.__main__ import main as reprolint_main
+
+    return reprolint_main(["--select", "layering"])
 
 
 if __name__ == "__main__":

@@ -1,0 +1,99 @@
+"""CLI entry point: ``python -m tools.reprolint``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from tools.reprolint import LintContext, load_passes, run_passes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based invariant passes for this repository",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="lint only these files (fixture mode); default: the live tree",
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated pass names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_passes",
+        help="print the pass catalog and exit",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (one object with all violations)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    registry = load_passes()
+    if args.list_passes:
+        if args.json:
+            print(json.dumps(
+                {name: p.description for name, p in registry.items()},
+                indent=2,
+            ))
+        else:
+            width = max(len(name) for name in registry)
+            for name, p in registry.items():
+                print(f"{name:<{width}}  {p.description}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [s.strip() for s in args.select.split(",") if s.strip()]
+    explicit = None
+    if args.paths:
+        explicit = [Path(p) for p in args.paths]
+        missing = [p for p in explicit if not p.is_file()]
+        if missing:
+            print(
+                f"error: no such file: {', '.join(map(str, missing))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    ctx = LintContext(explicit_paths=explicit)
+
+    def narrate(name: str, found) -> None:
+        if not args.json:
+            status = "ok" if not found else f"{len(found)} violation(s)"
+            print(f"reprolint: {name}: {status}", file=sys.stderr)
+
+    try:
+        violations = run_passes(ctx, select=select, on_pass=narrate)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(
+            {
+                "passes": list(select or registry),
+                "violations": [v.as_dict() for v in violations],
+                "ok": not violations,
+            },
+            indent=2,
+        ))
+    else:
+        for violation in violations:
+            print(violation.render())
+        if violations:
+            print(f"reprolint: {len(violations)} violation(s)")
+        else:
+            print("reprolint: clean")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

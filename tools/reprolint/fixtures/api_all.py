@@ -1,0 +1,16 @@
+"""Known-bad fixture for the api_all pass: a stale export, a duplicate,
+and a non-string entry."""
+
+import json
+
+__all__ = [
+    "parse",  # clean: bound below
+    "json",  # clean: imported above
+    "removed_function",  # violation: not bound anywhere
+    "parse",  # violation: duplicate
+    42,  # violation: not a string literal
+]
+
+
+def parse(text):
+    return json.loads(text)

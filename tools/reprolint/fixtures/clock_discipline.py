@@ -1,0 +1,14 @@
+"""Known-bad fixture for the clock_discipline pass: a naked except and
+wall-clock reads (both spellings) in engine-scoped code."""
+
+import time
+from time import time as now
+
+
+def deadline_check(budget):
+    try:
+        started = time.time()  # violation: wall clock in the engine
+    except:  # violation: naked except
+        started = now()  # violation: aliased wall clock
+    elapsed = time.perf_counter()  # clean: monotonic duration clock
+    return started, elapsed, budget

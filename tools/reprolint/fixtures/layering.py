@@ -1,0 +1,12 @@
+"""Known-bad fixture for the layering pass: a guarded-layer module that
+imports the CLI (top-level) and bench (function-local, which only the
+static AST scan can see)."""
+
+
+from repro.cli import main  # violation: guarded layer importing the CLI
+
+
+def lazy_bench_import():
+    import repro.bench.harness  # violation: lazy import of bench
+
+    return repro.bench.harness, main

@@ -1,0 +1,29 @@
+"""Known-bad fixture for the no_recursion pass: a direct self-recursive
+function, a mutually recursive pair, and a recursive method."""
+
+
+def descend(frame):  # violation: direct self-recursion
+    if frame:
+        return descend(frame[1:])
+    return 0
+
+
+def ping(n):  # violation: mutual recursion (ping -> pong -> ping)
+    return pong(n - 1) if n else 0
+
+
+def pong(n):  # violation: mutual recursion (pong -> ping -> pong)
+    return ping(n - 1) if n else 0
+
+
+class Walker:
+    def walk(self, node):  # violation: recursive method via self
+        for child in node.children:
+            self.walk(child)
+
+
+def iterative(frames):  # clean: explicit stack, must NOT be flagged
+    stack = list(frames)
+    while stack:
+        stack.pop()
+    return 0

@@ -1,0 +1,117 @@
+"""API-``__all__`` pass: the declared public surface must be real.
+
+``from repro.engine import *`` and the docs both trust ``__all__``; a
+stale entry (renamed function, dropped class) raises only at star-import
+time, which nothing in CI exercises. For every module under ``src/repro``
+declaring a module-level ``__all__`` this pass checks that the literal is
+a list/tuple of unique strings and that every named symbol is actually
+bound at module top level (def, class, import, or assignment).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from tools.reprolint import LintContext, LintPass, Violation, register
+
+
+def _top_level_bindings(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        names.add(name_node.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # Conditional definitions (TYPE_CHECKING blocks, fallbacks)
+            # still bind at top level on some branch.
+            for child in ast.walk(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                    names.add(child.name)
+                elif isinstance(child, ast.Import):
+                    for alias in child.names:
+                        names.add((alias.asname or alias.name).split(".")[0])
+                elif isinstance(child, ast.ImportFrom):
+                    for alias in child.names:
+                        names.add(alias.asname or alias.name)
+                elif isinstance(child, ast.Assign):
+                    for target in child.targets:
+                        for name_node in ast.walk(target):
+                            if isinstance(name_node, ast.Name):
+                                names.add(name_node.id)
+    return names
+
+
+def _all_declaration(tree: ast.Module) -> tuple[ast.AST, list] | None:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(node.value, (ast.List, ast.Tuple)):
+                        return node, node.value.elts
+                    return node, []
+    return None
+
+
+@register
+class ApiAllPass(LintPass):
+    name = "api_all"
+    description = (
+        "every module-level __all__ must be a literal of unique strings,"
+        " each bound at module top level"
+    )
+
+    def run(self, ctx: LintContext) -> list[Violation]:
+        violations: list[Violation] = []
+        for path in ctx.files("src/repro"):
+            violations.extend(self._check_file(ctx, path))
+        return violations
+
+    def _check_file(self, ctx: LintContext, path: Path) -> list[Violation]:
+        tree = ctx.tree(path)
+        declaration = _all_declaration(tree)
+        if declaration is None:
+            return []
+        node, elements = declaration
+        violations = []
+        entries: list[str] = []
+        for element in elements:
+            if (isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)):
+                entries.append(element.value)
+            else:
+                violations.append(self.violation(
+                    ctx, path, getattr(element, "lineno", node.lineno),
+                    "__all__ entries must be string literals",
+                ))
+        seen: set[str] = set()
+        bindings = _top_level_bindings(tree)
+        for entry in entries:
+            if entry in seen:
+                violations.append(self.violation(
+                    ctx, path, node.lineno,
+                    f"__all__ lists {entry!r} twice",
+                ))
+            seen.add(entry)
+            if entry not in bindings:
+                violations.append(self.violation(
+                    ctx, path, node.lineno,
+                    f"__all__ exports {entry!r}, which is not bound at"
+                    " module top level (stale export?)",
+                ))
+        return violations

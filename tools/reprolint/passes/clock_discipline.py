@@ -1,0 +1,96 @@
+"""Clock-discipline pass: no naked ``except:``, no ``time.time()`` in the
+engine.
+
+Two small hygiene contracts with outsized blast radius:
+
+* a naked ``except:`` swallows ``KeyboardInterrupt``/``SystemExit`` —
+  fatal for an engine whose cancellation story is a *cooperative* token
+  tripped from a SIGINT handler. Forbidden everywhere under ``src/repro``.
+* the engine layer must not read wall clocks directly: the governor owns
+  deadline arithmetic (monotonic ``perf_counter`` budgets), and a stray
+  ``time.time()`` in the hot path would both duplicate that authority and
+  make runs non-reproducible under clock adjustments. ``time.time()`` is
+  forbidden under ``src/repro/engine``; the obs layer (exporter
+  timestamps) legitimately uses it and is not scanned for clocks.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from tools.reprolint import LintContext, LintPass, Violation, register
+
+ENGINE_PREFIX = ("src", "repro", "engine")
+
+
+def _wall_clock_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """(module aliases of ``time``, direct aliases of ``time.time``)."""
+    modules: set[str] = set()
+    functions: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    modules.add(alias.asname or "time")
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "time":
+                    functions.add(alias.asname or "time")
+    return modules, functions
+
+
+@register
+class ClockDisciplinePass(LintPass):
+    name = "clock_discipline"
+    description = (
+        "no naked except: anywhere in src/repro; no time.time() in the"
+        " engine layer (the governor owns clocks)"
+    )
+
+    def run(self, ctx: LintContext) -> list[Violation]:
+        violations: list[Violation] = []
+        for path in ctx.files("src/repro"):
+            violations.extend(self._check_file(ctx, path))
+        return violations
+
+    def _in_engine(self, ctx: LintContext, path: Path) -> bool:
+        if ctx.fixture_mode:
+            return True  # fixtures exercise the strictest scoping
+        rel = ctx.rel(path)
+        return rel.replace("\\", "/").startswith("/".join(ENGINE_PREFIX))
+
+    def _check_file(self, ctx: LintContext, path: Path) -> list[Violation]:
+        tree = ctx.tree(path)
+        violations = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                violations.append(self.violation(
+                    ctx, path, node.lineno,
+                    "naked 'except:' swallows KeyboardInterrupt/SystemExit"
+                    " — catch a concrete exception type"
+                    " (or 'except Exception:' at minimum)",
+                ))
+        if not self._in_engine(ctx, path):
+            return violations
+        modules, functions = _wall_clock_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = node.func
+            is_wall_clock = (
+                isinstance(target, ast.Attribute)
+                and target.attr == "time"
+                and isinstance(target.value, ast.Name)
+                and target.value.id in modules
+            ) or (
+                isinstance(target, ast.Name) and target.id in functions
+            )
+            if is_wall_clock:
+                violations.append(self.violation(
+                    ctx, path, node.lineno,
+                    "time.time() in the engine layer — the governor owns"
+                    " deadline clocks; use time.perf_counter() for"
+                    " durations or route budgets through the governor",
+                ))
+        return violations

@@ -1,0 +1,124 @@
+"""Layering pass: core library layers must not depend on the CLI or bench.
+
+``repro.engine`` is the execution core that ``repro.core``, the baselines,
+the bench harness, and the CLI all sit on; ``repro.testing`` (the
+fault-injection registry) is imported from engine/ccsr hot paths. A
+dependency in the other direction (engine/testing -> cli / bench) would be
+an import cycle waiting to happen and would drag argparse/IO machinery
+into every library import.
+
+Two checks per guarded package (this pass absorbs the former
+``tools/check_layering.py``):
+
+1. **Static**: walk each module's AST for ``repro.cli`` / ``repro.bench``
+   imports — including lazy (function-local) ones the dynamic check
+   cannot see.
+2. **Dynamic**: import the package in a fresh interpreter and assert that
+   neither forbidden module was pulled into ``sys.modules`` transitively.
+   Skipped in fixture mode (a snippet is not an importable package).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from tools.reprolint import LintContext, LintPass, Violation, register
+
+#: Packages that must stay independent of the CLI/bench layers.
+GUARDED = ("repro.engine", "repro.testing")
+FORBIDDEN = ("repro.cli", "repro.bench")
+
+
+def _forbidden_module(module: str | None) -> str | None:
+    if not module:
+        return None
+    for forbidden in FORBIDDEN:
+        if module == forbidden or module.startswith(forbidden + "."):
+            return forbidden
+    return None
+
+
+@register
+class LayeringPass(LintPass):
+    name = "layering"
+    description = (
+        "repro.engine / repro.testing must not import repro.cli or"
+        " repro.bench (static AST scan + fresh-interpreter import probe)"
+    )
+
+    def run(self, ctx: LintContext) -> list[Violation]:
+        violations: list[Violation] = []
+        scopes = tuple(
+            "src/" + pkg.replace(".", "/") for pkg in GUARDED
+        )
+        for path in ctx.files(*scopes):
+            violations.extend(self._static_check(ctx, path))
+        if not ctx.fixture_mode:
+            for package in GUARDED:
+                violations.extend(self._dynamic_check(ctx, package))
+        return violations
+
+    # ------------------------------------------------------------------
+    def _static_check(self, ctx: LintContext, path: Path) -> list[Violation]:
+        violations = []
+        for node in ast.walk(ctx.tree(path)):
+            modules: list[str] = []
+            if isinstance(node, ast.Import):
+                modules = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                modules = [node.module or ""]
+            for module in modules:
+                bad = _forbidden_module(module)
+                if bad is not None:
+                    violations.append(self.violation(
+                        ctx, path, node.lineno,
+                        f"imports {module} (guarded layers must not"
+                        f" depend on {bad})",
+                    ))
+        return violations
+
+    def _dynamic_check(self, ctx: LintContext, package: str) -> list[Violation]:
+        probe = (
+            f"import sys; import {package}; "
+            "bad = [m for m in sys.modules "
+            "if m == 'repro.cli' or m.startswith('repro.bench')]; "
+            "print('\\n'.join(bad)); sys.exit(1 if bad else 0)"
+        )
+        src = str(ctx.root / "src")
+        # Extend the inherited environment instead of replacing it: a bare
+        # env={...} would drop PATH (and any pre-set PYTHONPATH), breaking
+        # the probe interpreter on some platforms.
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + existing if existing else src
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", probe],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        package_init = (
+            ctx.root / "src" / Path(*package.split(".")) / "__init__.py"
+        )
+        if result.returncode == 0:
+            return []
+        loaded = [m for m in result.stdout.splitlines() if m]
+        if loaded:
+            return [
+                self.violation(
+                    ctx, package_init, 1,
+                    f"importing {package} transitively loaded {module}",
+                )
+                for module in loaded
+            ]
+        return [self.violation(
+            ctx, package_init, 1,
+            f"import probe for {package} failed:"
+            f" {result.stderr.strip()}",
+        )]

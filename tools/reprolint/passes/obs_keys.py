@@ -1,0 +1,87 @@
+"""Obs-keys pass: counter/metric name literals must exist in a registry.
+
+The observability contract is string-keyed: hot paths bump counters by
+name (``counters.inc("ccsr.rows_read")``), the metrics pump creates typed
+time series by name (``registry.gauge("read_seconds")``), and downstream
+consumers (run-reports, exporters, the bench tables) look those names up
+again. A typo produces a silently separate counter — no exception, just a
+metric nobody reads. This pass closes the loop: every string literal
+passed to ``.inc()`` / ``._count()`` must be a member of
+``repro.obs.counters.STAT_KEYS`` or ``KNOWN_COUNTERS``, and every literal
+passed to ``.gauge()`` / ``.counter()`` / ``.histogram()`` must be in
+``repro.obs.metrics.KNOWN_METRICS``. Adding a genuinely new name means
+adding it to the registry — which is the point.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from tools.reprolint import LintContext, LintPass, Violation, register
+
+COUNTER_METHODS = ("inc", "_count")
+METRIC_METHODS = ("gauge", "counter", "histogram")
+
+
+def _registries(ctx: LintContext) -> tuple[frozenset, frozenset]:
+    ctx.ensure_importable()
+    from repro.obs.counters import KNOWN_COUNTERS, STAT_KEYS
+    from repro.obs.metrics import KNOWN_METRICS
+
+    return (
+        frozenset(STAT_KEYS) | frozenset(KNOWN_COUNTERS),
+        frozenset(KNOWN_METRICS),
+    )
+
+
+def _literal_first_arg(node: ast.Call) -> str | None:
+    if node.args and isinstance(node.args[0], ast.Constant) \
+            and isinstance(node.args[0].value, str):
+        return node.args[0].value
+    return None
+
+
+@register
+class ObsKeysPass(LintPass):
+    name = "obs_keys"
+    description = (
+        "counter literals passed to .inc()/._count() must be in"
+        " STAT_KEYS/KNOWN_COUNTERS; metric literals passed to"
+        " .gauge()/.counter()/.histogram() must be in KNOWN_METRICS"
+    )
+
+    def run(self, ctx: LintContext) -> list[Violation]:
+        counters, metrics = _registries(ctx)
+        violations: list[Violation] = []
+        for path in ctx.files("src/repro"):
+            violations.extend(self._check_file(ctx, path, counters, metrics))
+        return violations
+
+    def _check_file(
+        self, ctx: LintContext, path: Path,
+        counters: frozenset, metrics: frozenset,
+    ) -> list[Violation]:
+        violations = []
+        for node in ast.walk(ctx.tree(path)):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            method = node.func.attr
+            literal = _literal_first_arg(node)
+            if literal is None:
+                continue
+            if method in COUNTER_METHODS and literal not in counters:
+                violations.append(self.violation(
+                    ctx, path, node.lineno,
+                    f"counter {literal!r} is not in STAT_KEYS or"
+                    " KNOWN_COUNTERS (repro.obs.counters) — register it"
+                    " or fix the typo",
+                ))
+            elif method in METRIC_METHODS and literal not in metrics:
+                violations.append(self.violation(
+                    ctx, path, node.lineno,
+                    f"metric {literal!r} is not in KNOWN_METRICS"
+                    " (repro.obs.metrics) — register it or fix the typo",
+                ))
+        return violations

@@ -1,0 +1,92 @@
+"""Stop-reasons pass: ``stop_reason`` string literals must be canonical.
+
+``MatchResult.stop_reason`` is a string contract shared by the executor,
+the governor, checkpoints, run-report validation, and the CLI. The live
+code writes it through the ``STOP_*`` constants, but a raw literal —
+``stop_reason="time-limit"`` with the wrong spelling — would type-check,
+run, and then fail every downstream comparison. This pass flags any
+string literal flowing into a ``stop_reason`` position (keyword argument,
+comparison, or attribute/name assignment) that is not a member of
+``repro.engine.results.STOP_REASONS``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from tools.reprolint import LintContext, LintPass, Violation, register
+
+ATTR = "stop_reason"
+
+
+def _stop_reasons(ctx: LintContext) -> frozenset:
+    ctx.ensure_importable()
+    from repro.engine.results import STOP_REASONS
+
+    return frozenset(STOP_REASONS)
+
+
+def _is_stop_reason_ref(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute) and node.attr == ATTR
+    ) or (
+        isinstance(node, ast.Name) and node.id == ATTR
+    )
+
+
+def _str_constants(node: ast.AST) -> list[tuple[int, str]]:
+    """String constants in a literal expression (bare, tuple, list, set)."""
+    out: list[tuple[int, str]] = []
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        out.append((node.lineno, node.value))
+    elif isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        for element in node.elts:
+            out.extend(_str_constants(element))
+    return out
+
+
+@register
+class StopReasonsPass(LintPass):
+    name = "stop_reasons"
+    description = (
+        "string literals assigned/compared/passed as stop_reason must be"
+        " members of repro.engine.results.STOP_REASONS"
+    )
+
+    def run(self, ctx: LintContext) -> list[Violation]:
+        valid = _stop_reasons(ctx)
+        violations: list[Violation] = []
+        for path in ctx.files("src/repro"):
+            violations.extend(self._check_file(ctx, path, valid))
+        return violations
+
+    def _check_file(
+        self, ctx: LintContext, path: Path, valid: frozenset
+    ) -> list[Violation]:
+        candidates: list[tuple[int, str]] = []
+        for node in ast.walk(ctx.tree(path)):
+            if isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg == ATTR:
+                        candidates.extend(_str_constants(keyword.value))
+            elif isinstance(node, ast.Compare):
+                sides = [node.left, *node.comparators]
+                if any(_is_stop_reason_ref(side) for side in sides):
+                    for side in sides:
+                        candidates.extend(_str_constants(side))
+            elif isinstance(node, ast.Assign):
+                if any(_is_stop_reason_ref(t) for t in node.targets):
+                    candidates.extend(_str_constants(node.value))
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if _is_stop_reason_ref(node.target):
+                    candidates.extend(_str_constants(node.value))
+        return [
+            self.violation(
+                ctx, path, lineno,
+                f"stop_reason literal {value!r} is not in STOP_REASONS"
+                " (repro.engine.results) — use the STOP_* constants",
+            )
+            for lineno, value in candidates
+            if value not in valid
+        ]
