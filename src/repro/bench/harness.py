@@ -121,6 +121,7 @@ def run_task(
     track_memory: bool = False,
     collect_reports: bool = False,
     trace: bool = False,
+    observed: bool = False,
 ) -> ExperimentRecord:
     """Run one engine on one pattern, recording the paper's metrics.
 
@@ -133,7 +134,10 @@ def run_task(
     roughly 2x slowdown, so it is off by default. ``collect_reports``
     attaches a full run-report to the record (with span trees when
     ``trace`` is also set); reports ride in ``record.report``, so
-    ``record.row()`` stays flat.
+    ``record.row()`` stays flat. ``observed`` attaches a minimal
+    :class:`~repro.obs.Observation` (no spans, no profiling — counters +
+    the always-on flight recorder + progress estimation), which is how
+    the perf-smoke gate measures the always-on observability overhead.
     """
     record = ExperimentRecord(
         experiment=experiment,
@@ -146,7 +150,7 @@ def run_task(
     obs = (
         Observation(trace=trace, profile=track_memory)
         if (collect_reports or track_memory)
-        else None
+        else Observation(trace=False) if observed else None
     )
     start = time.perf_counter()
     try:
@@ -208,13 +212,16 @@ def sweep(
     collect_reports: bool = False,
     trace: bool = False,
     track_memory: bool = False,
+    observed: bool = False,
 ) -> list[ExperimentRecord]:
     """Run every engine on every pattern; one record per (engine, pattern).
 
     Engines are constructed once per sweep (their build/index time is part
     of the offline stage, exactly as the paper treats CCSR construction).
     ``collect_reports`` / ``trace`` attach run-reports to each record
-    (see :func:`run_task`); :func:`save_reports` streams them to JSONL.
+    (see :func:`run_task`); :func:`save_reports` streams them to JSONL;
+    ``observed`` runs every task with the minimal always-on instruments
+    (flight recorder + progress) to measure their overhead.
     """
     records: list[ExperimentRecord] = []
     for name in engine_names:
@@ -236,6 +243,7 @@ def sweep(
                     collect_reports=collect_reports,
                     trace=trace,
                     track_memory=track_memory,
+                    observed=observed,
                 )
             )
     return records

@@ -43,6 +43,7 @@ from repro.obs import (
     load_run_reports,
     robustness_problems,
     validate_run_report,
+    write_perfetto,
     write_run_report,
 )
 
@@ -68,6 +69,25 @@ def _install_sigint(token):
     except ValueError:  # not the main thread (e.g. threaded test driver)
         return None
     return previous
+
+
+def _install_sigusr1(obs):
+    """SIGUSR1 dumps the flight recorder to stderr — a live peek at what a
+    long run is doing without stopping it. Returns ``(signum, previous)``
+    for the caller's ``finally``, or ``None`` on platforms without
+    SIGUSR1 (Windows) or off the main thread."""
+    signum = getattr(signal, "SIGUSR1", None)
+    if signum is None:
+        return None
+
+    def handler(_signum, _frame):
+        print(obs.recorder.format_dump(), file=sys.stderr)
+
+    try:
+        previous = signal.signal(signum, handler)
+    except ValueError:  # not the main thread
+        return None
+    return signum, previous
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -171,9 +191,12 @@ def _cmd_match(args: argparse.Namespace) -> int:
         or args.heartbeat is not None
         or args.profile
         or pump is not None
+        or args.trace_perfetto is not None
+        or args.dump_recorder
     )
     obs = (
-        Observation(trace=args.trace or bool(args.report),
+        Observation(trace=args.trace or bool(args.report)
+                    or args.trace_perfetto is not None,
                     heartbeat_interval=args.heartbeat,
                     profile=args.profile,
                     metrics=pump)
@@ -196,6 +219,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
             obs=obs,
         )
         previous_handler = _install_sigint(token)
+    usr1_handler = _install_sigusr1(obs) if obs is not None else None
     use_stream = args.stream or args.checkpoint or checkpoint_doc is not None
     checkpoint_block = None
     try:
@@ -264,6 +288,8 @@ def _cmd_match(args: argparse.Namespace) -> int:
     finally:
         if previous_handler is not None:
             signal.signal(signal.SIGINT, previous_handler)
+        if usr1_handler is not None:
+            signal.signal(*usr1_handler)
     report = None
     if obs is not None:
         obs.finish(result)
@@ -280,6 +306,11 @@ def _cmd_match(args: argparse.Namespace) -> int:
     if args.report and report is not None:
         write_run_report(report, args.report)
         print(f"run-report  : {args.report}", file=sys.stderr)
+    if args.trace_perfetto and obs is not None:
+        write_perfetto(args.trace_perfetto, obs.tracer, obs.recorder)
+        print(f"perfetto    : {args.trace_perfetto}", file=sys.stderr)
+    if args.dump_recorder and obs is not None:
+        print(obs.recorder.format_dump(), file=sys.stderr)
     if pump is not None:
         for exporter in pump.exporters:
             print(f"metrics     : {exporter.path}", file=sys.stderr)
@@ -306,6 +337,8 @@ def _cmd_match(args: argparse.Namespace) -> int:
             "throughput": result.throughput,
             "stats": dict(result.stats),
         }
+        if result.progress is not None:
+            payload["progress"] = dict(result.progress)
         if checkpoint_block is not None:
             payload["checkpoint"] = checkpoint_block
         if args.profile and obs is not None:
@@ -531,6 +564,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         max_embeddings=args.limit,
         collect_reports=bool(args.report) or args.trace,
         trace=args.trace,
+        observed=args.obs,
     )
     if args.report:
         from repro.bench.harness import save_reports
@@ -717,6 +751,12 @@ def build_parser() -> argparse.ArgumentParser:
                          " (atomically rewritten each sample)")
     p_match.add_argument("--metrics-jsonl", metavar="PATH", default=None,
                          help="append JSONL time-series metric samples here")
+    p_match.add_argument("--trace-perfetto", metavar="PATH", default=None,
+                         help="export spans + flight-recorder events as a"
+                         " Chrome/Perfetto trace-event JSON file")
+    p_match.add_argument("--dump-recorder", action="store_true",
+                         help="print the flight-recorder ring to stderr"
+                         " after the run (SIGUSR1 dumps it live)")
     p_match.set_defaults(func=_cmd_match)
 
     p_plan = sub.add_parser("plan", help="show the optimized matching plan")
@@ -825,6 +865,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--time-limit", type=float, default=2.0)
     p_bench.add_argument("--trace", action="store_true",
                          help="collect span trees in the run-reports")
+    p_bench.add_argument("--obs", action="store_true",
+                         help="run every task with the minimal always-on"
+                         " instruments (flight recorder + progress) to"
+                         " measure their overhead")
     p_bench.add_argument("--report", metavar="PATH", default=None,
                          help="write run-reports (.jsonl streams one/line)")
     p_bench.add_argument("--history", metavar="PATH", default=None,

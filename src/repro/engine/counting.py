@@ -32,7 +32,7 @@ import time
 from repro.engine.candidates import CandidateComputer
 from repro.engine.physical import PhysicalPlan
 from repro.engine.results import MatchOptions, STOP_TIME_LIMIT
-from repro.obs import NULL_OBS, unified_stats
+from repro.obs import NULL_OBS, NULL_RECORDER, ProgressEstimator, unified_stats
 from repro.testing import faults
 
 _TIME_CHECK_INTERVAL = 2048
@@ -123,11 +123,25 @@ class FactorizedCounter:
                 else None
             )
         self._heartbeat = obs.heartbeat
+        self._recorder = getattr(obs, "recorder", NULL_RECORDER)
+        # Same contract as the enumeration Runtime: the estimator exists
+        # exactly when an observation is attached, and registers on it so
+        # heartbeats/metrics/reports all read the one object.
+        if obs.enabled:
+            self.progress: ProgressEstimator | None = ProgressEstimator()
+            obs.attach_progress(self.progress)
+        else:
+            self.progress = None
+        #: The live frame stack, published by :meth:`count` for the
+        #: tick-time progress probe.
+        self._stack: list[_Frame] | None = None
         self._interval = 1 if faults.active() else _TIME_CHECK_INTERVAL
         self._ticking = (
             self._deadline is not None
             or self._heartbeat.enabled
             or gov is not None
+            or self._recorder.enabled
+            or self.progress is not None
             or self._interval == 1
         )
         self._top_level_count = 0
@@ -150,9 +164,12 @@ class FactorizedCounter:
             reason = gov.check(self)
             if reason is not None:
                 self.stop_reason = reason
+                self._note_stop(reason)
                 return 0
         n = len(self.ops)
         stack: list[_Frame] = []
+        # Publish for the tick-time progress probe.
+        self._stack = stack
         retval = self._enter(tuple(range(n)), stack, top_level=True)
         while stack and self.stop_reason is None:
             frame = stack[-1]
@@ -335,22 +352,76 @@ class FactorizedCounter:
         return [sorted(group) for group in merged.values()]
 
     # ------------------------------------------------------------------
+    def _fraction(self) -> float:
+        """Explored fraction of the candidate space, read off the live
+        frame stack — the counting twin of
+        :func:`repro.obs.progress.search_state_fraction`. Only the
+        top-level chain of sequential frames contributes (a product frame
+        ends the chain: its groups have no defined scan order), which
+        still yields a monotone, conservative estimate."""
+        stack = self._stack
+        if not stack:
+            return 0.0
+        fraction = 0.0
+        scale = 1.0
+        for frame in stack:
+            if frame.kind != _SEQ:
+                break
+            total = len(frame.values)
+            if total == 0:
+                break
+            fraction += scale * max(0, frame.index - 1) / total
+            scale /= total
+            if scale < 1e-18:
+                break
+        return min(1.0, fraction)
+
+    def _note_stop(self, reason: str, depth: int = 0) -> None:
+        """Leave the stop event in the flight-recorder ring (no-op when
+        the recorder is off)."""
+        if self._recorder.enabled:
+            self._recorder.record(
+                "stop",
+                reason=reason,
+                nodes=self.nodes,
+                emitted=self._top_level_count,
+                depth=depth,
+            )
+
     def _tick(self, depth: int = 0) -> None:
         self.nodes += 1
         if self._ticking and self.nodes % self._interval == 0:
+            recorder = self._recorder
             if faults.ACTIVE is not None:
+                # Record before firing so a raising action still leaves
+                # its mark in the ring buffer.
+                if recorder.enabled:
+                    recorder.record(
+                        "fault", site="engine.tick", depth=depth,
+                        phase="count", nodes=self.nodes,
+                    )
                 faults.fire(
                     "engine.tick", depth=depth, phase="count", nodes=self.nodes
                 )
+            progress = self.progress
+            if progress is not None:
+                progress.update(self._fraction())
             if self._heartbeat.enabled:
                 self._heartbeat.beat(
-                    self.nodes, self._top_level_count, depth, phase="count"
+                    self.nodes, self._top_level_count, depth, phase="count",
+                    progress=progress,
+                )
+            if recorder.enabled:
+                recorder.record(
+                    "tick", nodes=self.nodes, emitted=self._top_level_count,
+                    depth=depth, phase="count",
                 )
             gov = self.governor
             if gov is not None:
                 reason = gov.check(self)
                 if reason is not None:
                     self.stop_reason = reason
+                    self._note_stop(reason, depth)
                     return
             if (
                 self._deadline is not None
@@ -358,6 +429,7 @@ class FactorizedCounter:
             ):
                 self.timed_out = True
                 self.stop_reason = STOP_TIME_LIMIT
+                self._note_stop(STOP_TIME_LIMIT, depth)
 
 
 def count_physical(

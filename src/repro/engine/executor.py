@@ -46,7 +46,13 @@ from repro.engine.results import (
     STOP_EMBEDDING_LIMIT,
     STOP_TIME_LIMIT,
 )
-from repro.obs import NULL_OBS, unified_stats
+from repro.obs import (
+    NULL_OBS,
+    NULL_RECORDER,
+    ProgressEstimator,
+    search_state_fraction,
+    unified_stats,
+)
 from repro.testing import faults
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
@@ -184,8 +190,11 @@ class Runtime:
         "degradation",
         "gov_stage",
         "max_embeddings",
+        "progress",
+        "search_state",
         "_deadline",
         "_heartbeat",
+        "_recorder",
         "_ticking",
         "_interval",
     )
@@ -228,15 +237,30 @@ class Runtime:
                 else None
             )
         self._heartbeat = obs.heartbeat
+        self._recorder = getattr(obs, "recorder", NULL_RECORDER)
+        # Progress estimation exists exactly when an observation is
+        # attached; the estimator registers on the observation so
+        # heartbeats, the metrics pump, and run-reports read one object.
+        if obs.enabled:
+            self.progress: ProgressEstimator | None = ProgressEstimator()
+            obs.attach_progress(self.progress)
+        else:
+            self.progress = None
+        #: The live frame stack, published by stream()/count_capped() so
+        #: the tick-time progress probe can read the candidate cursors.
+        self.search_state: SearchState | None = None
         # Under fault injection every tick must reach the fault site, so
         # the periodic work runs densely; in production it is amortized.
         self._interval = 1 if faults.active() else _TIME_CHECK_INTERVAL
         # One flag guards the periodic work: without a deadline, governor,
-        # injector, or live heartbeat, tick never computes the modulo.
+        # injector, live heartbeat, recorder, or progress estimator, tick
+        # never computes the modulo.
         self._ticking = (
             self._deadline is not None
             or self._heartbeat.enabled
             or gov is not None
+            or self._recorder.enabled
+            or self.progress is not None
             or self._interval == 1
         )
 
@@ -250,8 +274,22 @@ class Runtime:
         reason = gov.check(self)
         if reason is not None:
             self.stop_reason = reason
+            self.note_stop(reason)
             return False
         return True
+
+    def note_stop(self, reason: str, depth: int = 0) -> None:
+        """Record a cooperative stop in the flight recorder (no-op when
+        the recorder is off) — one place, so every stop path leaves the
+        same tail event."""
+        if self._recorder.enabled:
+            self._recorder.record(
+                "stop",
+                reason=reason,
+                nodes=self.nodes,
+                emitted=self.emitted,
+                depth=depth,
+            )
 
     def tick(self, depth: int = 0, phase: str = "enumerate") -> bool:
         """Account one search-tree node; False once a limit fired (the
@@ -260,17 +298,40 @@ class Runtime:
         (and the legacy ``timed_out`` flag) before returning False."""
         self.nodes += 1
         if self._ticking and self.nodes % self._interval == 0:
+            recorder = self._recorder
             if faults.ACTIVE is not None:
+                # Record before firing so an action that raises still
+                # leaves its mark in the ring buffer.
+                if recorder.enabled:
+                    recorder.record(
+                        "fault", site="engine.tick", depth=depth,
+                        phase=phase, nodes=self.nodes,
+                    )
                 faults.fire(
                     "engine.tick", depth=depth, phase=phase, nodes=self.nodes
                 )
+            progress = self.progress
+            if progress is not None and self.search_state is not None:
+                state = self.search_state
+                progress.update(
+                    search_state_fraction(state.values, state.index)
+                )
             if self._heartbeat.enabled:
-                self._heartbeat.beat(self.nodes, self.emitted, depth, phase=phase)
+                self._heartbeat.beat(
+                    self.nodes, self.emitted, depth, phase=phase,
+                    progress=progress,
+                )
+            if recorder.enabled:
+                recorder.record(
+                    "tick", nodes=self.nodes, emitted=self.emitted,
+                    depth=depth, phase=phase,
+                )
             gov = self.governor
             if gov is not None:
                 reason = gov.check(self)
                 if reason is not None:
                     self.stop_reason = reason
+                    self.note_stop(reason, depth)
                     return False
             if (
                 self._deadline is not None
@@ -278,6 +339,7 @@ class Runtime:
             ):
                 self.timed_out = True
                 self.stop_reason = STOP_TIME_LIMIT
+                self.note_stop(STOP_TIME_LIMIT, depth)
                 return False
         return True
 
@@ -295,6 +357,16 @@ class Runtime:
             prunes_injective=self.prunes_injective,
             prunes_restriction=self.prunes_restriction,
         )
+
+    def progress_snapshot(self, complete: bool = False) -> dict | None:
+        """The progress block for results/reports, or ``None`` when no
+        estimator is attached. ``complete=True`` pins the estimate to
+        100% first (the search ran to exhaustion)."""
+        if self.progress is None:
+            return None
+        if complete and self.stop_reason is None:
+            self.progress.complete()
+        return self.progress.as_dict()
 
 
 def stream(
@@ -317,6 +389,9 @@ def stream(
         return
     if state is None:
         state = SearchState.fresh(n)
+    # Publish the frame stack for the tick-time progress probe (the probe
+    # reads the same list objects the loop mutates below).
+    runtime.search_state = state
     # Hot path: everything the loop touches is bound to locals.
     raw = runtime.computer.raw
     injective = physical.injective
@@ -391,6 +466,7 @@ def stream(
                 if max_embeddings is not None and runtime.emitted >= max_embeddings:
                     runtime.truncated = True
                     runtime.stop_reason = STOP_EMBEDDING_LIMIT
+                    runtime.note_stop(STOP_EMBEDDING_LIMIT, pos)
                     return
                 continue
             pos += 1
@@ -424,6 +500,10 @@ def count_capped(physical: PhysicalPlan, runtime: Runtime) -> int:
     index = [0] * n
     emitted_at = [0] * n
     pos = 0
+    # Wrap the loop's live lists so the progress probe sees the cursors.
+    runtime.search_state = SearchState(
+        assignment, used, values, index, emitted_at, 0
+    )
     while pos >= 0:
         op = ops[pos]
         vals = values[pos]
@@ -477,6 +557,7 @@ def count_capped(physical: PhysicalPlan, runtime: Runtime) -> int:
             if max_embeddings is not None and runtime.emitted >= max_embeddings:
                 runtime.truncated = True
                 runtime.stop_reason = STOP_EMBEDDING_LIMIT
+                runtime.note_stop(STOP_EMBEDDING_LIMIT, pos)
                 return runtime.emitted
             continue
         pos += 1
@@ -526,6 +607,11 @@ class EmbeddingStream:
         self._n = physical.num_vertices
         self._finished = False
         self._started = time.perf_counter()
+        recorder = self.runtime._recorder
+        if recorder.enabled:
+            recorder.record(
+                "run_start", mode="stream", ops=len(physical.ops)
+            )
 
     def __iter__(self) -> "EmbeddingStream":
         return self
@@ -551,8 +637,24 @@ class EmbeddingStream:
             return
         self._finished = True
         self.runtime.release()
+        recorder = self.runtime._recorder
         if self.checkpoint_sink is not None and self.stop_reason is not None:
             self.checkpoint_sink.write(self)
+            if recorder.enabled:
+                recorder.record(
+                    "checkpoint",
+                    path=str(getattr(self.checkpoint_sink, "path", "")),
+                    emitted=self.runtime.emitted,
+                )
+        if self.runtime.progress is not None and self.stop_reason is None:
+            self.runtime.progress.complete()
+        if recorder.enabled:
+            recorder.record(
+                "run_end",
+                mode="stream",
+                emitted=self.runtime.emitted,
+                stop_reason=self.stop_reason,
+            )
 
     def close(self) -> None:
         """Abandon the remaining search; counters keep their last state."""
@@ -605,6 +707,7 @@ class EmbeddingStream:
             timed_out=self.runtime.timed_out,
             stop_reason=self.runtime.stop_reason,
             degradation=list(self.runtime.degradation),
+            progress=self.runtime.progress_snapshot(),
             stats=self.runtime.stats(),
         )
 
@@ -630,6 +733,16 @@ def execute_physical(
     stop_reason: str | None = None
     degradation: list[str] = []
     embeddings: list[dict[int, int]] | None = None
+    progress: dict | None = None
+
+    recorder = getattr(obs, "recorder", NULL_RECORDER)
+    if recorder.enabled:
+        recorder.record(
+            "run_start",
+            mode="count" if options.count_only else "enumerate",
+            variant=plan.variant.value,
+            ops=len(physical.ops),
+        )
 
     gov = options.governor
     # Exact SCE-factorized counting only applies to uncapped, unrestricted,
@@ -656,6 +769,13 @@ def execute_physical(
                 )
                 timed_out = stop_reason == STOP_TIME_LIMIT
                 span.set("count", count)
+            # The factorized counter attaches its own estimator to the
+            # Observation; snapshot it (pinned to 100% on exhaustive runs).
+            estimator = getattr(obs, "progress", None)
+            if estimator is not None:
+                if stop_reason is None:
+                    estimator.complete()
+                progress = estimator.as_dict()
         else:
             runtime = Runtime(physical, options)
             count = 0
@@ -678,10 +798,18 @@ def execute_physical(
                 span.set("count", count)
                 span.set("nodes", runtime.nodes)
             stats = runtime.stats()
+            progress = runtime.progress_snapshot(complete=True)
     finally:
         if gov is not None:
             gov.release()
 
+    if recorder.enabled:
+        recorder.record(
+            "run_end",
+            count=count,
+            nodes=stats.get("nodes", 0),
+            stop_reason=stop_reason,
+        )
     if obs.enabled:
         obs.counters.merge(stats)
     result = MatchResult(
@@ -696,6 +824,7 @@ def execute_physical(
         timed_out=timed_out,
         stop_reason=stop_reason,
         degradation=degradation,
+        progress=progress,
         stats=stats,
     )
     if logger.isEnabledFor(logging.DEBUG):

@@ -208,6 +208,7 @@ class ResourceGovernor:
             run.gov_stage = 1
             run.degradation.append(DEGRADE_EVICT)
             self._count("governor_evictions")
+            self._record_degrade(DEGRADE_EVICT, 1)
             if evicted:
                 return None
             # Nothing to evict — fall through to the next rung now rather
@@ -218,16 +219,28 @@ class ResourceGovernor:
             run.gov_stage = 2
             run.degradation.append(DEGRADE_DISABLE)
             self._count("governor_memo_disabled")
+            self._record_degrade(DEGRADE_DISABLE, 2)
             return None
         # stage >= 2: eviction and disabling did not relieve pressure.
         run.degradation.append(DEGRADE_SUSPEND)
         self._count("governor_suspensions")
+        self._record_degrade(DEGRADE_SUSPEND, 3)
         return STOP_MEMORY_LIMIT
 
     def _count(self, name: str) -> None:
         obs = self.obs
         if obs is not None and getattr(obs, "enabled", False):
             obs.counters.inc(name)
+
+    def _record_degrade(self, rung: str, stage: int) -> None:
+        """Leave the ladder climb in the flight recorder, so a post-mortem
+        dump shows *which* rungs fired before a memory-limit stop."""
+        obs = self.obs
+        if obs is None:
+            return
+        recorder = getattr(obs, "recorder", None)
+        if recorder is not None and recorder.enabled:
+            recorder.record("degrade", rung=rung, stage=stage)
 
     # -- convenience ---------------------------------------------------
     def effective_deadline(self, time_limit: float | None) -> float | None:

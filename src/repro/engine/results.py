@@ -152,6 +152,14 @@ class MatchResult:
     for the rest of the run), ``"suspend"`` (pressure persisted; the run
     stopped with ``stop_reason="memory_limit"``). Empty on ungoverned runs."""
 
+    progress: dict | None = None
+    """Progress-estimator snapshot (``{"percent", "eta_seconds",
+    "updates"}``, see :class:`repro.obs.progress.ProgressEstimator`) for
+    observed runs: a monotone percent-complete of the explored
+    root-candidate space — pinned to 100 for exhaustive runs — and the
+    smoothed ETA the run ended with. ``None`` on unobserved runs (the
+    estimator only exists when an ``Observation`` is attached)."""
+
     stats: dict = field(default_factory=dict)
     """Unified search counters — the same key set on *every* execution path
     (enumeration and ``count_only`` factorized counting emit identical

@@ -43,6 +43,14 @@ from repro.obs.counters import (
 )
 from repro.obs.explain import build_explain, estimate_candidates, format_explain
 from repro.obs.logconfig import JsonFormatter, configure_logging, resolve_level
+from repro.obs.merge import (
+    SpanContext,
+    WorkerSnapshot,
+    WorkUnit,
+    merge_counters,
+    merge_run_reports,
+    merge_worker_snapshots,
+)
 from repro.obs.metrics import (
     NULL_METRICS,
     JsonlTimeSeriesExporter,
@@ -58,7 +66,22 @@ from repro.obs.profile import (
     Profiler,
     SearchDepthProfile,
 )
-from repro.obs.progress import NULL_HEARTBEAT, Heartbeat, NullHeartbeat
+from repro.obs.progress import (
+    NULL_HEARTBEAT,
+    Heartbeat,
+    NullHeartbeat,
+    ProgressEstimator,
+    search_state_fraction,
+)
+from repro.obs.recorder import (
+    KNOWN_EVENTS,
+    NULL_RECORDER,
+    FlightRecorder,
+    NullFlightRecorder,
+    RecordedEvent,
+    perfetto_trace,
+    write_perfetto,
+)
 from repro.obs.report import (
     RUN_REPORT_VERSION,
     build_run_report,
@@ -74,17 +97,29 @@ from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 
 class Observation:
-    """Bundle of tracer + counters + heartbeat + profiler + metrics.
+    """Bundle of tracer + counters + heartbeat + profiler + metrics +
+    flight recorder.
 
-    All instruments default to live (tracer/counters) or disabled
+    All instruments default to live (tracer/counters/recorder) or disabled
     (heartbeat/profiler/metrics); pass ``trace=False`` to skip span
     collection, ``profile=True`` (or a :class:`Profiler`) to enable the
-    profiling hooks, ``metrics=MetricsPump(...)`` to stream metrics. When
-    both profiling and tracing are on, the tracer is a
-    :class:`MemoryTracer` so every span carries memory attributes.
+    profiling hooks, ``metrics=MetricsPump(...)`` to stream metrics,
+    ``record=False`` to drop the flight recorder. When both profiling and
+    tracing are on, the tracer is a :class:`MemoryTracer` so every span
+    carries memory attributes. ``progress`` is set by the engine
+    (:meth:`attach_progress`) once a run creates its
+    :class:`ProgressEstimator`.
     """
 
-    __slots__ = ("tracer", "counters", "heartbeat", "profile", "metrics")
+    __slots__ = (
+        "tracer",
+        "counters",
+        "heartbeat",
+        "profile",
+        "metrics",
+        "recorder",
+        "progress",
+    )
 
     enabled = True
 
@@ -97,6 +132,8 @@ class Observation:
         heartbeat_interval: float | None = None,
         profile: bool | Profiler = False,
         metrics: MetricsPump | NullMetricsPump | None = None,
+        recorder: FlightRecorder | NullFlightRecorder | None = None,
+        record: bool = True,
     ):
         if profile is True:
             profile = Profiler()
@@ -117,15 +154,24 @@ class Observation:
                 if heartbeat_interval is not None
                 else NULL_HEARTBEAT
             )
+        if recorder is None:
+            recorder = FlightRecorder() if record else NULL_RECORDER
         self.tracer = tracer
         self.counters = counters
         self.heartbeat = heartbeat
         self.profile = profile
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.recorder = recorder
+        self.progress: ProgressEstimator | None = None
         if self.metrics.enabled and heartbeat.enabled:
             # Sample live metrics at the heartbeat cadence — the hot loops
             # pay nothing beyond the tick they already pay for.
             heartbeat.add_listener(lambda: self.metrics.sample(self))
+
+    def attach_progress(self, estimator: ProgressEstimator) -> None:
+        """Adopt a run's progress estimator (called by the engine), so
+        heartbeat lines, the metrics pump, and run-reports read it."""
+        self.progress = estimator
 
     def finish(self, result=None) -> None:
         """Close out the run: final metrics sample, profiler teardown."""
@@ -138,7 +184,8 @@ class Observation:
             f"<Observation trace={self.tracer.enabled}"
             f" heartbeat={self.heartbeat.enabled}"
             f" profile={self.profile.enabled}"
-            f" metrics={self.metrics.enabled}>"
+            f" metrics={self.metrics.enabled}"
+            f" recorder={self.recorder.enabled}>"
         )
 
 
@@ -153,6 +200,11 @@ class _NullObservation:
     heartbeat = NULL_HEARTBEAT
     profile = NULL_PROFILE
     metrics = NULL_METRICS
+    recorder = NULL_RECORDER
+    progress = None
+
+    def attach_progress(self, estimator) -> None:
+        pass
 
     def finish(self, result=None) -> None:
         pass
@@ -178,6 +230,21 @@ __all__ = [
     "Heartbeat",
     "NullHeartbeat",
     "NULL_HEARTBEAT",
+    "ProgressEstimator",
+    "search_state_fraction",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_RECORDER",
+    "KNOWN_EVENTS",
+    "RecordedEvent",
+    "perfetto_trace",
+    "write_perfetto",
+    "SpanContext",
+    "WorkerSnapshot",
+    "WorkUnit",
+    "merge_counters",
+    "merge_worker_snapshots",
+    "merge_run_reports",
     "Profiler",
     "NullProfiler",
     "NULL_PROFILE",

@@ -1,0 +1,302 @@
+"""Merge-ready multi-worker observability.
+
+The ROADMAP's next tier distributes enumeration over workers as portable
+frame-stack work units (the checkpoint payload already makes a suspended
+search serializable); this module defines the observability contract that
+fan-out plugs into, before any process pool exists:
+
+* :func:`merge_counters` — the **exact, associative, commutative** merge
+  of counter snapshots. Counters are plain integer (occasionally float)
+  sums, so merging K worker snapshots in any order and grouping
+  reproduces the single-process totals bit-for-bit (integer addition is
+  associative and commutative; Hypothesis pins this in
+  ``tests/test_property_hypothesis.py``).
+* :class:`WorkerSnapshot` — a worker-tagged, JSON-portable bundle of one
+  worker's counter registry and unified stats, with an optional
+  :class:`SpanContext` linking its spans to the coordinator's trace.
+* :class:`SpanContext` — serializable trace/parent-span identity. A
+  coordinator mints one root context, derives a child per work unit
+  (:meth:`SpanContext.child`), and ships it inside the unit; the worker's
+  spans then carry ``trace_id``/``parent_id`` attributes that stitch the
+  distributed trace back together.
+* :class:`WorkUnit` — a portable unit of work: an opaque frame-stack
+  payload (e.g. :meth:`repro.engine.executor.SearchState.to_payload`)
+  plus the worker tag and span context, round-trippable through JSON.
+* :func:`merge_run_reports` — N shard run-reports folded into one valid
+  aggregate report with a ``shards`` block, so ``csce report`` renders a
+  distributed run exactly like a local one.
+
+Everything here is pure data plumbing — no engine imports — so the future
+``--workers N`` front-end and the bench harness can both use it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+
+def _new_id(nbytes: int = 8) -> str:
+    return os.urandom(nbytes).hex()
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Serializable trace identity carried into portable work units."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    @classmethod
+    def new_root(cls) -> "SpanContext":
+        """Mint a fresh root context (coordinator side)."""
+        return cls(trace_id=_new_id(16), span_id=_new_id())
+
+    def child(self) -> "SpanContext":
+        """Derive a child context: same trace, this span as the parent."""
+        return SpanContext(
+            trace_id=self.trace_id,
+            span_id=_new_id(),
+            parent_id=self.span_id,
+        )
+
+    def to_dict(self) -> dict:
+        payload: dict = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_id is not None:
+            payload["parent_id"] = self.parent_id
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SpanContext":
+        return cls(
+            trace_id=str(payload["trace_id"]),
+            span_id=str(payload["span_id"]),
+            parent_id=(
+                str(payload["parent_id"])
+                if payload.get("parent_id") is not None
+                else None
+            ),
+        )
+
+    def annotate(self, span) -> None:
+        """Stamp this context onto a live :class:`~repro.obs.tracer.Span`
+        so the exported span tree carries the distributed identity."""
+        span.set("trace_id", self.trace_id)
+        span.set("span_id", self.span_id)
+        if self.parent_id is not None:
+            span.set("parent_id", self.parent_id)
+
+
+def merge_counters(*snapshots: Mapping[str, float]) -> dict[str, float]:
+    """Exact merge of counter snapshots: per-key sums over all inputs.
+
+    Associative and commutative by construction (addition over ints /
+    floats), with the empty dict as identity — merging shard snapshots in
+    any grouping reproduces the single-process totals exactly for integer
+    counters. Non-numeric values are skipped, mirroring
+    :meth:`repro.obs.counters.CounterRegistry.merge`.
+    """
+    merged: dict[str, float] = {}
+    for snapshot in snapshots:
+        for key, value in snapshot.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+@dataclass
+class WorkerSnapshot:
+    """One worker's observability state, tagged and JSON-portable."""
+
+    worker: str
+    counters: dict = field(default_factory=dict)
+    stats: dict = field(default_factory=dict)
+    context: SpanContext | None = None
+    workers: tuple[str, ...] = ()
+    """Contributing worker tags; ``(worker,)`` for a leaf snapshot, the
+    union for a merged one."""
+
+    def __post_init__(self) -> None:
+        if not self.workers:
+            self.workers = (self.worker,)
+
+    @classmethod
+    def capture(
+        cls,
+        worker: str,
+        obs=None,
+        result=None,
+        context: SpanContext | None = None,
+    ) -> "WorkerSnapshot":
+        """Snapshot a finished run: the observation's counter registry
+        plus the result's unified stats."""
+        counters: dict = {}
+        if obs is not None:
+            registry = getattr(obs, "counters", None)
+            if registry is not None and registry.enabled:
+                counters = dict(registry.snapshot())
+        stats = dict(result.stats) if result is not None else {}
+        return cls(worker=worker, counters=counters, stats=stats,
+                   context=context)
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "worker": self.worker,
+            "workers": list(self.workers),
+            "counters": dict(self.counters),
+            "stats": dict(self.stats),
+        }
+        if self.context is not None:
+            payload["context"] = self.context.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "WorkerSnapshot":
+        context = payload.get("context")
+        return cls(
+            worker=str(payload["worker"]),
+            counters=dict(payload.get("counters", {})),
+            stats=dict(payload.get("stats", {})),
+            context=SpanContext.from_dict(context) if context else None,
+            workers=tuple(payload.get("workers", ())),
+        )
+
+
+def merge_worker_snapshots(
+    snapshots: Iterable[WorkerSnapshot], worker: str = "merged"
+) -> WorkerSnapshot:
+    """Fold worker snapshots into one (exact counter/stat sums)."""
+    snapshots = list(snapshots)
+    merged = WorkerSnapshot(
+        worker=worker,
+        counters=merge_counters(*(s.counters for s in snapshots)),
+        stats=merge_counters(*(s.stats for s in snapshots)),
+        workers=tuple(tag for s in snapshots for tag in s.workers),
+    )
+    return merged
+
+
+@dataclass
+class WorkUnit:
+    """A portable unit of search work: frame-stack payload + identity.
+
+    ``payload`` is opaque JSON data — typically a
+    ``SearchState.to_payload()`` snapshot or a checkpoint section — so
+    this module stays engine-agnostic. ``context`` ties the worker's
+    spans back to the coordinator's trace.
+    """
+
+    worker: str
+    payload: dict
+    context: SpanContext
+
+    def to_payload(self) -> dict:
+        return {
+            "worker": self.worker,
+            "payload": dict(self.payload),
+            "context": self.context.to_dict(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "WorkUnit":
+        return cls(
+            worker=str(payload["worker"]),
+            payload=dict(payload["payload"]),
+            context=SpanContext.from_dict(payload["context"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Run-report aggregation
+# ----------------------------------------------------------------------
+def _longest_ladder(reports: Sequence[Mapping]) -> list:
+    """The degradation ladder of the shard that degraded furthest — a
+    valid ladder subsequence, unlike a cross-shard concatenation."""
+    best: list = []
+    for report in reports:
+        ladder = report.get("degradation") or []
+        if len(ladder) > len(best):
+            best = list(ladder)
+    return best
+
+
+def merge_run_reports(
+    reports: Sequence[Mapping],
+    workers: Sequence[str] | None = None,
+) -> dict:
+    """Aggregate N shard run-reports into one valid run-report.
+
+    Counts and counters are exact sums; wall-clock timings take the
+    slowest shard (shards run in parallel), with per-shard detail and the
+    cross-shard sums preserved in the ``shards`` block; ``stop_reason``
+    is the first shard stop (``None`` when every shard ran to
+    completion); span trees are concatenated. The result passes
+    ``validate_run_report`` and ``robustness_problems``, so downstream
+    tooling treats a distributed run like a local one.
+    """
+    if not reports:
+        raise ValueError("merge_run_reports needs at least one report")
+    if workers is not None and len(workers) != len(reports):
+        raise ValueError(
+            f"{len(workers)} worker tag(s) for {len(reports)} report(s)"
+        )
+    tags = (
+        [str(w) for w in workers]
+        if workers is not None
+        else [f"shard-{i}" for i in range(len(reports))]
+    )
+    first = reports[0]
+    counters = merge_counters(*(r.get("counters", {}) for r in reports))
+    count = sum(int(r.get("count", 0)) for r in reports)
+    timing_keys = (
+        "read_seconds", "plan_seconds", "execute_seconds", "total_seconds"
+    )
+    timings = {
+        key: max(
+            float(r.get("timings", {}).get(key, 0.0) or 0.0) for r in reports
+        )
+        for key in timing_keys
+    }
+    stop_reason = next(
+        (r.get("stop_reason") for r in reports if r.get("stop_reason")), None
+    )
+    spans: list = []
+    for tag, report in zip(tags, reports):
+        for span in report.get("spans", []) or []:
+            entry = dict(span)
+            entry.setdefault("attrs", {})
+            entry["attrs"] = {**entry["attrs"], "worker": tag}
+            spans.append(entry)
+    execute = timings["execute_seconds"]
+    merged: dict = {
+        "format": first.get("format", "repro-run-report"),
+        "version": int(first.get("version", 1)),
+        "engine": str(first.get("engine", "CSCE")),
+        "variant": str(first.get("variant", "")),
+        "count": count,
+        "truncated": any(bool(r.get("truncated")) for r in reports),
+        "timed_out": any(bool(r.get("timed_out")) for r in reports),
+        "stop_reason": stop_reason,
+        "degradation": _longest_ladder(reports),
+        "timings": timings,
+        "throughput": (count / execute) if execute > 0 else 0.0,
+        "counters": counters,
+        "spans": spans,
+        "shards": {
+            "count": len(reports),
+            "workers": tags,
+            "counts": [int(r.get("count", 0)) for r in reports],
+            "stop_reasons": [r.get("stop_reason") for r in reports],
+            "execute_seconds_sum": sum(
+                float(r.get("timings", {}).get("execute_seconds", 0.0) or 0.0)
+                for r in reports
+            ),
+        },
+    }
+    for key in ("dataset", "graph", "pattern", "plan"):
+        if key in first:
+            merged[key] = first[key]
+    return merged

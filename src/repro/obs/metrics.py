@@ -56,6 +56,9 @@ KNOWN_METRICS: tuple[str, ...] = (
     "throughput_embeddings_per_second",
     "embeddings",
     "timed_out",
+    "progress_percent",
+    "eta_seconds",
+    "recorder_events",
 )
 
 
@@ -324,6 +327,23 @@ class MetricsPump:
                 self.registry.gauge(
                     "heartbeat_beats", "heartbeat lines emitted"
                 ).set(heartbeat.beats)
+            progress = getattr(obs, "progress", None)
+            if progress is not None and progress.enabled:
+                self.registry.gauge(
+                    "progress_percent",
+                    "monotone percent-complete of the current search",
+                ).set(progress.percent)
+                eta = progress.eta_seconds()
+                if eta is not None:
+                    self.registry.gauge(
+                        "eta_seconds",
+                        "smoothed estimated seconds to completion",
+                    ).set(eta)
+            recorder = getattr(obs, "recorder", None)
+            if recorder is not None and recorder.enabled:
+                self.registry.gauge(
+                    "recorder_events", "flight-recorder events recorded"
+                ).set(recorder.recorded)
         self.samples += 1
         for exporter in self.exporters:
             exporter.export(self.registry, ts=ts)

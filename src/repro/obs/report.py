@@ -20,6 +20,7 @@ import os
 from typing import Any
 
 from repro.errors import FormatError
+from repro.obs.recorder import KNOWN_EVENTS
 
 RUN_REPORT_FORMAT = "repro-run-report"
 RUN_REPORT_VERSION = 1
@@ -102,6 +103,7 @@ def build_run_report(
         if heartbeat is not None and heartbeat.enabled:
             counters["heartbeats"] = heartbeat.beats
     profiler = getattr(obs, "profile", None) if obs is not None else None
+    recorder = getattr(obs, "recorder", None) if obs is not None else None
 
     report: dict[str, Any] = {
         "format": RUN_REPORT_FORMAT,
@@ -123,6 +125,15 @@ def build_run_report(
         "counters": counters,
         "spans": spans,
     }
+    progress = getattr(result, "progress", None)
+    if progress:
+        report["progress"] = dict(progress)
+    elif obs is not None and getattr(obs, "progress", None) is not None:
+        report["progress"] = obs.progress.as_dict()
+    if recorder is not None and recorder.enabled and recorder.recorded:
+        # The flight-recorder tail rides in every instrumented report, so
+        # a stopped/faulted run's post-mortem is one document.
+        report["recorder"] = recorder.as_dict()
     if profiler is not None and profiler.enabled:
         order = list(plan.order) if plan is not None else None
         report["profile"] = profiler.as_dict(order)
@@ -245,6 +256,96 @@ def robustness_problems(report: dict) -> list[str]:
                     "checkpoint written but stop_reason is null"
                     " (checkpoints only exist for suspended runs)"
                 )
+    problems.extend(_recorder_problems(report))
+    problems.extend(_progress_problems(report))
+    problems.extend(_shards_problems(report))
+    return problems
+
+
+def _recorder_problems(report: dict) -> list[str]:
+    if "recorder" not in report:
+        return []
+    block = report["recorder"]
+    if not isinstance(block, dict):
+        return ["recorder must be an object"]
+    problems: list[str] = []
+    for key in ("recorded", "dropped"):
+        if key in block and (
+            not isinstance(block[key], int) or isinstance(block[key], bool)
+            or block[key] < 0
+        ):
+            problems.append(f"recorder.{key} must be a non-negative integer")
+    events = block.get("events")
+    if not isinstance(events, list):
+        problems.append("recorder.events missing or not a list")
+        return problems
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"recorder.events[{i}] is not an object")
+            continue
+        name = event.get("name")
+        if name not in KNOWN_EVENTS:
+            problems.append(
+                f"recorder.events[{i}].name {name!r} is not one of"
+                f" {list(KNOWN_EVENTS)}"
+            )
+        if not isinstance(event.get("ts"), (int, float)):
+            problems.append(f"recorder.events[{i}].ts missing or non-numeric")
+    return problems
+
+
+def _progress_problems(report: dict) -> list[str]:
+    if "progress" not in report:
+        return []
+    block = report["progress"]
+    if not isinstance(block, dict):
+        return ["progress must be an object"]
+    problems: list[str] = []
+    percent = block.get("percent")
+    if not isinstance(percent, (int, float)) or isinstance(percent, bool):
+        problems.append("progress.percent missing or non-numeric")
+    elif not 0.0 <= float(percent) <= 100.0:
+        problems.append(f"progress.percent {percent!r} is outside [0, 100]")
+    eta = block.get("eta_seconds")
+    if eta is not None and (
+        not isinstance(eta, (int, float)) or isinstance(eta, bool)
+        or float(eta) < 0.0
+    ):
+        problems.append("progress.eta_seconds must be null or non-negative")
+    return problems
+
+
+def _shards_problems(report: dict) -> list[str]:
+    if "shards" not in report:
+        return []
+    block = report["shards"]
+    if not isinstance(block, dict):
+        return ["shards must be an object"]
+    problems: list[str] = []
+    count = block.get("count")
+    if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+        problems.append("shards.count missing or not a positive integer")
+    workers = block.get("workers")
+    if not isinstance(workers, list) or not all(
+        isinstance(w, str) for w in workers
+    ):
+        problems.append("shards.workers missing or not a list of strings")
+    elif isinstance(count, int) and len(workers) != count:
+        problems.append(
+            f"shards.workers has {len(workers)} entries for"
+            f" shards.count {count}"
+        )
+    counts = block.get("counts")
+    if counts is not None:
+        if not isinstance(counts, list) or not all(
+            isinstance(c, int) and not isinstance(c, bool) for c in counts
+        ):
+            problems.append("shards.counts must be a list of integers")
+        elif sum(counts) != report.get("count"):
+            problems.append(
+                "shards.counts do not sum to the aggregate count"
+                f" ({sum(counts)} != {report.get('count')})"
+            )
     return problems
 
 
@@ -326,6 +427,18 @@ def format_run_report(report: dict) -> str:
     if checkpoint:
         written = " (written)" if checkpoint.get("written") else ""
         lines.append(f"checkpoint  : {checkpoint.get('path')}{written}")
+    progress = report.get("progress")
+    if progress:
+        eta = progress.get("eta_seconds")
+        suffix = f", ETA {eta:g}s" if isinstance(eta, (int, float)) else ""
+        lines.append(f"progress    : {progress.get('percent')}%{suffix}")
+    shards = report.get("shards")
+    if shards:
+        workers = shards.get("workers") or []
+        lines.append(
+            f"shards      : {shards.get('count')} merged"
+            + (f" ({', '.join(workers)})" if workers else "")
+        )
     lines.append("")
     lines.append("phase breakdown (paper total = read + optimize + execute):")
     for label, key in (
@@ -375,6 +488,25 @@ def format_run_report(report: dict) -> str:
                     f"    {entry['key']:<32} {entry['rows']:>10} rows"
                     f" {entry['bytes']:>10} bytes"
                 )
+    recorder = report.get("recorder")
+    if recorder:
+        events = recorder.get("events", [])
+        shown = events[-12:]
+        lines.append("")
+        lines.append(
+            f"flight recorder: {recorder.get('recorded', 0)} event(s)"
+            f" recorded, {recorder.get('dropped', 0)} dropped"
+            + (f", last {len(shown)}:" if shown else "")
+        )
+        origin = shown[0].get("ts", 0.0) if shown else 0.0
+        for event in shown:
+            fields = event.get("fields", {})
+            detail = " ".join(f"{k}={v}" for k, v in fields.items())
+            lines.append(
+                f"  +{event.get('ts', 0.0) - origin:10.6f}s"
+                f" {event.get('name', '?'):<10}"
+                + (f" {detail}" if detail else "")
+            )
     counters = report.get("counters", {})
     if counters:
         lines.append("")

@@ -251,3 +251,87 @@ class TestExtensionProperties:
             return out
 
         assert canon(g, lambda v: mapping[v]) == canon(parsed, lambda v: v)
+
+
+# ---------------------------------------------------------------------------
+# Multi-worker merge invariants
+# ---------------------------------------------------------------------------
+_COUNTER_KEYS = st.sampled_from(
+    ["nodes", "backtracks", "ccsr.bytes_read", "memo_hits", "heartbeats"]
+)
+counter_snapshots = st.dictionaries(
+    keys=_COUNTER_KEYS,
+    values=st.integers(min_value=0, max_value=10**9),
+    max_size=5,
+)
+
+
+class TestMergeProperties:
+    @given(counter_snapshots, counter_snapshots, counter_snapshots)
+    @_SETTINGS
+    def test_merge_counters_associative(self, a, b, c):
+        from repro.obs import merge_counters
+
+        assert merge_counters(merge_counters(a, b), c) == merge_counters(
+            a, merge_counters(b, c)
+        )
+
+    @given(counter_snapshots, counter_snapshots)
+    @_SETTINGS
+    def test_merge_counters_commutative(self, a, b):
+        from repro.obs import merge_counters
+
+        assert merge_counters(a, b) == merge_counters(b, a)
+
+    @given(counter_snapshots)
+    @_SETTINGS
+    def test_merge_counters_identity(self, a):
+        from repro.obs import merge_counters
+
+        assert merge_counters(a, {}) == merge_counters(a) == {
+            k: v for k, v in a.items()
+        }
+
+    @given(st.lists(counter_snapshots, min_size=1, max_size=6))
+    @_SETTINGS
+    def test_sharded_merge_equals_single_fold(self, parts):
+        """Merging per-shard snapshots in any grouping equals the
+        single-process fold of the same workload (exact integer sums)."""
+        from repro.obs import merge_counters
+        from repro.obs.counters import CounterRegistry
+
+        single = CounterRegistry()
+        for part in parts:
+            single.merge(part)
+        merged = merge_counters(*parts)
+        assert merged == {
+            k: v for k, v in single.snapshot().items() if k in merged
+        }
+        mid = len(parts) // 2
+        regrouped = merge_counters(
+            merge_counters(*parts[:mid]), merge_counters(*parts[mid:])
+        )
+        assert regrouped == merged
+
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=6), min_size=1, max_size=5
+        ),
+        st.data(),
+    )
+    @_SETTINGS
+    def test_search_state_fraction_bounded_and_monotone(self, sizes, data):
+        from repro.obs import search_state_fraction
+
+        values = [list(range(size)) for size in sizes]
+        index = [
+            data.draw(st.integers(min_value=0, max_value=size))
+            for size in sizes
+        ]
+        fraction = search_state_fraction(values, index)
+        assert 0.0 <= fraction <= 1.0
+        # Advancing the deepest cursor never decreases the estimate.
+        if index[-1] < sizes[-1]:
+            advanced = list(index)
+            advanced[-1] += 1
+            assert search_state_fraction(values, advanced) >= fraction

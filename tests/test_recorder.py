@@ -1,0 +1,400 @@
+"""Flight recorder, Perfetto export, and progress/ETA estimation."""
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cli import _install_sigusr1, main
+from repro.core.csce import CSCE
+from repro.engine import CancelToken, ResourceGovernor
+from repro.graph.patterns import cycle, path
+from repro.obs import (
+    KNOWN_EVENTS,
+    NULL_RECORDER,
+    FlightRecorder,
+    Heartbeat,
+    Observation,
+    ProgressEstimator,
+    build_run_report,
+    format_run_report,
+    perfetto_trace,
+    robustness_problems,
+    search_state_fraction,
+    validate_run_report,
+    write_perfetto,
+)
+from repro.testing import FaultInjector, cancel, faults
+
+from conftest import make_random_graph
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_injector():
+    yield
+    assert faults.ACTIVE is None, "a test leaked an installed FaultInjector"
+
+
+@pytest.fixture
+def graph():
+    return make_random_graph(30, 85, num_labels=2, seed=7)
+
+
+@pytest.fixture
+def engine(graph):
+    return CSCE(graph)
+
+
+# ---------------------------------------------------------------------------
+# Ring-buffer mechanics
+# ---------------------------------------------------------------------------
+class TestFlightRecorder:
+    def test_records_and_evicts_oldest(self):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(10):
+            recorder.record("tick", nodes=i)
+        assert len(recorder) == 4
+        assert recorder.recorded == 10
+        assert recorder.dropped == 6
+        assert [e.fields["nodes"] for e in recorder.events()] == [6, 7, 8, 9]
+
+    def test_tail_returns_newest_oldest_first(self):
+        recorder = FlightRecorder(capacity=8)
+        for i in range(5):
+            recorder.record("tick", nodes=i)
+        assert [e.fields["nodes"] for e in recorder.tail(2)] == [3, 4]
+        assert recorder.tail(0) == []
+
+    def test_timestamps_monotone(self):
+        recorder = FlightRecorder()
+        recorder.record("run_start")
+        recorder.record("run_end")
+        a, b = recorder.events()
+        assert b.ts >= a.ts
+
+    def test_as_dict_shape(self):
+        recorder = FlightRecorder(capacity=2)
+        recorder.record("stop", reason="time_limit")
+        doc = recorder.as_dict()
+        assert doc["capacity"] == 2
+        assert doc["recorded"] == 1
+        assert doc["dropped"] == 0
+        [event] = doc["events"]
+        assert event["name"] == "stop"
+        assert event["fields"] == {"reason": "time_limit"}
+        json.dumps(doc)  # JSON-ready
+
+    def test_format_dump_header_and_lines(self):
+        recorder = FlightRecorder()
+        recorder.record("run_start", mode="count")
+        recorder.record("stop", reason="cancelled")
+        dump = recorder.format_dump()
+        assert "flight recorder: 2 event(s) recorded" in dump
+        assert "run_start" in dump and "reason=cancelled" in dump
+
+    def test_clear(self):
+        recorder = FlightRecorder()
+        recorder.record("tick")
+        recorder.clear()
+        assert len(recorder) == 0 and recorder.recorded == 0
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_null_recorder_is_inert(self):
+        NULL_RECORDER.record("tick", nodes=1)
+        assert len(NULL_RECORDER) == 0
+        assert NULL_RECORDER.as_dict()["events"] == []
+        assert "disabled" in NULL_RECORDER.format_dump()
+
+    def test_known_events_registry_closed(self):
+        assert set(KNOWN_EVENTS) == {
+            "run_start", "tick", "degrade", "checkpoint",
+            "fault", "stop", "run_end",
+        }
+
+
+# ---------------------------------------------------------------------------
+# Engine integration
+# ---------------------------------------------------------------------------
+class TestRecorderIntegration:
+    def test_observed_run_brackets_with_start_end(self, engine):
+        obs = Observation(trace=False)
+        engine.match(cycle(3), "edge_induced", obs=obs)
+        names = [e.name for e in obs.recorder.events()]
+        assert names[0] == "run_start"
+        assert names[-1] == "run_end"
+
+    def test_unobserved_run_records_nothing(self, engine):
+        result = engine.match(cycle(3), "edge_induced")
+        assert result.progress is None  # no obs -> no estimator, no events
+
+    def test_cancelled_run_leaves_stop_event(self, engine):
+        obs = Observation(trace=False)
+        token = CancelToken()
+        token.trip("pre-tripped")
+        governor = ResourceGovernor(cancel=token, obs=obs)
+        result = engine.match(
+            cycle(3), "edge_induced", obs=obs, governor=governor
+        )
+        assert result.stop_reason == "cancelled"
+        names = [e.name for e in obs.recorder.events()]
+        assert "stop" in names
+        stop = next(e for e in obs.recorder.events() if e.name == "stop")
+        assert stop.fields["reason"] == "cancelled"
+
+    def test_faulted_run_report_tail_explains_stop(self, engine):
+        # The acceptance scenario: a run killed by an injected fault leaves
+        # a recorder dump in its run-report whose tail explains the stop.
+        obs = Observation(trace=False)
+        token = CancelToken()
+        governor = ResourceGovernor(cancel=token, obs=obs)
+        with FaultInjector(seed=0).on("engine.tick", cancel(token), after=40):
+            result = engine.match(
+                path(3), "edge_induced", count_only=False,
+                obs=obs, governor=governor,
+            )
+        assert result.stop_reason == "cancelled"
+        report = build_run_report(result, obs=obs, engine="CSCE")
+        assert "recorder" in report
+        names = [e["name"] for e in report["recorder"]["events"]]
+        assert "fault" in names
+        assert names[-1] in ("stop", "run_end")
+        assert any(
+            e["name"] == "stop"
+            and e.get("fields", {}).get("reason") == "cancelled"
+            for e in report["recorder"]["events"]
+        )
+        rendered = format_run_report(report)
+        assert "flight recorder" in rendered
+        assert validate_run_report(report) is None or True  # no exception
+        assert robustness_problems(report) == []
+
+    def test_governor_degrade_rungs_recorded(self, engine):
+        from repro.engine import Budget
+
+        obs = Observation(trace=False)
+        governor = ResourceGovernor(
+            budget=Budget(memory_limit_mb=0.000001), obs=obs
+        )
+        result = engine.match(
+            path(3), "edge_induced", count_only=False,
+            obs=obs, governor=governor,
+        )
+        assert result.degradation  # the ladder climbed
+        rungs = [
+            e.fields["rung"]
+            for e in obs.recorder.events()
+            if e.name == "degrade"
+        ]
+        assert rungs == list(result.degradation)
+
+    def test_stream_records_checkpoint_write(self, engine, tmp_path):
+        target = tmp_path / "ckpt.json"
+        stream = engine.match_iter(
+            path(3), "edge_induced", max_embeddings=1,
+            obs=Observation(trace=False), checkpoint_path=str(target),
+        )
+        with stream:
+            list(stream)
+        names = [e.name for e in stream.runtime._recorder.events()]
+        assert "checkpoint" in names
+        assert names[-1] == "run_end"
+
+
+# ---------------------------------------------------------------------------
+# Perfetto export
+# ---------------------------------------------------------------------------
+class TestPerfetto:
+    def test_spans_and_events_on_one_timeline(self, engine):
+        obs = Observation()
+        engine.match(cycle(3), "edge_induced", obs=obs)
+        doc = perfetto_trace(obs.tracer, obs.recorder, pid=42)
+        phases = {event["ph"] for event in doc["traceEvents"]}
+        assert phases == {"X", "i"}
+        timestamps = [event["ts"] for event in doc["traceEvents"]]
+        assert timestamps == sorted(timestamps)
+        assert all(event["pid"] == 42 for event in doc["traceEvents"])
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert all(e["s"] == "t" for e in instants)
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {"match", "execute"} <= {e["name"] for e in spans}
+
+    def test_write_perfetto_roundtrip(self, engine, tmp_path):
+        obs = Observation()
+        engine.match(cycle(3), "edge_induced", obs=obs)
+        out = tmp_path / "trace.json"
+        write_perfetto(out, obs.tracer, obs.recorder)
+        doc = json.loads(out.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["traceEvents"]
+
+    def test_empty_instruments_export_empty_trace(self):
+        doc = perfetto_trace(None, None)
+        assert doc["traceEvents"] == []
+
+
+# ---------------------------------------------------------------------------
+# Progress fraction + estimator
+# ---------------------------------------------------------------------------
+class TestSearchStateFraction:
+    def test_empty_stack_is_zero(self):
+        assert search_state_fraction([None, None], [0, 0]) == 0.0
+
+    def test_single_depth_fraction(self):
+        # cursor at 3 => 2 of 4 candidates fully consumed
+        assert search_state_fraction([[10, 11, 12, 13]], [3]) == 0.5
+
+    def test_nested_depths_accumulate(self):
+        # depth 0: 1 of 4 consumed; depth 1: 1 of 2 consumed within the
+        # current depth-0 subtree (worth 1/4 each) => 0.25 + 0.125
+        values = [[1, 2, 3, 4], [5, 6]]
+        index = [2, 2]
+        assert search_state_fraction(values, index) == pytest.approx(0.375)
+
+    def test_monotone_in_cursor(self):
+        values = [[1, 2, 3, 4, 5]]
+        samples = [search_state_fraction(values, [i]) for i in range(6)]
+        assert samples == sorted(samples)
+        assert samples[-1] <= 1.0
+
+    def test_empty_candidate_list_stops(self):
+        assert search_state_fraction([[], [1]], [0, 0]) == 0.0
+
+
+class TestProgressEstimator:
+    def test_monotone_clamp(self):
+        est = ProgressEstimator()
+        assert est.update(0.5) == 0.5
+        assert est.update(0.3) == 0.5  # never goes backwards
+        assert est.update(0.8) == 0.8
+        assert est.percent == 80.0
+
+    def test_eta_unknown_before_rate(self):
+        est = ProgressEstimator()
+        est.update(0.1)
+        assert est.eta_seconds() is None
+
+    def test_eta_appears_with_rate(self):
+        est = ProgressEstimator()
+        est.update(0.2)
+        time.sleep(0.01)
+        est.update(0.4)
+        eta = est.eta_seconds()
+        assert eta is not None and eta > 0.0
+        assert "ETA" in est.describe()
+
+    def test_complete_pins_to_hundred(self):
+        est = ProgressEstimator()
+        est.update(0.4)
+        est.complete()
+        assert est.percent == 100.0
+        assert est.eta_seconds() == 0.0
+        doc = est.as_dict()
+        assert doc["percent"] == 100.0 and doc["eta_seconds"] == 0.0
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            ProgressEstimator(alpha=0.0)
+
+
+class TestProgressIntegration:
+    def test_exhaustive_run_reports_hundred_percent(self, engine):
+        obs = Observation(trace=False)
+        result = engine.match(cycle(3), "edge_induced", obs=obs)
+        assert result.progress is not None
+        assert result.progress["percent"] == 100.0
+        report = build_run_report(result, obs=obs, engine="CSCE")
+        assert report["progress"]["percent"] == 100.0
+        assert robustness_problems(report) == []
+
+    def test_stopped_run_progress_stays_bounded(self, engine):
+        obs = Observation(trace=False)
+        token = CancelToken()
+        governor = ResourceGovernor(cancel=token, obs=obs)
+        with FaultInjector(seed=1).on("engine.tick", cancel(token), after=30):
+            result = engine.match(
+                path(3), "edge_induced", count_only=False,
+                obs=obs, governor=governor,
+            )
+        assert result.stop_reason == "cancelled"
+        assert result.progress is not None
+        assert 0.0 <= result.progress["percent"] < 100.0
+
+    def test_heartbeat_lines_show_monotone_percent(self, engine):
+        lines: list[str] = []
+        heartbeat = Heartbeat(interval=0.0, emit=lines.append)
+        obs = Observation(trace=False, heartbeat=heartbeat)
+        # A bare injector (no rules) forces tick interval 1, so every node
+        # beats; interval=0.0 emits a line per beat.
+        with FaultInjector():
+            engine.match(path(3), "edge_induced", count_only=False, obs=obs)
+        assert len(lines) >= 2
+        percents = []
+        for line in lines:
+            assert "done" in line
+            percents.append(float(line.split("%")[0].rsplit(" ", 1)[-1]))
+        assert percents == sorted(percents)
+
+    def test_counting_path_attaches_progress(self, engine):
+        obs = Observation(trace=False)
+        result = engine.match(path(3), "edge_induced", count_only=True, obs=obs)
+        assert result.progress is not None
+        assert result.progress["percent"] == 100.0
+
+    def test_metrics_pump_gauges_progress(self, engine):
+        from repro.obs import MetricsPump
+
+        pump = MetricsPump([])
+        obs = Observation(trace=False, metrics=pump)
+        result = engine.match(cycle(3), "edge_induced", obs=obs)
+        obs.finish(result)
+        names = {m.name for m in pump.registry}
+        assert any("progress_percent" in name for name in names)
+        assert any("recorder_events" in name for name in names)
+
+
+# ---------------------------------------------------------------------------
+# CLI surfaces
+# ---------------------------------------------------------------------------
+class TestCliSurfaces:
+    def test_trace_perfetto_flag_writes_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main([
+            "match", "--dataset", "yeast", "--scale", "0.2",
+            "--pattern-size", "4", "--seed", "1",
+            "--trace-perfetto", str(out),
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        assert "perfetto" in capsys.readouterr().err
+
+    def test_dump_recorder_flag(self, capsys):
+        code = main([
+            "match", "--dataset", "yeast", "--scale", "0.2",
+            "--pattern-size", "4", "--seed", "1", "--dump-recorder",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "flight recorder" in err
+        assert "run_end" in err
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGUSR1"), reason="platform lacks SIGUSR1"
+    )
+    def test_sigusr1_dumps_recorder(self, capsys):
+        obs = Observation(trace=False)
+        obs.recorder.record("run_start", mode="stream")
+        installed = _install_sigusr1(obs)
+        assert installed is not None
+        try:
+            os.kill(os.getpid(), signal.SIGUSR1)
+            time.sleep(0.01)  # let the handler run at a bytecode boundary
+        finally:
+            signal.signal(*installed)
+        err = capsys.readouterr().err
+        assert "flight recorder" in err and "run_start" in err

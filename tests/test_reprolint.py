@@ -96,11 +96,13 @@ def test_obs_keys_fixture_flagged():
     messages = " ".join(v.message for v in violations)
     assert "ccsr.bytes_red" in messages  # counter typo
     assert "reed_seconds" in messages  # metric typo
+    assert "'degrad'" in messages  # recorder event typo
     # The fixture's clean literals (STAT_KEYS / KNOWN_COUNTERS /
-    # KNOWN_METRICS members) are not flagged.
+    # KNOWN_METRICS / KNOWN_EVENTS members) are not flagged.
     assert "plan_cache.hits" not in messages
     assert "embeddings" not in messages
-    assert len(violations) == 2
+    assert "'degrade'" not in messages
+    assert len(violations) == 3
 
 
 def test_stop_reasons_fixture_flagged():

@@ -9,8 +9,11 @@ metric nobody reads. This pass closes the loop: every string literal
 passed to ``.inc()`` / ``._count()`` must be a member of
 ``repro.obs.counters.STAT_KEYS`` or ``KNOWN_COUNTERS``, and every literal
 passed to ``.gauge()`` / ``.counter()`` / ``.histogram()`` must be in
-``repro.obs.metrics.KNOWN_METRICS``. Adding a genuinely new name means
-adding it to the registry — which is the point.
+``repro.obs.metrics.KNOWN_METRICS``, and every literal passed to
+``.record()`` must be in ``repro.obs.recorder.KNOWN_EVENTS`` (the flight
+recorder's event vocabulary, which post-mortem tooling matches on).
+Adding a genuinely new name means adding it to the registry — which is
+the point.
 """
 
 from __future__ import annotations
@@ -22,16 +25,19 @@ from tools.reprolint import LintContext, LintPass, Violation, register
 
 COUNTER_METHODS = ("inc", "_count")
 METRIC_METHODS = ("gauge", "counter", "histogram")
+EVENT_METHODS = ("record",)
 
 
-def _registries(ctx: LintContext) -> tuple[frozenset, frozenset]:
+def _registries(ctx: LintContext) -> tuple[frozenset, frozenset, frozenset]:
     ctx.ensure_importable()
     from repro.obs.counters import KNOWN_COUNTERS, STAT_KEYS
     from repro.obs.metrics import KNOWN_METRICS
+    from repro.obs.recorder import KNOWN_EVENTS
 
     return (
         frozenset(STAT_KEYS) | frozenset(KNOWN_COUNTERS),
         frozenset(KNOWN_METRICS),
+        frozenset(KNOWN_EVENTS),
     )
 
 
@@ -48,19 +54,22 @@ class ObsKeysPass(LintPass):
     description = (
         "counter literals passed to .inc()/._count() must be in"
         " STAT_KEYS/KNOWN_COUNTERS; metric literals passed to"
-        " .gauge()/.counter()/.histogram() must be in KNOWN_METRICS"
+        " .gauge()/.counter()/.histogram() must be in KNOWN_METRICS;"
+        " event literals passed to .record() must be in KNOWN_EVENTS"
     )
 
     def run(self, ctx: LintContext) -> list[Violation]:
-        counters, metrics = _registries(ctx)
+        counters, metrics, events = _registries(ctx)
         violations: list[Violation] = []
         for path in ctx.files("src/repro"):
-            violations.extend(self._check_file(ctx, path, counters, metrics))
+            violations.extend(
+                self._check_file(ctx, path, counters, metrics, events)
+            )
         return violations
 
     def _check_file(
         self, ctx: LintContext, path: Path,
-        counters: frozenset, metrics: frozenset,
+        counters: frozenset, metrics: frozenset, events: frozenset,
     ) -> list[Violation]:
         violations = []
         for node in ast.walk(ctx.tree(path)):
@@ -83,5 +92,11 @@ class ObsKeysPass(LintPass):
                     ctx, path, node.lineno,
                     f"metric {literal!r} is not in KNOWN_METRICS"
                     " (repro.obs.metrics) — register it or fix the typo",
+                ))
+            elif method in EVENT_METHODS and literal not in events:
+                violations.append(self.violation(
+                    ctx, path, node.lineno,
+                    f"recorder event {literal!r} is not in KNOWN_EVENTS"
+                    " (repro.obs.recorder) — register it or fix the typo",
                 ))
         return violations
