@@ -17,8 +17,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
+import time
 
 from repro.baselines import ALL_BASELINES
 from repro.bench.harness import ENGINES, make_engine
@@ -31,7 +33,10 @@ from repro.errors import FormatError
 from repro.graph.io import load_graph
 from repro.graph.sampling import sample_pattern
 from repro.obs import (
+    DEFAULT_INSPECT_INTERVAL,
+    InspectorServer,
     JsonlTimeSeriesExporter,
+    MatchInspector,
     MetricsPump,
     Observation,
     PrometheusTextfileExporter,
@@ -82,6 +87,30 @@ def _install_sigusr1(obs):
 
     def handler(_signum, _frame):
         print(obs.recorder.format_dump(), file=sys.stderr)
+
+    try:
+        previous = signal.signal(signum, handler)
+    except ValueError:  # not the main thread
+        return None
+    return signum, previous
+
+
+def _install_sigusr2(inspector):
+    """SIGUSR2 queues an on-demand checkpoint, written at the next
+    heartbeat tick — suspend-for-migration without a socket. Mirrors the
+    SIGUSR1 recorder dump's platform/main-thread guards. The handler only
+    appends to the inspector's request queue (no I/O at signal time)."""
+    signum = getattr(signal, "SIGUSR2", None)
+    if signum is None:
+        return None
+
+    def handler(_signum, _frame):
+        inspector.request_checkpoint(wait=False)
+        print(
+            "checkpoint-now queued (SIGUSR2); written at the next"
+            " heartbeat tick",
+            file=sys.stderr,
+        )
 
     try:
         previous = signal.signal(signum, handler)
@@ -143,10 +172,11 @@ def _cmd_match(args: argparse.Namespace) -> int:
         args.memory_limit is not None
         or args.checkpoint is not None
         or args.resume is not None
+        or args.inspect is not None
     )
     if robustness and args.engine != "CSCE":
         print(
-            "error: --memory-limit/--checkpoint/--resume require"
+            "error: --memory-limit/--checkpoint/--resume/--inspect require"
             " --engine CSCE",
             file=sys.stderr,
         )
@@ -193,11 +223,17 @@ def _cmd_match(args: argparse.Namespace) -> int:
         or pump is not None
         or args.trace_perfetto is not None
         or args.dump_recorder
+        or args.inspect is not None
     )
+    heartbeat_interval = args.heartbeat
+    if heartbeat_interval is None and args.inspect is not None:
+        # The inspector samples on heartbeat ticks — give it a fast pulse
+        # (the lines themselves go to logger.info, silent by default).
+        heartbeat_interval = DEFAULT_INSPECT_INTERVAL
     obs = (
         Observation(trace=args.trace or bool(args.report)
                     or args.trace_perfetto is not None,
-                    heartbeat_interval=args.heartbeat,
+                    heartbeat_interval=heartbeat_interval,
                     profile=args.profile,
                     metrics=pump)
         if instrumented
@@ -220,8 +256,16 @@ def _cmd_match(args: argparse.Namespace) -> int:
         )
         previous_handler = _install_sigint(token)
     usr1_handler = _install_sigusr1(obs) if obs is not None else None
-    use_stream = args.stream or args.checkpoint or checkpoint_doc is not None
+    use_stream = (
+        args.stream
+        or args.checkpoint
+        or checkpoint_doc is not None
+        or args.inspect is not None
+    )
     checkpoint_block = None
+    inspector = None
+    server = None
+    usr2_handler = None
     try:
         if use_stream:
             if not isinstance(engine, CSCE):
@@ -261,6 +305,28 @@ def _cmd_match(args: argparse.Namespace) -> int:
                         else {}
                     ),
                 )
+            if args.inspect is not None and obs is not None:
+                from repro.engine import CheckpointSink
+
+                def _sink_factory(path):
+                    return CheckpointSink(
+                        path, engine.store, pattern, args.variant, "csce"
+                    )
+
+                inspector = MatchInspector(
+                    stream,
+                    obs,
+                    governor=governor,
+                    checkpoint_factory=_sink_factory,
+                    default_checkpoint_path=(
+                        args.checkpoint
+                        or f"csce-checkpoint-{os.getpid()}.json"
+                    ),
+                ).attach()
+                server = InspectorServer(inspector, args.inspect).start()
+                print(f"inspector   : listening on {server.endpoint}",
+                      file=sys.stderr)
+                usr2_handler = _install_sigusr2(inspector)
             shown = 0
             with stream:
                 for embedding in stream:
@@ -268,12 +334,18 @@ def _cmd_match(args: argparse.Namespace) -> int:
                         print(f"  #{shown}: {embedding}")
                         shown += 1
                 result = stream.result()
+            if inspector is not None:
+                inspector.finish(result)
             sink = stream.checkpoint_sink
+            if sink is None and inspector is not None:
+                sink = inspector.on_demand_sink
             if sink is not None:
                 checkpoint_block = {
                     "path": str(sink.path),
                     "written": sink.written is not None,
                 }
+                if sink.on_demand:
+                    checkpoint_block["on_demand"] = sink.on_demand
         else:
             result = engine.match(
                 pattern,
@@ -286,10 +358,14 @@ def _cmd_match(args: argparse.Namespace) -> int:
                 **({"governor": governor} if governor is not None else {}),
             )
     finally:
+        if server is not None:
+            server.stop()
         if previous_handler is not None:
             signal.signal(signal.SIGINT, previous_handler)
         if usr1_handler is not None:
             signal.signal(*usr1_handler)
+        if usr2_handler is not None:
+            signal.signal(*usr2_handler)
     report = None
     if obs is not None:
         obs.finish(result)
@@ -365,6 +441,10 @@ def _cmd_match(args: argparse.Namespace) -> int:
         print(f"degradation : {' > '.join(result.degradation)}")
     if checkpoint_block is not None:
         written = " (written)" if checkpoint_block["written"] else ""
+        if checkpoint_block.get("on_demand"):
+            written = (
+                f" (written, {checkpoint_block['on_demand']} on-demand)"
+            )
         print(f"checkpoint  : {checkpoint_block['path']}{written}")
     print(f"total time  : {result.total_seconds:.4f} s"
           f" (read {result.read_seconds:.4f}, plan {result.plan_seconds:.4f},"
@@ -381,6 +461,80 @@ def _cmd_match(args: argparse.Namespace) -> int:
         if len(result.embeddings) > len(shown):
             print(f"  ... {len(result.embeddings) - len(shown)} more")
     return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.errors import InspectorError
+    from repro.obs import inspect_call
+
+    cmd_args: dict = {}
+    if args.limit is not None:
+        cmd_args["limit"] = args.limit
+    if args.path is not None:
+        cmd_args["path"] = args.path
+    if args.time_limit is not None:
+        cmd_args["time_limit"] = args.time_limit
+    if args.max_embeddings is not None:
+        cmd_args["max_embeddings"] = args.max_embeddings
+    if args.memory_limit is not None:
+        cmd_args["memory_limit_mb"] = args.memory_limit
+    if args.reason is not None:
+        cmd_args["reason"] = args.reason
+    try:
+        data = inspect_call(
+            args.socket, args.cmd, cmd_args, timeout=args.timeout
+        )
+    except InspectorError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(data, indent=2))
+        return 0
+    if isinstance(data, dict):
+        for key, value in data.items():
+            if isinstance(value, (dict, list)):
+                value = json.dumps(value)
+            print(f"{key:<16}: {value}")
+    else:
+        print(data)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.errors import InspectorError
+    from repro.obs import InspectorClient, render_top
+
+    try:
+        client = InspectorClient(args.socket, timeout=args.timeout)
+    except InspectorError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        while True:
+            status = client.request("status")
+            try:
+                progress = client.request("progress")
+            except InspectorError:
+                progress = None
+            if not args.once:
+                # ANSI clear-screen + home: a plain-text refresh, no
+                # curses dependency.
+                print("\x1b[2J\x1b[H", end="")
+            print(render_top(status, progress))
+            if (
+                args.once
+                or status.get("state") == "finished"
+                or status.get("stop_reason")
+            ):
+                return 0
+            time.sleep(args.interval)
+    except InspectorError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
@@ -757,7 +911,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_match.add_argument("--dump-recorder", action="store_true",
                          help="print the flight-recorder ring to stderr"
                          " after the run (SIGUSR1 dumps it live)")
+    p_match.add_argument("--inspect", metavar="SOCK", default=None,
+                         help="serve a live inspector on this unix-socket"
+                         " path (TCP host:port also accepted; CSCE only)."
+                         " Attach with 'csce inspect SOCK <command>' or"
+                         " 'csce top SOCK'")
     p_match.set_defaults(func=_cmd_match)
+
+    from repro.obs.wire import COMMAND_HELP, KNOWN_COMMANDS
+
+    p_inspect = sub.add_parser(
+        "inspect",
+        help="query or steer a live match served with --inspect",
+        description="Commands: " + "; ".join(
+            f"{name} — {COMMAND_HELP[name]}" for name in KNOWN_COMMANDS
+        ),
+    )
+    p_inspect.add_argument("socket", help="inspector address: the --inspect"
+                           " socket path or host:port")
+    p_inspect.add_argument("cmd", choices=KNOWN_COMMANDS,
+                           help="inspector command to run")
+    p_inspect.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+    p_inspect.add_argument("--timeout", type=float, default=10.0,
+                           help="connection/response timeout in seconds")
+    p_inspect.add_argument("--limit", type=int, default=None,
+                           help="[recorder] show only the last N events")
+    p_inspect.add_argument("--path", default=None,
+                           help="[checkpoint-now] write the checkpoint here"
+                           " instead of the run's --checkpoint path")
+    p_inspect.add_argument("--time-limit", type=float, default=None,
+                           help="[budget] tighten the wall-clock limit"
+                           " (seconds from now)")
+    p_inspect.add_argument("--max-embeddings", type=int, default=None,
+                           help="[budget] tighten the embedding cap")
+    p_inspect.add_argument("--memory-limit", type=float, metavar="MIB",
+                           default=None,
+                           help="[budget] tighten the memory ceiling (MiB)")
+    p_inspect.add_argument("--reason", default=None,
+                           help="[cancel] reason recorded on the token")
+    p_inspect.set_defaults(func=_cmd_inspect)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live plain-text view of a match served with --inspect",
+    )
+    p_top.add_argument("socket", help="inspector address: the --inspect"
+                       " socket path or host:port")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="refresh period in seconds")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one snapshot and exit (no screen clear)")
+    p_top.add_argument("--timeout", type=float, default=10.0,
+                       help="connection/response timeout in seconds")
+    p_top.set_defaults(func=_cmd_top)
 
     p_plan = sub.add_parser("plan", help="show the optimized matching plan")
     p_plan.add_argument("--dataset", choices=DATASET_NAMES, required=True)

@@ -239,7 +239,10 @@ class CheckpointSink:
     ``CSCE.match_iter(..., checkpoint_path=...)`` installs one; when the
     stream stops early with a resumable ``stop_reason`` the sink writes
     the checkpoint document to ``path``. ``written`` holds the last
-    document (None until a suspend happens)."""
+    document (None until a write happens). The live inspector's
+    ``checkpoint-now`` command routes through :meth:`write_on_demand`,
+    which additionally counts in ``on_demand`` — mid-run snapshots of a
+    still-running stream, as opposed to the suspend-time write."""
 
     def __init__(
         self,
@@ -255,12 +258,22 @@ class CheckpointSink:
         self.variant = variant
         self.planner = planner
         self.written: dict | None = None
+        self.on_demand = 0
 
     def write(self, stream: EmbeddingStream) -> None:
         self.written = write_checkpoint(
             self.path, stream, self.store, self.pattern, self.variant,
             self.planner,
         )
+
+    def write_on_demand(self, stream: EmbeddingStream) -> dict:
+        """Write a mid-run checkpoint (inspector ``checkpoint-now`` /
+        SIGUSR2). Must run at a consistent point of the stream — a
+        heartbeat tick on the executor thread, or after the run ended."""
+        self.write(stream)
+        self.on_demand += 1
+        assert self.written is not None
+        return self.written
 
 
 def restore_stream(

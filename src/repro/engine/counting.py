@@ -420,6 +420,10 @@ class FactorizedCounter:
             if gov is not None:
                 reason = gov.check(self)
                 if reason is not None:
+                    if reason == STOP_TIME_LIMIT:
+                        # A governor-imposed deadline (e.g. tightened
+                        # mid-run) keeps the legacy flag in step.
+                        self.timed_out = True
                     self.stop_reason = reason
                     self._note_stop(reason, depth)
                     return

@@ -273,6 +273,10 @@ class Runtime:
             return True
         reason = gov.check(self)
         if reason is not None:
+            if reason == STOP_TIME_LIMIT:
+                self.timed_out = True
+            elif reason == STOP_EMBEDDING_LIMIT:
+                self.truncated = True
             self.stop_reason = reason
             self.note_stop(reason)
             return False
@@ -298,6 +302,12 @@ class Runtime:
         (and the legacy ``timed_out`` flag) before returning False."""
         self.nodes += 1
         if self._ticking and self.nodes % self._interval == 0:
+            if self.search_state is not None:
+                # stream() keeps `pos` in a local for speed and only syncs
+                # it at suspension points; sync it here too so anything
+                # sampled at a tick (the progress probe, an on-demand
+                # checkpoint from the inspector) sees a consistent state.
+                self.search_state.pos = depth
             recorder = self._recorder
             if faults.ACTIVE is not None:
                 # Record before firing so an action that raises still
@@ -330,6 +340,13 @@ class Runtime:
             if gov is not None:
                 reason = gov.check(self)
                 if reason is not None:
+                    # Keep the legacy flags in step with governor-imposed
+                    # stops (a mid-run `budget` tightening arrives here,
+                    # not through the runtime's own deadline/cap).
+                    if reason == STOP_TIME_LIMIT:
+                        self.timed_out = True
+                    elif reason == STOP_EMBEDDING_LIMIT:
+                        self.truncated = True
                     self.stop_reason = reason
                     self.note_stop(reason, depth)
                     return False

@@ -146,6 +146,13 @@ class ResourceGovernor:
         self.cancel = cancel or CancelToken()
         self.obs = obs
         self._owns_tracing = False
+        # Live-tightening state (see tighten()): the time/embedding
+        # dimensions of the *initial* budget are folded into the runtime
+        # at construction, so mid-run changes need governor-level
+        # overrides that check() enforces itself.
+        self._tighten_lock = threading.Lock()
+        self._deadline_override: float | None = None
+        self._cap_override: int | None = None
 
     # -- tracemalloc ownership ----------------------------------------
     def ensure_tracing(self) -> None:
@@ -161,6 +168,54 @@ class ResourceGovernor:
         if self._owns_tracing:
             tracemalloc.stop()
             self._owns_tracing = False
+
+    # -- live tightening (inspector `budget` command) -----------------
+    def tighten(
+        self,
+        time_limit: float | None = None,
+        max_embeddings: int | None = None,
+        memory_limit_mb: float | None = None,
+    ) -> Budget:
+        """Tighten the budget mid-run; returns the new effective budget.
+
+        Caps can only shrink (min-merge with the existing budget — a
+        governor cannot *grant* resources a run was started without).
+        ``time_limit`` counts from *now*: it becomes an absolute deadline
+        checked at the next tick, alongside the runtime's original one.
+        Thread-safe: called from inspector socket threads while the
+        executor thread polls :meth:`check`.
+        """
+        with self._tighten_lock:
+            old = self.budget
+            if time_limit is not None:
+                deadline = time.perf_counter() + time_limit
+                if (
+                    self._deadline_override is None
+                    or deadline < self._deadline_override
+                ):
+                    self._deadline_override = deadline
+            if max_embeddings is not None:
+                if (
+                    self._cap_override is None
+                    or max_embeddings < self._cap_override
+                ):
+                    self._cap_override = max_embeddings
+
+            def _min(a, b):
+                if a is None:
+                    return b
+                if b is None:
+                    return a
+                return min(a, b)
+
+            self.budget = Budget(
+                time_limit=_min(old.time_limit, time_limit),
+                max_embeddings=_min(old.max_embeddings, max_embeddings),
+                memory_limit_mb=_min(old.memory_limit_mb, memory_limit_mb),
+            )
+        # A newly-imposed memory ceiling needs sampling to be live.
+        self.ensure_tracing()
+        return self.budget
 
     # -- sampling ------------------------------------------------------
     def memory_mb(self) -> float:
@@ -195,6 +250,17 @@ class ResourceGovernor:
         """
         if self.cancel.cancelled:
             return STOP_CANCELLED
+        # Mid-run tightenings (see tighten()): the runtime's own
+        # deadline/cap were frozen at construction, so post-hoc limits
+        # are enforced here instead.
+        deadline = self._deadline_override
+        if deadline is not None and time.perf_counter() >= deadline:
+            return STOP_TIME_LIMIT
+        cap = self._cap_override
+        if cap is not None:
+            emitted = getattr(run, "emitted", None)
+            if emitted is not None and emitted >= cap:
+                return STOP_EMBEDDING_LIMIT
         limit = self.budget.memory_limit_mb
         if limit is None:
             return None

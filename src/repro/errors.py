@@ -119,3 +119,17 @@ class CheckpointError(ReproError):
     """A checkpoint could not be read, failed validation, or does not match
     the store/pattern it is being resumed onto (e.g. the store mutated
     since the checkpoint was written)."""
+
+
+class InspectorError(ReproError):
+    """A live-inspection request could not be served: unknown command,
+    unreachable inspector endpoint, a control action with no target (no
+    governor / no checkpoint sink), or a command that timed out waiting
+    for the run to reach a safe service point."""
+
+
+class WireError(InspectorError):
+    """A frame on the inspector wire protocol was malformed: not valid
+    JSON, not a JSON object, oversized, or carrying an unknown
+    format/version/command. Subclasses :class:`InspectorError` so clients
+    can catch both with one clause."""

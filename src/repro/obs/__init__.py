@@ -42,6 +42,15 @@ from repro.obs.counters import (
     unified_stats,
 )
 from repro.obs.explain import build_explain, estimate_candidates, format_explain
+from repro.obs.inspect import (
+    DEFAULT_INSPECT_INTERVAL,
+    InspectorClient,
+    InspectorServer,
+    MatchInspector,
+    inspect_call,
+    render_top,
+    resolve_endpoint,
+)
 from repro.obs.logconfig import JsonFormatter, configure_logging, resolve_level
 from repro.obs.merge import (
     SpanContext,
@@ -94,6 +103,13 @@ from repro.obs.report import (
     write_run_report,
 )
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.wire import (
+    KNOWN_COMMANDS,
+    decode_frame,
+    decode_snapshot,
+    encode_frame,
+    encode_snapshot,
+)
 
 
 class Observation:
@@ -270,4 +286,16 @@ __all__ = [
     "build_explain",
     "format_explain",
     "estimate_candidates",
+    "KNOWN_COMMANDS",
+    "MatchInspector",
+    "InspectorServer",
+    "InspectorClient",
+    "DEFAULT_INSPECT_INTERVAL",
+    "inspect_call",
+    "render_top",
+    "resolve_endpoint",
+    "encode_frame",
+    "decode_frame",
+    "encode_snapshot",
+    "decode_snapshot",
 ]

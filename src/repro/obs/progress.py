@@ -225,8 +225,20 @@ class Heartbeat:
             f"{done} depth sample {self.depth_summary()},"
             f" {elapsed:.1f}s elapsed"
         )
-        for listener in self.listeners:
-            listener()
+        for listener in list(self.listeners):
+            try:
+                listener()
+            except Exception:
+                # A broken observer (metrics pump, inspector publisher, a
+                # user hook) must never abort the match it is watching:
+                # log it once and detach it.
+                logger.exception(
+                    "heartbeat listener %r raised; detaching it", listener
+                )
+                try:
+                    self.listeners.remove(listener)
+                except ValueError:
+                    pass
         return True
 
     def depth_summary(self) -> str:
@@ -239,7 +251,9 @@ class Heartbeat:
     def as_dict(self) -> dict:
         return {
             "beats": self.beats,
-            "depth_histogram": {str(d): c for d, c in sorted(self.depth_histogram.items())},
+            "depth_histogram": {
+                str(d): c for d, c in sorted(self.depth_histogram.items())
+            },
             "elapsed_seconds": time.monotonic() - self.started,
         }
 

@@ -251,10 +251,21 @@ def robustness_problems(report: dict) -> list[str]:
                 problems.append("checkpoint.path missing or not a string")
             if "written" in block and not isinstance(block["written"], bool):
                 problems.append("checkpoint.written must be a boolean")
-            if block.get("written") and report.get("stop_reason") is None:
+            on_demand = block.get("on_demand")
+            if on_demand is not None and (
+                not isinstance(on_demand, int) or isinstance(on_demand, bool)
+            ):
+                problems.append("checkpoint.on_demand must be an integer")
+            if (
+                block.get("written")
+                and report.get("stop_reason") is None
+                and not on_demand
+            ):
                 problems.append(
                     "checkpoint written but stop_reason is null"
-                    " (checkpoints only exist for suspended runs)"
+                    " (suspend-time checkpoints only exist for suspended"
+                    " runs; on-demand ones must say so in"
+                    " checkpoint.on_demand)"
                 )
     problems.extend(_recorder_problems(report))
     problems.extend(_progress_problems(report))

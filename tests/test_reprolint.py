@@ -49,6 +49,7 @@ def test_every_pass_registered():
         "api_all",
         "checkpoint_fields",
         "clock_discipline",
+        "inspector_commands",
         "layering",
         "no_recursion",
         "obs_keys",
@@ -128,6 +129,21 @@ def test_clock_discipline_fixture_flagged():
     assert "time.time()" in messages
     # Both the plain and the from-import alias wall-clock reads.
     assert sum("time.time()" in v.message for v in violations) == 2
+
+
+def test_inspector_commands_fixture_flagged():
+    violations = run_fixture("inspector_commands", "inspector_commands.py")
+    messages = " ".join(v.message for v in violations)
+    assert "'stauts'" in messages  # .request() typo
+    assert "'shutdown'" in messages  # never-registered command
+    assert "'progres'" in messages  # .handle() typo
+    assert "'cancel-all'" in messages  # HANDLERS key not registered
+    # The fixture's clean literals (KNOWN_COMMANDS members) are not
+    # flagged — neither as call args nor as HANDLERS keys.
+    assert "'status'" not in messages
+    assert "'cancel'" not in messages
+    assert "'progress'" not in messages
+    assert len(violations) == 4
 
 
 def test_api_all_fixture_flagged():

@@ -1,0 +1,104 @@
+"""Inspector-commands pass: command-name literals must be registered.
+
+The live-inspection wire protocol (:mod:`repro.obs.wire`) is string-keyed
+the same way the counters/metrics/events contracts are: clients send a
+command name, the server dispatches it through
+``MatchInspector.HANDLERS``, and the docs/CLI render from the same
+registry. A typo'd command produces a runtime "unknown command" error at
+attach time — on a live production run, the worst moment to find out.
+This pass closes the loop ahead of execution: every string literal passed
+as the first argument of a ``.request()`` / ``.handle()`` call, and every
+string key of a dict literal assigned to a name ``HANDLERS``, must be a
+member of ``repro.obs.wire.KNOWN_COMMANDS``. Adding a genuinely new
+command means adding it to the registry — which is the point.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from tools.reprolint import LintContext, LintPass, Violation, register
+
+COMMAND_METHODS = ("request", "handle")
+HANDLERS_NAME = "HANDLERS"
+
+
+def _registry(ctx: LintContext) -> frozenset:
+    ctx.ensure_importable()
+    from repro.obs.wire import KNOWN_COMMANDS
+
+    return frozenset(KNOWN_COMMANDS)
+
+
+def _literal_first_arg(node: ast.Call) -> str | None:
+    if node.args and isinstance(node.args[0], ast.Constant) \
+            and isinstance(node.args[0].value, str):
+        return node.args[0].value
+    return None
+
+
+def _handlers_dicts(node: ast.AST) -> list[ast.Dict]:
+    """Dict literals assigned (or annotated-assigned) to ``HANDLERS``."""
+    targets: list[ast.expr] = []
+    value: ast.expr | None = None
+    if isinstance(node, ast.Assign):
+        targets, value = node.targets, node.value
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        targets, value = [node.target], node.value
+    if not isinstance(value, ast.Dict):
+        return []
+    for target in targets:
+        name = target.id if isinstance(target, ast.Name) else (
+            target.attr if isinstance(target, ast.Attribute) else None
+        )
+        if name == HANDLERS_NAME:
+            return [value]
+    return []
+
+
+@register
+class InspectorCommandsPass(LintPass):
+    name = "inspector_commands"
+    description = (
+        "inspector command literals passed to .request()/.handle() and"
+        " the string keys of HANDLERS dict literals must be in"
+        " KNOWN_COMMANDS (repro.obs.wire)"
+    )
+
+    def run(self, ctx: LintContext) -> list[Violation]:
+        known = _registry(ctx)
+        violations: list[Violation] = []
+        for path in ctx.files("src/repro"):
+            violations.extend(self._check_file(ctx, path, known))
+        return violations
+
+    def _check_file(
+        self, ctx: LintContext, path: Path, known: frozenset
+    ) -> list[Violation]:
+        violations = []
+        for node in ast.walk(ctx.tree(path)):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in COMMAND_METHODS:
+                literal = _literal_first_arg(node)
+                if literal is not None and literal not in known:
+                    violations.append(self.violation(
+                        ctx, path, node.lineno,
+                        f"inspector command {literal!r} is not in"
+                        " KNOWN_COMMANDS (repro.obs.wire) — register it"
+                        " or fix the typo",
+                    ))
+                continue
+            for mapping in _handlers_dicts(node):
+                for key in mapping.keys:
+                    if isinstance(key, ast.Constant) \
+                            and isinstance(key.value, str) \
+                            and key.value not in known:
+                        violations.append(self.violation(
+                            ctx, path, key.lineno,
+                            f"HANDLERS key {key.value!r} is not in"
+                            " KNOWN_COMMANDS (repro.obs.wire) — register"
+                            " it or fix the typo",
+                        ))
+        return violations
