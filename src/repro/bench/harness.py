@@ -75,6 +75,10 @@ class ExperimentRecord:
     timed_out: bool = False
     truncated: bool = False
     unsupported: bool = False
+    workers: int = 1
+    """Worker processes the task ran on (1 = classic in-process run).
+    Only CSCE honors ``workers > 1``; baselines always record 1."""
+
     peak_mb: float | None = None
     extra: dict = field(default_factory=dict)
     report: dict | None = None
@@ -122,6 +126,7 @@ def run_task(
     collect_reports: bool = False,
     trace: bool = False,
     observed: bool = False,
+    workers: int = 1,
 ) -> ExperimentRecord:
     """Run one engine on one pattern, recording the paper's metrics.
 
@@ -138,7 +143,14 @@ def run_task(
     :class:`~repro.obs.Observation` (no spans, no profiling — counters +
     the always-on flight recorder + progress estimation), which is how
     the perf-smoke gate measures the always-on observability overhead.
+    ``workers > 1`` runs CSCE tasks on the multi-process pool
+    (:mod:`repro.engine.pool`) in count mode; baselines (and enumeration
+    tasks) silently stay single-process and record ``workers=1``.
     """
+    pool_workers = (
+        workers if workers > 1 and count_only and isinstance(engine, CSCE)
+        else 1
+    )
     record = ExperimentRecord(
         experiment=experiment,
         engine=engine_name,
@@ -146,6 +158,7 @@ def run_task(
         variant=str(Variant.parse(variant)),
         pattern_size=pattern.num_vertices,
         pattern_name=pattern.name,
+        workers=pool_workers,
     )
     obs = (
         Observation(trace=trace, profile=track_memory)
@@ -161,6 +174,7 @@ def run_task(
             max_embeddings=max_embeddings,
             time_limit=time_limit,
             obs=obs,
+            **({"workers": pool_workers} if pool_workers > 1 else {}),
         )
     except VariantError:
         record.unsupported = True
@@ -181,6 +195,8 @@ def run_task(
     record.total_seconds = time_limit if result.timed_out else wall
     record.extra = dict(result.stats)
     record.extra["compile_seconds"] = result.compile_seconds
+    if result.shards is not None:
+        record.extra["shards"] = dict(result.shards)
     if collect_reports and obs is not None:
         record.report = build_run_report(
             result,
@@ -213,6 +229,7 @@ def sweep(
     trace: bool = False,
     track_memory: bool = False,
     observed: bool = False,
+    workers: int = 1,
 ) -> list[ExperimentRecord]:
     """Run every engine on every pattern; one record per (engine, pattern).
 
@@ -244,6 +261,7 @@ def sweep(
                     trace=trace,
                     track_memory=track_memory,
                     observed=observed,
+                    workers=workers,
                 )
             )
     return records

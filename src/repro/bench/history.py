@@ -90,10 +90,17 @@ def machine_fingerprint(calibration_seconds: float | None = None) -> dict:
 
 
 def config_key(record) -> str:
-    """Stable identity of one sweep configuration (an ExperimentRecord)."""
+    """Stable identity of one sweep configuration (an ExperimentRecord).
+
+    Parallel runs (``workers > 1``) get a ``|wN`` suffix so they never
+    compare against single-process baselines; ``workers == 1`` keeps the
+    historical key shape, so committed baselines stay comparable.
+    """
+    workers = getattr(record, "workers", 1)
+    suffix = f"|w{workers}" if workers != 1 else ""
     return (
         f"{record.engine}|{record.dataset}|{record.variant}"
-        f"|size={record.pattern_size}|{record.pattern_name or '-'}"
+        f"|size={record.pattern_size}|{record.pattern_name or '-'}{suffix}"
     )
 
 
@@ -124,6 +131,7 @@ def build_history(
                 "variant": first.variant,
                 "pattern_size": first.pattern_size,
                 "pattern_name": first.pattern_name,
+                "workers": getattr(first, "workers", 1),
                 "n": len(members),
                 "embeddings": round(
                     statistics.fmean(m.embeddings for m in members), 1

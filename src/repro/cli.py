@@ -181,8 +181,39 @@ def _cmd_match(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    workers = max(1, args.workers)
+    if workers > 1:
+        if args.engine != "CSCE":
+            print("error: --workers requires --engine CSCE",
+                  file=sys.stderr)
+            return 2
+        if args.stream or args.enumerate:
+            print(
+                "error: --workers runs in count mode only (embedding"
+                " streams are not portable across processes); drop"
+                " --stream/--enumerate",
+                file=sys.stderr,
+            )
+            return 2
     checkpoint_doc = None
-    if args.resume:
+    resume_dir = None
+    if args.resume and os.path.isdir(args.resume):
+        # A directory of shard checkpoints (csce match --workers N
+        # --checkpoint DIR) resumes on the worker pool.
+        from repro.engine import load_checkpoint_dir
+        from repro.errors import CheckpointError
+        from repro.graph.io import parse_graph_text
+
+        try:
+            pool_docs = load_checkpoint_dir(args.resume)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        resume_dir = args.resume
+        pattern = parse_graph_text(
+            pool_docs[0]["pattern"]["text"], name="resumed"
+        )
+    elif args.resume:
         from repro.engine import load_checkpoint
         from repro.errors import CheckpointError
         from repro.graph.io import parse_graph_text
@@ -256,7 +287,8 @@ def _cmd_match(args: argparse.Namespace) -> int:
         )
         previous_handler = _install_sigint(token)
     usr1_handler = _install_sigusr1(obs) if obs is not None else None
-    use_stream = (
+    parallel = workers > 1 or resume_dir is not None
+    use_stream = not parallel and (
         args.stream
         or args.checkpoint
         or checkpoint_doc is not None
@@ -267,7 +299,61 @@ def _cmd_match(args: argparse.Namespace) -> int:
     server = None
     usr2_handler = None
     try:
-        if use_stream:
+        if parallel:
+            pool_monitor = None
+            if args.inspect is not None and obs is not None:
+                from repro.engine import PoolMonitor
+
+                pool_monitor = PoolMonitor()
+                inspector = MatchInspector(
+                    pool_monitor, obs, governor=governor
+                ).attach()
+                server = InspectorServer(inspector, args.inspect).start()
+                print(f"inspector   : listening on {server.endpoint}",
+                      file=sys.stderr)
+                usr2_handler = _install_sigusr2(inspector)
+            if resume_dir is not None:
+                result = engine.resume_pool(
+                    resume_dir,
+                    workers=workers,
+                    max_embeddings=args.limit,
+                    time_limit=args.time_limit,
+                    governor=governor,
+                    obs=obs,
+                    checkpoint_dir=args.checkpoint,
+                    monitor=pool_monitor,
+                )
+            else:
+                # pool_checkpoint_dir forbids a caller-supplied plan
+                # (shard resume recompiles through the session), so only
+                # pass `plan` when not checkpointing.
+                result = engine.match(
+                    pattern,
+                    args.variant,
+                    count_only=True,
+                    max_embeddings=args.limit,
+                    time_limit=args.time_limit,
+                    obs=obs,
+                    governor=governor,
+                    workers=workers,
+                    pool_checkpoint_dir=args.checkpoint,
+                    pool_monitor=pool_monitor,
+                    **(
+                        {"plan": plan}
+                        if plan is not None and not args.checkpoint
+                        else {}
+                    ),
+                )
+            if inspector is not None:
+                inspector.finish(result)
+            if args.checkpoint:
+                # The pool writes shard checkpoints only when it stops
+                # early (a completed search leaves nothing to resume).
+                checkpoint_block = {
+                    "path": str(args.checkpoint),
+                    "written": result.stop_reason is not None,
+                }
+        elif use_stream:
             if not isinstance(engine, CSCE):
                 print("error: --stream requires --engine CSCE",
                       file=sys.stderr)
@@ -415,6 +501,9 @@ def _cmd_match(args: argparse.Namespace) -> int:
         }
         if result.progress is not None:
             payload["progress"] = dict(result.progress)
+        if result.shards is not None:
+            payload["workers"] = workers
+            payload["shards"] = dict(result.shards)
         if checkpoint_block is not None:
             payload["checkpoint"] = checkpoint_block
         if args.profile and obs is not None:
@@ -437,6 +526,13 @@ def _cmd_match(args: argparse.Namespace) -> int:
         suffix = ((" (truncated)" if result.truncated else "")
                   + (" (timed out)" if result.timed_out else ""))
     print(f"embeddings  : {result.count}{suffix}")
+    if result.shards is not None:
+        counts = result.shards.get("counts") or []
+        print(
+            f"shards      : {len(counts)} worker(s):"
+            f" {' + '.join(str(c) for c in counts)}"
+            f" = {sum(counts)}"
+        )
     if result.degradation:
         print(f"degradation : {' > '.join(result.degradation)}")
     if checkpoint_block is not None:
@@ -719,6 +815,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         collect_reports=bool(args.report) or args.trace,
         trace=args.trace,
         observed=args.obs,
+        workers=max(1, args.workers),
     )
     if args.report:
         from repro.bench.harness import save_reports
@@ -878,13 +975,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="soft memory budget in MiB (CSCE only):"
                          " breaches climb the degradation ladder"
                          " (evict memo > disable memo > suspend)")
+    p_match.add_argument("--workers", type=int, metavar="N", default=1,
+                         help="run the search on N worker processes with"
+                         " work-stealing and exact merged counts (CSCE"
+                         " count mode only)")
     p_match.add_argument("--checkpoint", metavar="PATH", default=None,
                          help="write a resumable checkpoint here if the"
-                         " run suspends (limit/cancel/memory); CSCE only")
+                         " run suspends (limit/cancel/memory); CSCE only."
+                         " With --workers N, PATH is a directory that"
+                         " receives one shard checkpoint per unfinished"
+                         " work unit")
     p_match.add_argument("--resume", metavar="PATH", default=None,
                          help="resume a suspended run from this checkpoint"
                          " (pattern comes from the checkpoint; the data"
-                         " graph must be unchanged)")
+                         " graph must be unchanged). A directory of shard"
+                         " checkpoints resumes on the worker pool")
     p_match.add_argument("--lenient", action="store_true",
                          help="skip malformed graph-file lines with a"
                          " warning instead of failing (strict=False)")
@@ -1070,6 +1175,9 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=sorted(ENGINES))
     p_bench.add_argument("--limit", type=int, default=20_000)
     p_bench.add_argument("--time-limit", type=float, default=2.0)
+    p_bench.add_argument("--workers", type=int, metavar="N", default=1,
+                         help="worker processes per CSCE task (count mode;"
+                         " recorded in --history rows)")
     p_bench.add_argument("--trace", action="store_true",
                          help="collect span trees in the run-reports")
     p_bench.add_argument("--obs", action="store_true",

@@ -136,6 +136,9 @@ class CSCE:
         seed: dict[int, int] | None = None,
         obs=None,
         governor=None,
+        workers: int = 1,
+        pool_checkpoint_dir=None,
+        pool_monitor=None,
     ) -> MatchResult:
         """Find embeddings of ``pattern`` in the data graph.
 
@@ -174,6 +177,21 @@ class CSCE:
             degradation ladder) and a cooperative cancel token. Stops
             surface as ``result.stop_reason`` with the partial count;
             ``result.check()`` converts them to typed exceptions.
+        workers:
+            Number of worker processes. ``N > 1`` shards the search into
+            portable work units executed by a :mod:`repro.engine.pool`
+            process pool (requires ``count_only=True``); the merged count
+            is exactly the sequential count and ``result.shards``
+            summarizes the per-worker split.
+        pool_checkpoint_dir:
+            With ``workers > 1``: a directory that receives one shard
+            checkpoint per unfinished work unit when the pool stops early;
+            :meth:`resume_pool` continues from it with exact combined
+            counts. Requires a session-compiled plan (no ``plan=``).
+        pool_monitor:
+            With ``workers > 1``: a :class:`repro.engine.PoolMonitor` the
+            pool keeps refreshed with merged counters and per-worker rows
+            (the live `csce top` hook for parallel runs).
         """
         variant = Variant.parse(variant)
         obs = obs or self.obs or NULL_OBS
@@ -193,10 +211,46 @@ class CSCE:
                 seed=dict(seed) if seed else None,
                 obs=obs if obs.enabled else None,
                 governor=governor,
+                workers=workers,
             )
-            result = execute_physical(physical, options)
+            if workers > 1:
+                result = self._match_parallel(
+                    physical, options, pattern, variant, planner, plan,
+                    pool_checkpoint_dir, pool_monitor,
+                )
+            else:
+                result = execute_physical(physical, options)
             span.set("count", result.count)
         return result
+
+    def _match_parallel(
+        self, physical, options, pattern, variant, planner, plan,
+        pool_checkpoint_dir, pool_monitor,
+    ) -> MatchResult:
+        """Dispatch a ``workers > 1`` match to the process pool, wiring the
+        shard-checkpoint directory and live monitor that can't ride on
+        :class:`MatchOptions`."""
+        from repro.engine.executor import specialize
+        from repro.engine.pool import execute_parallel
+
+        checkpoint = None
+        if pool_checkpoint_dir is not None:
+            if plan is not None:
+                raise PlanError(
+                    "pool_checkpoint_dir requires a session-compiled plan;"
+                    " drop the plan= argument"
+                )
+            from repro.engine.checkpoint import PoolCheckpointDir
+
+            checkpoint = PoolCheckpointDir(
+                pool_checkpoint_dir, self.store, pattern, variant, planner
+            )
+        return execute_parallel(
+            specialize(physical, options),
+            options,
+            checkpoint=checkpoint,
+            monitor=pool_monitor,
+        )
 
     def match_iter(
         self,
@@ -296,6 +350,47 @@ class CSCE:
             governor=governor,
             obs=obs or self.obs,
             checkpoint_path=checkpoint_path,
+        )
+
+    def resume_pool(
+        self,
+        directory,
+        workers: int = 2,
+        max_embeddings=...,
+        time_limit=...,
+        governor=None,
+        obs=None,
+        checkpoint_dir=None,
+        monitor=None,
+    ) -> MatchResult:
+        """Resume a partially-completed parallel match from a directory of
+        shard checkpoints (written via ``pool_checkpoint_dir`` /
+        ``csce match --workers N --checkpoint DIR``).
+
+        Every shard is validated against this engine's store and against
+        its siblings (same pattern, store, and query configuration —
+        :class:`repro.errors.CheckpointError` on any mismatch). The
+        returned result folds the checkpointed progress into the new run:
+        its count is exactly the count the uninterrupted sequential match
+        would have produced. ``checkpoint_dir`` re-arms shard
+        checkpointing for repeated suspend/resume cycles; ``monitor``
+        attaches a live :class:`repro.engine.PoolMonitor` as in
+        :meth:`match`.
+        """
+        from repro.engine.checkpoint import load_checkpoint_dir
+        from repro.engine.pool import resume_parallel
+
+        payloads = load_checkpoint_dir(directory)
+        return resume_parallel(
+            payloads,
+            self.session,
+            workers,
+            max_embeddings=max_embeddings,
+            time_limit=time_limit,
+            governor=governor,
+            obs=obs or self.obs,
+            checkpoint_dir=checkpoint_dir,
+            monitor=monitor,
         )
 
     def count(self, pattern: Graph, variant: Variant | str = Variant.EDGE_INDUCED, **kwargs) -> int:

@@ -20,6 +20,10 @@ The engine separates the *logical* plan (what each step must check — see
   cooperative :class:`CancelToken` over any run;
 * :mod:`repro.engine.checkpoint` suspends/resumes the streaming executor's
   frame stack across processes (``CSCE.resume``);
+* :mod:`repro.engine.workunit` shards one search into portable
+  :class:`SearchState` payloads (root-candidate ranges, work-steal splits)
+  and :mod:`repro.engine.pool` executes them on a multi-process worker
+  pool with exact merged counts (``MatchOptions(workers=N)``);
 * :mod:`repro.engine.verify` statically verifies a compiled plan against
   its store before execution (``csce verify``,
   ``MatchSession(verify=True)``).
@@ -57,9 +61,22 @@ from repro.engine.executor import (
 )
 from repro.engine.checkpoint import (
     CheckpointSink,
+    PoolCheckpointDir,
     load_checkpoint,
+    load_checkpoint_dir,
     restore_stream,
+    worker_scoped_path,
     write_checkpoint,
+)
+from repro.engine.workunit import (
+    make_root_units,
+    root_candidates,
+    split_search_state,
+)
+from repro.engine.pool import (
+    PoolMonitor,
+    execute_parallel,
+    resume_parallel,
 )
 from repro.engine.counting import FactorizedCounter, count_physical
 from repro.engine.session import (
@@ -89,9 +106,18 @@ __all__ = [
     "ResourceGovernor",
     "SearchState",
     "CheckpointSink",
+    "PoolCheckpointDir",
     "load_checkpoint",
+    "load_checkpoint_dir",
     "restore_stream",
+    "worker_scoped_path",
     "write_checkpoint",
+    "make_root_units",
+    "root_candidates",
+    "split_search_state",
+    "PoolMonitor",
+    "execute_parallel",
+    "resume_parallel",
     "ExtendOp",
     "PhysicalPlan",
     "compile_plan",

@@ -97,20 +97,19 @@ def store_digest(store: CCSRStore) -> str:
     return _digest((store.num_vertices, store.num_edges, clusters))
 
 
-def checkpoint_payload(
-    stream: EmbeddingStream,
+def base_sections(
     store: CCSRStore,
     pattern: Graph,
     variant: Variant | str,
     planner: str,
+    options: MatchOptions,
 ) -> dict:
-    """Serialize a suspended :class:`EmbeddingStream` to a checkpoint
-    document. The stream must not be iterated afterwards (the state
-    snapshot aliases its live frame stack)."""
+    """The query-identity sections every checkpoint document shares —
+    format/version header, pattern and store guards, query, limits.
+    Shared by the single-stream serializer below and the pool's per-shard
+    writer (:class:`PoolCheckpointDir`)."""
     from repro.graph.io import format_graph_text, parse_graph_text
 
-    runtime = stream.runtime
-    options = stream.options
     # Digest the *re-parsed* text so the guard survives the label
     # stringification of the text format (int labels round-trip as int,
     # everything else as str).
@@ -141,6 +140,23 @@ def checkpoint_payload(
             "max_embeddings": options.max_embeddings,
             "time_limit": options.time_limit,
         },
+    }
+
+
+def checkpoint_payload(
+    stream: EmbeddingStream,
+    store: CCSRStore,
+    pattern: Graph,
+    variant: Variant | str,
+    planner: str,
+) -> dict:
+    """Serialize a suspended :class:`EmbeddingStream` to a checkpoint
+    document. The stream must not be iterated afterwards (the state
+    snapshot aliases its live frame stack)."""
+    runtime = stream.runtime
+    options = stream.options
+    return {
+        **base_sections(store, pattern, variant, planner, options),
         "progress": {
             "emitted": runtime.emitted,
             "stop_reason": runtime.stop_reason,
@@ -157,6 +173,26 @@ def checkpoint_payload(
     }
 
 
+def _write_json_atomic(path: str | os.PathLike, payload: dict) -> None:
+    """Write ``payload`` to ``path`` via a pid-unique temp file + atomic
+    rename. The pid suffix keeps concurrent writers (pool workers and
+    their parent checkpointing against the same directory) from clobbering
+    each other's in-flight temp file; ``os.replace`` makes the final
+    document appear atomically either way."""
+    tmp = f"{path}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def write_checkpoint(
     path: str | os.PathLike,
     stream: EmbeddingStream,
@@ -168,11 +204,7 @@ def write_checkpoint(
     """Write a checkpoint document to ``path`` (atomically, via a temp
     file) and return it."""
     payload = checkpoint_payload(stream, store, pattern, variant, planner)
-    tmp = f"{path}.tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
-        handle.write("\n")
-    os.replace(tmp, path)
+    _write_json_atomic(path, payload)
     return payload
 
 
@@ -233,6 +265,17 @@ def check_store_compatibility(payload: dict, store: CCSRStore) -> None:
         )
 
 
+def worker_scoped_path(path: str | os.PathLike, worker: int | str) -> str:
+    """Scope a checkpoint path to one pool worker: ``cp.json`` →
+    ``cp-w3.json`` for worker 3. Distinct final paths (plus the
+    pid-unique temp files of :func:`_write_json_atomic`) are what make N
+    workers and their parent safe to checkpoint concurrently against one
+    target."""
+    root, ext = os.path.splitext(str(path))
+    label = worker if isinstance(worker, str) else f"w{worker}"
+    return f"{root}-{label}{ext or '.json'}"
+
+
 class CheckpointSink:
     """Auto-checkpoint hook attached to an :class:`EmbeddingStream`.
 
@@ -242,7 +285,11 @@ class CheckpointSink:
     document (None until a write happens). The live inspector's
     ``checkpoint-now`` command routes through :meth:`write_on_demand`,
     which additionally counts in ``on_demand`` — mid-run snapshots of a
-    still-running stream, as opposed to the suspend-time write."""
+    still-running stream, as opposed to the suspend-time write.
+
+    ``worker`` (a pool worker id) scopes ``path`` through
+    :func:`worker_scoped_path` so concurrent sinks never share a
+    filename; :func:`load_checkpoint_dir` reassembles the shards."""
 
     def __init__(
         self,
@@ -251,7 +298,10 @@ class CheckpointSink:
         pattern: Graph,
         variant: Variant | str,
         planner: str,
+        worker: int | str | None = None,
     ) -> None:
+        if worker is not None:
+            path = worker_scoped_path(path, worker)
         self.path = path
         self.store = store
         self.pattern = pattern
@@ -370,3 +420,118 @@ def restore_stream(
     runtime.degradation = degradation
     runtime.gov_stage = 2 if "disable_memo" in degradation else 0
     return stream
+
+
+def load_checkpoint_dir(directory: str | os.PathLike) -> list[dict]:
+    """Load every shard checkpoint in a pool checkpoint directory.
+
+    Returns the validated documents in sorted-filename order and enforces
+    that all shards describe the *same* query against the *same* store
+    (pattern digest, store version/digest, and query section must agree) —
+    a directory of unrelated checkpoints is refused rather than summed
+    into a nonsense count.
+    """
+    try:
+        names = sorted(
+            name
+            for name in os.listdir(directory)
+            if name.endswith(".json")
+        )
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint directory {directory}: {exc}"
+        ) from exc
+    if not names:
+        raise CheckpointError(
+            f"checkpoint directory {directory} contains no *.json shards"
+        )
+    payloads = [
+        load_checkpoint(os.path.join(directory, name)) for name in names
+    ]
+    first = payloads[0]
+    for name, payload in zip(names[1:], payloads[1:]):
+        mismatched = next(
+            (
+                what
+                for what, a, b in (
+                    (
+                        "pattern",
+                        first["pattern"]["digest"],
+                        payload["pattern"]["digest"],
+                    ),
+                    ("store", first["store"], payload["store"]),
+                    ("query", first["query"], payload["query"]),
+                )
+                if a != b
+            ),
+            None,
+        )
+        if mismatched is not None:
+            raise CheckpointError(
+                f"shard {name} does not belong to this pool checkpoint"
+                f" ({mismatched} section differs from {names[0]})"
+            )
+    return payloads
+
+
+class PoolCheckpointDir:
+    """Checkpoint writer for a partially-completed worker pool.
+
+    One standard version-1 checkpoint document per *unfinished* work
+    unit, written as ``shard-NNNN.json`` into ``directory`` — each shard
+    is a complete, standalone-resumable checkpoint (``csce match
+    --resume`` on a single shard file works), and
+    :func:`load_checkpoint_dir` + ``CSCE.resume_pool`` re-enqueue all of
+    them. The pool's *completed* progress (merged emitted count and
+    counters) rides on shard 0 only; the other shards carry zero
+    progress, so summing ``progress.emitted`` across shards never double
+    counts.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        store: CCSRStore,
+        pattern: Graph,
+        variant: Variant | str,
+        planner: str,
+    ) -> None:
+        self.directory = str(directory)
+        self.store = store
+        self.pattern = pattern
+        self.variant = variant
+        self.planner = planner
+        self.written: list[str] = []
+
+    def write(
+        self,
+        options: MatchOptions,
+        units: list[dict],
+        emitted: int,
+        counters: dict,
+        stop_reason: str | None,
+        degradation: list[str],
+    ) -> list[str]:
+        """Write one shard checkpoint per unit state payload; returns the
+        written paths. ``emitted``/``counters`` are the pool's *confirmed*
+        completed totals (attached to shard 0)."""
+        os.makedirs(self.directory, exist_ok=True)
+        base = base_sections(
+            self.store, self.pattern, self.variant, self.planner, options
+        )
+        self.written = []
+        for i, state_payload in enumerate(units):
+            path = os.path.join(self.directory, f"shard-{i:04d}.json")
+            payload = {
+                **base,
+                "progress": {
+                    "emitted": emitted if i == 0 else 0,
+                    "stop_reason": stop_reason,
+                    "degradation": list(degradation) if i == 0 else [],
+                    "counters": dict(counters) if i == 0 else {},
+                },
+                "state": state_payload,
+            }
+            _write_json_atomic(path, payload)
+            self.written.append(path)
+        return self.written

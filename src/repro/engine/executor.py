@@ -493,10 +493,21 @@ def stream(
         state.pos = pos
 
 
-def count_capped(physical: PhysicalPlan, runtime: Runtime) -> int:
+def count_capped(
+    physical: PhysicalPlan,
+    runtime: Runtime,
+    state: SearchState | None = None,
+) -> int:
     """Count embeddings without yielding — the fast path for capped,
     restricted, or seeded counting runs (no per-embedding generator
-    hand-off). Same frame machine as :func:`stream`."""
+    hand-off). Same frame machine as :func:`stream`.
+
+    Pass a restored :class:`SearchState` to resume mid-frame — the path
+    pool workers use to execute a portable
+    :mod:`~repro.engine.workunit` payload. The state's ``pos`` is kept
+    current on every exit (limit stops and exhaustion), so a stopped
+    count is itself re-shardable.
+    """
     if physical.impossible():
         return 0
     ops = physical.ops
@@ -510,75 +521,80 @@ def count_capped(physical: PhysicalPlan, runtime: Runtime) -> int:
     injective = physical.injective
     max_embeddings = runtime.max_embeddings
     profile = runtime.profile
-    assignment = [-1] * n
-    used: set[int] = set()
+    if state is None:
+        state = SearchState.fresh(n)
+    assignment = state.assignment
+    used = state.used
     add, discard = used.add, used.discard
-    values: list[list | None] = [None] * n
-    index = [0] * n
-    emitted_at = [0] * n
-    pos = 0
-    # Wrap the loop's live lists so the progress probe sees the cursors.
-    runtime.search_state = SearchState(
-        assignment, used, values, index, emitted_at, 0
-    )
-    while pos >= 0:
-        op = ops[pos]
-        vals = values[pos]
-        if vals is None:
-            if not runtime.tick(pos, phase="count"):
-                return runtime.emitted
-            candidates = raw(op, assignment)
-            if profile is not None:
-                profile.visit(pos, candidates.shape[0])
-            pin = op.pin
-            if pin is not None:
-                vals = [pin] if _contains_sorted(candidates, pin) else []
-            else:
-                vals = candidates.tolist()
-            values[pos] = vals
-            index[pos] = 0
-            emitted_at[pos] = runtime.emitted
-        u = op.u
-        if assignment[u] != -1:
-            if injective:
-                discard(assignment[u])
-            assignment[u] = -1
-        i = index[pos]
-        restrictions = op.restrictions
-        chosen = -1
-        while i < len(vals):
-            v = vals[i]
-            i += 1
-            if injective and v in used:
-                runtime.prunes_injective += 1
-                continue
-            if restrictions and not _satisfies(v, assignment, restrictions):
-                runtime.prunes_restriction += 1
-                continue
-            chosen = v
-            break
-        index[pos] = i
-        if chosen < 0:
-            if runtime.emitted == emitted_at[pos]:
-                runtime.backtracks += 1
+    values = state.values
+    index = state.index
+    emitted_at = state.emitted_at
+    pos = state.pos
+    # Publish the loop's live lists so the progress probe (and a pool
+    # worker's split listener) sees the cursors.
+    runtime.search_state = state
+    try:
+        while pos >= 0:
+            op = ops[pos]
+            vals = values[pos]
+            if vals is None:
+                if not runtime.tick(pos, phase="count"):
+                    return runtime.emitted
+                candidates = raw(op, assignment)
                 if profile is not None:
-                    profile.backtrack(pos)
-            values[pos] = None
-            pos -= 1
-            continue
-        assignment[u] = chosen
-        if injective:
-            add(chosen)
-        if pos + 1 == n:
-            runtime.emitted += 1
-            if max_embeddings is not None and runtime.emitted >= max_embeddings:
-                runtime.truncated = True
-                runtime.stop_reason = STOP_EMBEDDING_LIMIT
-                runtime.note_stop(STOP_EMBEDDING_LIMIT, pos)
-                return runtime.emitted
-            continue
-        pos += 1
-    return runtime.emitted
+                    profile.visit(pos, candidates.shape[0])
+                pin = op.pin
+                if pin is not None:
+                    vals = [pin] if _contains_sorted(candidates, pin) else []
+                else:
+                    vals = candidates.tolist()
+                values[pos] = vals
+                index[pos] = 0
+                emitted_at[pos] = runtime.emitted
+            u = op.u
+            if assignment[u] != -1:
+                if injective:
+                    discard(assignment[u])
+                assignment[u] = -1
+            i = index[pos]
+            restrictions = op.restrictions
+            chosen = -1
+            while i < len(vals):
+                v = vals[i]
+                i += 1
+                if injective and v in used:
+                    runtime.prunes_injective += 1
+                    continue
+                if restrictions and not _satisfies(v, assignment, restrictions):
+                    runtime.prunes_restriction += 1
+                    continue
+                chosen = v
+                break
+            index[pos] = i
+            if chosen < 0:
+                if runtime.emitted == emitted_at[pos]:
+                    runtime.backtracks += 1
+                    if profile is not None:
+                        profile.backtrack(pos)
+                values[pos] = None
+                pos -= 1
+                continue
+            assignment[u] = chosen
+            if injective:
+                add(chosen)
+            if pos + 1 == n:
+                runtime.emitted += 1
+                if max_embeddings is not None and runtime.emitted >= max_embeddings:
+                    runtime.truncated = True
+                    runtime.stop_reason = STOP_EMBEDDING_LIMIT
+                    runtime.note_stop(STOP_EMBEDDING_LIMIT, pos)
+                    return runtime.emitted
+                continue
+            pos += 1
+        return runtime.emitted
+    finally:
+        # Mirror stream(): the state stays resumable on every exit path.
+        state.pos = pos
 
 
 class EmbeddingStream:
@@ -741,6 +757,13 @@ def execute_physical(
     never as exceptions.
     """
     options = options or MatchOptions()
+    if options.workers > 1:
+        # Parallel counting: shard the search into portable work units and
+        # merge the workers' exact counts. The pool re-enters this function
+        # per-unit with workers=1 inside each worker process.
+        from repro.engine.pool import execute_parallel
+
+        return execute_parallel(specialize(physical, options), options)
     obs = options.obs or NULL_OBS
     physical = specialize(physical, options)
     plan = physical.logical

@@ -121,6 +121,15 @@ class MatchOptions:
     cooperative cancel token. ``None`` (the default) keeps the legacy
     per-option limits with zero governance overhead."""
 
+    workers: int = 1
+    """Number of worker processes. ``1`` (the default) runs the classic
+    in-process executor; ``N > 1`` shards the search into portable
+    :class:`repro.engine.workunit` payloads executed by a
+    :mod:`repro.engine.pool` process pool with work-stealing, exact merged
+    counts, and per-worker budgets derived from this options object.
+    Parallel execution requires ``count_only=True`` (embedding streams are
+    not portable across process boundaries)."""
+
 
 @dataclass
 class MatchResult:
@@ -177,6 +186,12 @@ class MatchResult:
     * ``factorizations`` / ``group_memo_hits`` — SCE count-factorization
       events and memoized-region reuses (0 on the enumeration path).
     """
+
+    shards: dict | None = None
+    """Per-worker shard summary for parallel runs (``workers > 1``): the
+    ``merge_run_reports`` shards block — ``{"count", "workers", "counts",
+    "stop_reasons", "execute_seconds_sum"}`` — where ``counts`` sums
+    exactly to :attr:`count`. ``None`` on single-process runs."""
 
     @property
     def total_seconds(self) -> float:

@@ -121,6 +121,13 @@ class CheckpointError(ReproError):
     since the checkpoint was written)."""
 
 
+class PoolError(ReproError):
+    """A parallel worker pool could not complete the match: a work unit
+    exhausted its retry budget after repeated worker deaths, or the
+    requested execution mode is not supported across process
+    boundaries (e.g. streaming enumeration with ``workers > 1``)."""
+
+
 class InspectorError(ReproError):
     """A live-inspection request could not be served: unknown command,
     unreachable inspector endpoint, a control action with no target (no

@@ -216,6 +216,11 @@ class MatchInspector:
             }
         if self.last_checkpoint is not None:
             status["checkpoint"] = dict(self.last_checkpoint)
+        worker_rows = getattr(self.stream, "worker_rows", None)
+        if callable(worker_rows):
+            # Pool-backed streams (engine.pool.PoolMonitor) expose live
+            # per-worker rows; `csce top` renders them as a worker table.
+            status["workers"] = worker_rows()
         progress: dict | None = None
         estimator = runtime.progress
         if estimator is not None:
@@ -785,6 +790,23 @@ def render_top(
     stop = status.get("stop_reason")
     if stop:
         lines.append(f"stopped     : {stop}")
+    workers = status.get("workers") or []
+    if workers:
+        lines.append(
+            f"{'worker':<8}{'pid':>8}{'state':>9}{'unit':>6}"
+            f"{'units':>7}{'emitted':>12}{'nodes':>12}"
+        )
+        for row in workers:
+            unit = row.get("unit")
+            lines.append(
+                f"{str(row.get('worker', '?')):<8}"
+                f"{str(row.get('pid', '?')):>8}"
+                f"{str(row.get('state', '?')):>9}"
+                f"{'-' if unit is None else unit:>6}"
+                f"{row.get('units', 0):>7}"
+                f"{row.get('emitted', 0):>12}"
+                f"{row.get('nodes', 0):>12}"
+            )
     hot = status.get("hot_clusters") or []
     if hot:
         lines.append("hot clusters:")

@@ -46,6 +46,9 @@ KNOWN_EVENTS: tuple[str, ...] = (
     "fault",      # an injected fault site fired (site, context)
     "stop",       # a cooperative stop (reason, nodes, emitted)
     "run_end",    # the run/stream finished (count, stop reason)
+    "unit",       # a pool work unit changed state (id, worker, event)
+    "steal",      # a work-steal split (victim worker, unit, new unit)
+    "worker",     # a pool worker lifecycle event (id, pid, event)
 )
 
 DEFAULT_CAPACITY = 256

@@ -130,6 +130,12 @@ def build_run_report(
         report["progress"] = dict(progress)
     elif obs is not None and getattr(obs, "progress", None) is not None:
         report["progress"] = obs.progress.as_dict()
+    shards = getattr(result, "shards", None)
+    if shards:
+        # Parallel runs carry the merge_run_reports shards block; its
+        # per-worker counts must sum exactly to `count`
+        # (validate_run_report checks this).
+        report["shards"] = dict(shards)
     if recorder is not None and recorder.enabled and recorder.recorded:
         # The flight-recorder tail rides in every instrumented report, so
         # a stopped/faulted run's post-mortem is one document.

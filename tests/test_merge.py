@@ -77,6 +77,11 @@ class TestMergeCounters:
         right = merge_counters(a, merge_counters(b, c))
         assert left == right == merge_counters(a, b, c)
 
+    def test_disjoint_key_sets_concatenate(self):
+        # Fully disjoint shards: no key collides, every entry survives.
+        merged = merge_counters({"a": 1, "b": 2}, {"c": 3}, {"d": 4.5})
+        assert merged == {"a": 1, "b": 2, "c": 3, "d": 4.5}
+
 
 # ---------------------------------------------------------------------------
 # SpanContext / WorkUnit
@@ -250,6 +255,28 @@ class TestMergeRunReports:
         b = dict(base, degradation=["evict_memo", "disable_memo"])
         merged = merge_run_reports([a, b])
         assert merged["degradation"] == ["evict_memo", "disable_memo"]
+
+    def test_single_shard_identity(self, engine):
+        # Merging one shard report changes nothing observable: count,
+        # counters, stop flags, and timings all pass through, and the
+        # shards block degenerates to that one worker.
+        pattern = CATALOG["triangle"]()
+        obs = Observation(trace=False)
+        result = engine.match(
+            pattern, "edge_induced", count_only=False, obs=obs
+        )
+        report = build_run_report(result, engine="CSCE", obs=obs)
+        merged = merge_run_reports([report], workers=["solo"])
+        validate_run_report(merged)
+        assert merged["count"] == report["count"]
+        assert merged["counters"] == report["counters"]
+        assert merged["stop_reason"] == report.get("stop_reason")
+        assert merged["timings"]["execute_seconds"] == (
+            report["timings"]["execute_seconds"]
+        )
+        assert merged["shards"]["count"] == 1
+        assert merged["shards"]["workers"] == ["solo"]
+        assert merged["shards"]["counts"] == [report["count"]]
 
     def test_empty_and_mismatched_inputs_rejected(self):
         with pytest.raises(ValueError):

@@ -114,6 +114,9 @@ class TestFlightRecorder:
         assert set(KNOWN_EVENTS) == {
             "run_start", "tick", "degrade", "checkpoint",
             "fault", "stop", "run_end",
+            # Pool lifecycle (engine.pool): unit dispatched, live stack
+            # split for a steal, worker joined/died.
+            "unit", "steal", "worker",
         }
 
 

@@ -49,6 +49,7 @@ def test_every_pass_registered():
         "api_all",
         "checkpoint_fields",
         "clock_discipline",
+        "fork_safety",
         "inspector_commands",
         "layering",
         "no_recursion",
@@ -144,6 +145,45 @@ def test_inspector_commands_fixture_flagged():
     assert "'cancel'" not in messages
     assert "'progress'" not in messages
     assert len(violations) == 4
+
+
+def test_fork_safety_fixture_flagged():
+    violations = run_fixture("fork_safety", "fork_safety.py")
+    flagged = {v.message.split("'")[1] for v in violations}
+    assert flagged == {
+        "REGISTRY", "ACTIVE_WORKERS", "SEEN", "PENDING", "BY_ID", "FIRST",
+    }
+    # Immutable constants, the allowlisted logger, and function-local
+    # mutables are not flagged.
+    for clean in ("STOP_ORDER", "KNOWN", "LIMIT", "logger", "local", "REST"):
+        assert clean not in flagged
+
+
+def test_fork_safety_covers_pool_modules():
+    from tools.reprolint.passes.fork_safety import SCOPES
+
+    assert "src/repro/engine/pool.py" in SCOPES
+    assert "src/repro/engine/workunit.py" in SCOPES
+
+
+def test_no_recursion_covers_pool_modules():
+    from tools.reprolint.passes.no_recursion import SCOPES
+
+    assert "src/repro/engine/pool.py" in SCOPES
+    assert "src/repro/engine/workunit.py" in SCOPES
+
+
+def test_clock_discipline_covers_pool_module():
+    # clock_discipline scopes by directory (all of src/repro, with the
+    # wall-clock rule on src/repro/engine); the pool module must be in
+    # the engine scan set.
+    from tools.reprolint.passes.clock_discipline import ENGINE_PREFIX
+
+    ctx = LintContext(root=REPO)
+    scanned = {ctx.rel(p) for p in ctx.files("src/repro")}
+    assert "src/repro/engine/pool.py" in scanned
+    pool_rel = "src/repro/engine/pool.py"
+    assert pool_rel.startswith("/".join(ENGINE_PREFIX))
 
 
 def test_api_all_fixture_flagged():

@@ -1,0 +1,30 @@
+"""Known-bad fixture for the fork_safety pass: module-level mutable
+registries in a (pretend) worker entrypoint module."""
+
+import collections
+import logging
+
+REGISTRY = {}  # violation: dict display
+
+ACTIVE_WORKERS = []  # violation: list display
+
+SEEN: set = set()  # violation: annotated set() call
+
+PENDING = collections.deque()  # violation: deque via attribute call
+
+BY_ID = {i: None for i in range(4)}  # violation: dict comprehension
+
+FIRST, REST = [], ()  # violation (FIRST only): tuple-target list display
+
+STOP_ORDER = ("time_limit", "cancelled")  # clean: tuple constant
+
+KNOWN = frozenset({"a", "b"})  # clean: frozenset constant
+
+LIMIT = 3  # clean: number
+
+logger = logging.getLogger(__name__)  # clean: allowlisted singleton
+
+
+def helper():
+    local = {}  # clean: function-local state is per-process by nature
+    return local

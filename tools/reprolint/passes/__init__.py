@@ -10,6 +10,7 @@ from tools.reprolint.passes import (  # noqa: F401  (registration side effect)
     api_all,
     checkpoint_fields,
     clock_discipline,
+    fork_safety,
     inspector_commands,
     layering,
     no_recursion,

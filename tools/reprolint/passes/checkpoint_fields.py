@@ -62,21 +62,45 @@ def _module_str_tuple(tree: ast.Module, name: str) -> tuple[list[str], int] | No
     return None
 
 
-def _payload_keys(tree: ast.Module) -> tuple[set[str], int] | None:
-    """String keys of the dict literal ``checkpoint_payload`` returns."""
+def _returned_dict_keys(
+    tree: ast.Module, func_name: str, depth: int = 0
+) -> tuple[set[str], int] | None:
+    """String keys of the dict literal ``func_name`` returns.
+
+    A ``**helper(...)`` spread whose helper is a module-level function in
+    the same file is inlined (one level deep) — the checkpoint serializer
+    shares its query-identity sections with the pool's per-shard writer
+    through such a helper, and the frozen manifest covers the *document*,
+    not the code layout.
+    """
     for node in tree.body:
         if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-                and node.name == "checkpoint_payload"):
+                and node.name == func_name):
             for child in ast.walk(node):
                 if (isinstance(child, ast.Return)
                         and isinstance(child.value, ast.Dict)):
-                    keys = {
-                        k.value for k in child.value.keys
-                        if isinstance(k, ast.Constant)
-                        and isinstance(k.value, str)
-                    }
+                    keys: set[str] = set()
+                    for key, value in zip(
+                        child.value.keys, child.value.values
+                    ):
+                        if (isinstance(key, ast.Constant)
+                                and isinstance(key.value, str)):
+                            keys.add(key.value)
+                        elif (key is None and depth == 0
+                                and isinstance(value, ast.Call)
+                                and isinstance(value.func, ast.Name)):
+                            inlined = _returned_dict_keys(
+                                tree, value.func.id, depth=1
+                            )
+                            if inlined is not None:
+                                keys.update(inlined[0])
                     return keys, child.lineno
     return None
+
+
+def _payload_keys(tree: ast.Module) -> tuple[set[str], int] | None:
+    """String keys of the document ``checkpoint_payload`` returns."""
+    return _returned_dict_keys(tree, "checkpoint_payload")
 
 
 @register

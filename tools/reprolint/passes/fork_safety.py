@@ -1,0 +1,129 @@
+"""Fork-safety pass: worker entrypoint modules carry no module-level
+mutable registries.
+
+The worker pool (:mod:`repro.engine.pool`) forks child processes whose
+entrypoints import :mod:`repro.engine.pool` and
+:mod:`repro.engine.workunit`. Any module-level mutable container in those
+files is a trap twice over:
+
+* state mutated in the parent **after** fork is silently invisible to the
+  children (and vice versa) — counts diverge with no error;
+* state mutated at import time makes a worker's behavior depend on import
+  order, which differs between the spawn and fork start methods.
+
+Constants must therefore be immutable (tuples, frozensets, numbers,
+strings) in these scopes. The check flags every module-level assignment
+whose right-hand side is a mutable-container display (``[...]``,
+``{...}``, a comprehension) or a call to a known mutable constructor
+(``dict``/``list``/``set``/``bytearray``/``deque``/``defaultdict``/
+``Counter``/``OrderedDict``). ``logging.getLogger`` and friends are fine:
+the allowlist below names the idiomatic module singletons whose sharing
+semantics are deliberate.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from tools.reprolint import LintContext, LintPass, Violation, register
+
+#: The worker-entrypoint modules that must stay free of module-level
+#: mutable state.
+SCOPES = (
+    "src/repro/engine/pool.py",
+    "src/repro/engine/workunit.py",
+)
+
+#: Module-level names allowed to hold mutable objects: idiomatic
+#: singletons whose cross-process sharing semantics are deliberate and
+#: documented where they are defined.
+ALLOWED_NAMES = frozenset({"logger"})
+
+#: Constructors that produce mutable containers.
+MUTABLE_CALLS = frozenset({
+    "dict", "list", "set", "bytearray",
+    "deque", "defaultdict", "Counter", "OrderedDict",
+})
+
+MUTABLE_DISPLAYS = (
+    ast.List, ast.Dict, ast.Set,
+    ast.ListComp, ast.DictComp, ast.SetComp,
+)
+
+
+def _is_mutable_value(node: ast.AST) -> bool:
+    if isinstance(node, MUTABLE_DISPLAYS):
+        return True
+    if isinstance(node, ast.Call):
+        target = node.func
+        name = (
+            target.id if isinstance(target, ast.Name)
+            else target.attr if isinstance(target, ast.Attribute)
+            else None
+        )
+        return name in MUTABLE_CALLS
+    return False
+
+
+def _target_names(node: ast.AST) -> list[str]:
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in node.elts:
+            names.extend(_target_names(element))
+        return names
+    return []
+
+
+@register
+class ForkSafetyPass(LintPass):
+    name = "fork_safety"
+    description = (
+        "worker entrypoint modules (engine/pool.py, engine/workunit.py)"
+        " must not define module-level mutable registries — fork shares"
+        " them by copy, so post-fork mutations silently diverge"
+    )
+
+    def run(self, ctx: LintContext) -> list[Violation]:
+        violations: list[Violation] = []
+        for path in ctx.files(*SCOPES):
+            violations.extend(self._check_file(ctx, path))
+        return violations
+
+    def _check_file(self, ctx: LintContext, path: Path) -> list[Violation]:
+        violations = []
+        for node in ctx.tree(path).body:
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            names = []
+            for target in targets:
+                if (
+                    isinstance(target, (ast.Tuple, ast.List))
+                    and isinstance(value, (ast.Tuple, ast.List))
+                    and len(target.elts) == len(value.elts)
+                ):
+                    # Paired unpacking: flag only the names bound to a
+                    # mutable element.
+                    for t, v in zip(target.elts, value.elts):
+                        if _is_mutable_value(v):
+                            names.extend(_target_names(t))
+                elif _is_mutable_value(value):
+                    names.extend(_target_names(target))
+            names = [n for n in names if n not in ALLOWED_NAMES]
+            for name in names:
+                violations.append(self.violation(
+                    ctx, path, node.lineno,
+                    f"module-level mutable {name!r} in a fork entrypoint —"
+                    " parent-side mutations after fork never reach the"
+                    " workers; use an immutable constant (tuple/frozenset)"
+                    " or pass state explicitly through the work unit",
+                ))
+        return violations

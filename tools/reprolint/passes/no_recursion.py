@@ -26,6 +26,8 @@ from tools.reprolint import LintContext, LintPass, Violation, register
 SCOPES = (
     "src/repro/engine/executor.py",
     "src/repro/engine/counting.py",
+    "src/repro/engine/pool.py",
+    "src/repro/engine/workunit.py",
 )
 
 FuncKey = tuple[str, str]  # (class name or "", function name)
