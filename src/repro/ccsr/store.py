@@ -322,7 +322,11 @@ class CCSRStore:
     # Algorithm 1: ReadCSR
     # ------------------------------------------------------------------
     def read(
-        self, pattern: Graph, variant: Variant | str, obs: Any = None
+        self,
+        pattern: Graph,
+        variant: Variant | str,
+        obs: Any = None,
+        retry: Any = None,
     ) -> TaskClusters:
         """Select and decompress the clusters this task needs (Alg. 1).
 
@@ -334,10 +338,25 @@ class CCSRStore:
         ``obs`` (a :class:`repro.obs.Observation`) records the ``read``
         span with one ``read.cluster`` child per decompressed cluster
         (rows/bytes attributes) and bumps the ``ccsr.*`` read counters.
+
+        ``retry`` is a :class:`repro.engine.governor.RetryPolicy` (or
+        ``None`` for a fresh default policy): each cluster decompression
+        that raises a transient :class:`~repro.errors.ClusterReadError`
+        is retried under bounded, seeded-jitter exponential backoff —
+        absorbed faults bump ``ccsr.read_retries`` instead of killing the
+        read. Callers holding a governor deadline pass
+        ``policy.with_deadline(...)`` so backoff never sleeps past it.
         """
+        from repro.errors import ClusterReadError
         from repro.obs import NULL_OBS
 
         obs = obs or NULL_OBS
+        if retry is None:
+            # Deferred import: ccsr sits below the engine layer, so the
+            # policy class is bound lazily at the first read.
+            from repro.engine.governor import RetryPolicy
+
+            retry = RetryPolicy(seed=0)
         tracer = obs.tracer
         counters = obs.counters
         profile = getattr(obs, "profile", None)
@@ -348,17 +367,31 @@ class CCSRStore:
             rows_read = 0
             decompressed: set[int] = set()
 
+            def on_retry(attempt: int, delay: float) -> None:
+                if counters.enabled:
+                    counters.inc("ccsr.read_retries")
+
             def use(cluster: Cluster) -> Cluster:
                 nonlocal bytes_read, rows_read
                 if id(cluster) not in decompressed:
-                    if faults.ACTIVE is not None:
-                        # Chaos-suite hook: a production store would hit
-                        # I/O here reading a spilled cluster.
-                        faults.fire("ccsr.read_cluster", key=str(cluster.key))
+
+                    def decompress_once() -> None:
+                        if faults.ACTIVE is not None:
+                            # Chaos-suite hook: a production store would
+                            # hit I/O here reading a spilled cluster.
+                            faults.fire(
+                                "ccsr.read_cluster", key=str(cluster.key)
+                            )
+                        cluster.decompress()
+
                     with tracer.span(
                         "read.cluster", key=str(cluster.key)
                     ) as cluster_span:
-                        cluster.decompress()
+                        retry.run(
+                            decompress_once,
+                            retry_on=(ClusterReadError,),
+                            on_retry=on_retry,
+                        )
                         nbytes = cluster.nbytes()
                         rows = cluster.num_entries
                         cluster_span.set("rows", rows)

@@ -322,6 +322,9 @@ def _cmd_match(args: argparse.Namespace) -> int:
                     obs=obs,
                     checkpoint_dir=args.checkpoint,
                     monitor=pool_monitor,
+                    stall_timeout=args.stall_timeout,
+                    max_respawns=args.max_respawns,
+                    max_unit_attempts=args.max_unit_attempts,
                 )
             else:
                 # pool_checkpoint_dir forbids a caller-supplied plan
@@ -338,6 +341,9 @@ def _cmd_match(args: argparse.Namespace) -> int:
                     workers=workers,
                     pool_checkpoint_dir=args.checkpoint,
                     pool_monitor=pool_monitor,
+                    stall_timeout=args.stall_timeout,
+                    max_respawns=args.max_respawns,
+                    max_unit_attempts=args.max_unit_attempts,
                     **(
                         {"plan": plan}
                         if plan is not None and not args.checkpoint
@@ -455,6 +461,16 @@ def _cmd_match(args: argparse.Namespace) -> int:
     report = None
     if obs is not None:
         obs.finish(result)
+        config_block = None
+        if parallel:
+            # Stamp the supervision knobs a parallel run was launched
+            # with — report --validate type-checks them.
+            config_block = {
+                "workers": workers,
+                "stall_timeout": args.stall_timeout,
+                "max_respawns": args.max_respawns,
+                "max_unit_attempts": args.max_unit_attempts,
+            }
         report = build_run_report(
             result,
             engine=args.engine,
@@ -464,6 +480,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
             pattern=pattern,
             dataset=args.dataset or args.data,
             checkpoint=checkpoint_block,
+            config=config_block,
         )
     if args.report and report is not None:
         write_run_report(report, args.report)
@@ -504,6 +521,8 @@ def _cmd_match(args: argparse.Namespace) -> int:
         if result.shards is not None:
             payload["workers"] = workers
             payload["shards"] = dict(result.shards)
+        if result.quarantined_units:
+            payload["quarantined_units"] = result.quarantined_units
         if checkpoint_block is not None:
             payload["checkpoint"] = checkpoint_block
         if args.profile and obs is not None:
@@ -533,6 +552,11 @@ def _cmd_match(args: argparse.Namespace) -> int:
             f" {' + '.join(str(c) for c in counts)}"
             f" = {sum(counts)}"
         )
+    if result.quarantined_units:
+        print(
+            f"quarantined : {result.quarantined_units} unit(s) — replay"
+            " with 'csce retry-quarantined'"
+        )
     if result.degradation:
         print(f"degradation : {' > '.join(result.degradation)}")
     if checkpoint_block is not None:
@@ -557,6 +581,68 @@ def _cmd_match(args: argparse.Namespace) -> int:
         if len(result.embeddings) > len(shown):
             print(f"  ... {len(result.embeddings) - len(shown)} more")
     return 0
+
+
+def _cmd_retry_quarantined(args: argparse.Namespace) -> int:
+    """Replay the quarantine-NNNN.json residue of a --workers run
+    single-process and fold the missing counts (see
+    :meth:`repro.core.CSCE.retry_quarantined`)."""
+    from repro.errors import CheckpointError
+
+    if args.data:
+        graph = load_graph(args.data, strict=not args.lenient)
+    elif args.dataset:
+        graph = load_dataset(args.dataset, scale=args.scale)
+    else:
+        print("error: provide --data FILE or --dataset NAME", file=sys.stderr)
+        return 2
+    engine = CSCE(graph)
+    overrides: dict = {}
+    if args.limit is not None:
+        overrides["max_embeddings"] = args.limit
+    if args.time_limit is not None:
+        overrides["time_limit"] = args.time_limit
+    try:
+        replayed = len([
+            name
+            for name in os.listdir(args.directory)
+            if name.startswith("quarantine-") and name.endswith(".json")
+        ])
+    except OSError:
+        replayed = 0  # the engine call below reports the real error
+    try:
+        result = engine.retry_quarantined(
+            args.directory, keep_files=args.keep_files, **overrides
+        )
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({
+            "directory": str(args.directory),
+            "replayed_units": replayed,
+            "count": result.count,
+            "stop_reason": result.stop_reason,
+            "files_deleted": result.stop_reason is None
+            and not args.keep_files,
+            "timings": {"execute_seconds": result.elapsed},
+            "stats": dict(result.stats),
+        }, indent=2))
+        return 0 if result.stop_reason is None else 1
+    print(f"residue     : {replayed} quarantined unit(s) in"
+          f" {args.directory}")
+    suffix = f" (stopped: {result.stop_reason})" if result.stop_reason else ""
+    print(f"embeddings  : {result.count}{suffix}")
+    print(f"total time  : {result.total_seconds:.4f} s")
+    if result.stop_reason is None:
+        print("files       : kept" if args.keep_files
+              else "files       : residue deleted (counts folded)")
+        print("fold        : add this count to the original match's count"
+              " for the exact total")
+        return 0
+    print("files       : kept (replay incomplete — discard this partial"
+          " count and retry)", file=sys.stderr)
+    return 1
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -979,6 +1065,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the search on N worker processes with"
                          " work-stealing and exact merged counts (CSCE"
                          " count mode only)")
+    p_match.add_argument("--stall-timeout", type=float, metavar="SECONDS",
+                         default=None,
+                         help="with --workers N: SIGKILL a busy worker"
+                         " silent this long and re-dispatch its unit"
+                         " (default: watchdog off)")
+    p_match.add_argument("--max-respawns", type=int, metavar="N",
+                         default=None,
+                         help="with --workers N: replacement-worker budget"
+                         " after deaths/stall kills (default 3*workers)")
+    p_match.add_argument("--max-unit-attempts", type=int, metavar="N",
+                         default=3,
+                         help="with --workers N: attempts a work unit gets"
+                         " before it is quarantined to"
+                         " quarantine-NNNN.json in the --checkpoint"
+                         " directory (replay with 'csce"
+                         " retry-quarantined')")
     p_match.add_argument("--checkpoint", metavar="PATH", default=None,
                          help="write a resumable checkpoint here if the"
                          " run suspends (limit/cancel/memory); CSCE only."
@@ -1022,6 +1124,32 @@ def build_parser() -> argparse.ArgumentParser:
                          " Attach with 'csce inspect SOCK <command>' or"
                          " 'csce top SOCK'")
     p_match.set_defaults(func=_cmd_match)
+
+    p_retry = sub.add_parser(
+        "retry-quarantined",
+        help="replay the poison-unit residue a --workers match"
+        " quarantined (single-process, exact fold)",
+    )
+    p_retry.add_argument("directory", help="the pool --checkpoint directory"
+                         " holding quarantine-NNNN.json residue")
+    p_retry.add_argument("--data", help="data graph file (.graph format)")
+    p_retry.add_argument(
+        "--dataset", choices=DATASET_NAMES, help="built-in dataset stand-in"
+    )
+    p_retry.add_argument("--scale", type=float, default=0.5)
+    p_retry.add_argument("--lenient", action="store_true",
+                         help="skip malformed graph-file lines with a"
+                         " warning instead of failing (strict=False)")
+    p_retry.add_argument("--limit", type=int, default=None,
+                         help="override the recorded embedding cap")
+    p_retry.add_argument("--time-limit", type=float, default=None,
+                         help="override the recorded wall-clock limit")
+    p_retry.add_argument("--keep-files", action="store_true",
+                         help="keep the residue files after a complete"
+                         " replay instead of deleting them")
+    p_retry.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+    p_retry.set_defaults(func=_cmd_retry_quarantined)
 
     from repro.obs.wire import COMMAND_HELP, KNOWN_COMMANDS
 

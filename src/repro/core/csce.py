@@ -139,6 +139,9 @@ class CSCE:
         workers: int = 1,
         pool_checkpoint_dir=None,
         pool_monitor=None,
+        stall_timeout: float | None = None,
+        max_respawns: int | None = None,
+        max_unit_attempts: int = 3,
     ) -> MatchResult:
         """Find embeddings of ``pattern`` in the data graph.
 
@@ -192,6 +195,18 @@ class CSCE:
             With ``workers > 1``: a :class:`repro.engine.PoolMonitor` the
             pool keeps refreshed with merged counters and per-worker rows
             (the live `csce top` hook for parallel runs).
+        stall_timeout:
+            With ``workers > 1``: seconds a busy worker may go silent
+            before the stall watchdog SIGKILLs it and re-dispatches its
+            unit (``None`` disables the watchdog).
+        max_respawns:
+            With ``workers > 1``: cap on replacement workers after
+            deaths/stall kills (default ``3 * workers``).
+        max_unit_attempts:
+            With ``workers > 1``: attempts a work unit gets before it is
+            quarantined to ``quarantine-NNNN.json`` in
+            ``pool_checkpoint_dir`` (recover with
+            :meth:`retry_quarantined`) instead of aborting the match.
         """
         variant = Variant.parse(variant)
         obs = obs or self.obs or NULL_OBS
@@ -212,6 +227,9 @@ class CSCE:
                 obs=obs if obs.enabled else None,
                 governor=governor,
                 workers=workers,
+                stall_timeout=stall_timeout,
+                max_respawns=max_respawns,
+                max_unit_attempts=max_unit_attempts,
             )
             if workers > 1:
                 result = self._match_parallel(
@@ -362,6 +380,9 @@ class CSCE:
         obs=None,
         checkpoint_dir=None,
         monitor=None,
+        stall_timeout: float | None = None,
+        max_respawns: int | None = None,
+        max_unit_attempts: int = 3,
     ) -> MatchResult:
         """Resume a partially-completed parallel match from a directory of
         shard checkpoints (written via ``pool_checkpoint_dir`` /
@@ -391,7 +412,114 @@ class CSCE:
             obs=obs or self.obs,
             checkpoint_dir=checkpoint_dir,
             monitor=monitor,
+            stall_timeout=stall_timeout,
+            max_respawns=max_respawns,
+            max_unit_attempts=max_unit_attempts,
         )
+
+    def retry_quarantined(
+        self,
+        directory,
+        max_embeddings=...,
+        time_limit=...,
+        governor=None,
+        obs=None,
+        keep_files: bool = False,
+    ) -> MatchResult:
+        """Replay the poison-unit residue a parallel match quarantined.
+
+        Loads every ``quarantine-NNNN.json`` in ``directory`` (written by
+        a ``csce match --workers N --checkpoint DIR`` run whose units
+        exhausted their attempt budget), validates each against this
+        engine's store, and re-executes the payloads **single-process** —
+        the environment where the pool-only failure modes (worker death,
+        injected ``pool.worker_beat`` faults) cannot recur. The returned
+        :class:`MatchResult` counts exactly the embeddings the original
+        match was missing: folding ``match.count + retry.count``
+        reproduces the fault-free total.
+
+        ``max_embeddings``/``time_limit`` default to the limits recorded
+        in the residue documents (pass an override — including ``None``
+        for unlimited — to change them). On a complete replay
+        (``stop_reason is None``) the residue files are deleted unless
+        ``keep_files=True``; a replay that stopped early leaves every
+        file untouched — discard its partial result and retry, or resume
+        it like any checkpoint.
+        """
+        import os
+
+        from repro.engine.checkpoint import (
+            check_store_compatibility,
+            load_quarantine_dir,
+            pattern_digest,
+        )
+        from repro.engine.pool import _execute_inline
+        from repro.errors import CheckpointError
+        from repro.graph.io import parse_graph_text
+
+        pairs = load_quarantine_dir(directory)
+        paths = [path for path, _ in pairs]
+        payloads = [payload for _, payload in pairs]
+        for payload in payloads:
+            check_store_compatibility(payload, self.store)
+        first = payloads[0]
+        pattern = parse_graph_text(
+            first["pattern"]["text"], name="quarantine"
+        )
+        if pattern_digest(pattern) != first["pattern"]["digest"]:
+            raise CheckpointError(
+                "quarantine residue pattern does not match its digest"
+                " (corrupt document)"
+            )
+        query = first["query"]
+        variant = Variant.parse(query["variant"])
+        restrictions = (
+            tuple((int(u), int(v)) for u, v in query["restrictions"])
+            if query["restrictions"]
+            else None
+        )
+        seed = (
+            {int(u): int(v) for u, v in query["seed"]}
+            if query.get("seed")
+            else None
+        )
+        limits = first["limits"]
+        if max_embeddings is ...:
+            max_embeddings = limits.get("max_embeddings")
+        if time_limit is ...:
+            time_limit = limits.get("time_limit")
+        obs = obs or self.obs
+        compiled = self.session.compile(
+            pattern,
+            variant,
+            planner=query["planner"],
+            restrictions=restrictions,
+            obs=obs,
+        )
+        options = MatchOptions(
+            count_only=True,
+            max_embeddings=max_embeddings,
+            time_limit=time_limit,
+            use_sce=bool(query["use_sce"]),
+            restrictions=restrictions,
+            seed=seed,
+            obs=obs if obs is not None and getattr(obs, "enabled", False) else None,
+            governor=governor,
+        )
+        result = _execute_inline(
+            compiled.physical,
+            options,
+            [dict(payload["state"]) for payload in payloads],
+        )
+        if result.stop_reason is None and not keep_files:
+            for path in paths:
+                try:
+                    os.unlink(path)
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    logger.warning(
+                        "could not delete replayed residue %s", path
+                    )
+        return result
 
     def count(self, pattern: Graph, variant: Variant | str = Variant.EDGE_INDUCED, **kwargs) -> int:
         """Shorthand: the embedding count (``count_only`` matching)."""

@@ -38,12 +38,18 @@ from repro.engine.results import (
     STOP_CANCELLED,
     STOP_EMBEDDING_LIMIT,
     STOP_MEMORY_LIMIT,
+    STOP_QUARANTINED,
     STOP_REASONS,
     STOP_TIME_LIMIT,
     MatchOptions,
     MatchResult,
 )
-from repro.engine.governor import Budget, CancelToken, ResourceGovernor
+from repro.engine.governor import (
+    Budget,
+    CancelToken,
+    ResourceGovernor,
+    RetryPolicy,
+)
 from repro.engine.physical import (
     ExtendOp,
     PhysicalPlan,
@@ -64,6 +70,7 @@ from repro.engine.checkpoint import (
     PoolCheckpointDir,
     load_checkpoint,
     load_checkpoint_dir,
+    load_quarantine_dir,
     restore_stream,
     worker_scoped_path,
     write_checkpoint,
@@ -97,6 +104,7 @@ __all__ = [
     "STOP_CANCELLED",
     "STOP_EMBEDDING_LIMIT",
     "STOP_MEMORY_LIMIT",
+    "STOP_QUARANTINED",
     "STOP_REASONS",
     "STOP_TIME_LIMIT",
     "MatchOptions",
@@ -104,11 +112,13 @@ __all__ = [
     "Budget",
     "CancelToken",
     "ResourceGovernor",
+    "RetryPolicy",
     "SearchState",
     "CheckpointSink",
     "PoolCheckpointDir",
     "load_checkpoint",
     "load_checkpoint_dir",
+    "load_quarantine_dir",
     "restore_stream",
     "worker_scoped_path",
     "write_checkpoint",

@@ -44,7 +44,7 @@ import os
 from typing import TYPE_CHECKING, Any
 
 from repro.engine.executor import EmbeddingStream, SearchState
-from repro.engine.results import MatchOptions
+from repro.engine.results import STOP_QUARANTINED, MatchOptions
 from repro.errors import CheckpointError
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
@@ -56,6 +56,11 @@ if TYPE_CHECKING:  # pragma: no cover - annotation only
 
 CHECKPOINT_FORMAT = "repro-checkpoint"
 CHECKPOINT_VERSION = 1
+
+#: Filename prefix of poison-unit residue documents in a pool checkpoint
+#: directory. ``load_checkpoint_dir`` skips them (resume must not re-run
+#: what ``csce retry-quarantined`` replays — that would double count).
+QUARANTINE_PREFIX = "quarantine-"
 
 #: Runtime counters carried across the suspend/resume boundary.
 _RUNTIME_COUNTERS = (
@@ -436,6 +441,7 @@ def load_checkpoint_dir(directory: str | os.PathLike) -> list[dict]:
             name
             for name in os.listdir(directory)
             if name.endswith(".json")
+            and not name.startswith(QUARANTINE_PREFIX)
         )
     except OSError as exc:
         raise CheckpointError(
@@ -448,12 +454,21 @@ def load_checkpoint_dir(directory: str | os.PathLike) -> list[dict]:
     payloads = [
         load_checkpoint(os.path.join(directory, name)) for name in names
     ]
+    _check_same_query(names, payloads, "pool checkpoint")
+    return payloads
+
+
+def _check_same_query(
+    names: list[str], payloads: list[dict], what: str
+) -> None:
+    """Refuse a directory whose documents describe different queries or
+    stores — summing unrelated checkpoints yields a nonsense count."""
     first = payloads[0]
     for name, payload in zip(names[1:], payloads[1:]):
         mismatched = next(
             (
-                what
-                for what, a, b in (
+                section
+                for section, a, b in (
                     (
                         "pattern",
                         first["pattern"]["digest"],
@@ -468,10 +483,45 @@ def load_checkpoint_dir(directory: str | os.PathLike) -> list[dict]:
         )
         if mismatched is not None:
             raise CheckpointError(
-                f"shard {name} does not belong to this pool checkpoint"
+                f"shard {name} does not belong to this {what}"
                 f" ({mismatched} section differs from {names[0]})"
             )
-    return payloads
+
+
+def load_quarantine_dir(
+    directory: str | os.PathLike,
+) -> list[tuple[str, dict]]:
+    """Load every ``quarantine-NNNN.json`` residue document in a pool
+    checkpoint directory.
+
+    Returns ``(path, payload)`` pairs in sorted-filename order — the
+    paths let ``csce retry-quarantined`` delete each residue file once
+    its replay has been folded in. Each document is a standard version-1
+    checkpoint (validated like any shard, same-query enforcement
+    included) with an extra ``quarantine`` metadata block
+    (``{"unit", "attempts", "error"}``). Raises
+    :class:`~repro.errors.CheckpointError` when the directory holds no
+    quarantine residue.
+    """
+    try:
+        names = sorted(
+            name
+            for name in os.listdir(directory)
+            if name.startswith(QUARANTINE_PREFIX) and name.endswith(".json")
+        )
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint directory {directory}: {exc}"
+        ) from exc
+    if not names:
+        raise CheckpointError(
+            f"checkpoint directory {directory} contains no"
+            f" {QUARANTINE_PREFIX}*.json residue — nothing to retry"
+        )
+    paths = [os.path.join(directory, name) for name in names]
+    payloads = [load_checkpoint(path) for path in paths]
+    _check_same_query(names, payloads, "quarantine set")
+    return list(zip(paths, payloads))
 
 
 class PoolCheckpointDir:
@@ -535,3 +585,44 @@ class PoolCheckpointDir:
             _write_json_atomic(path, payload)
             self.written.append(path)
         return self.written
+
+    def write_quarantine(
+        self,
+        options: MatchOptions,
+        state_payload: dict,
+        unit: int,
+        attempts: int,
+        error: str | None,
+    ) -> str:
+        """Write one poison unit's residue as ``quarantine-NNNN.json``
+        (``NNNN`` = the pool unit id) and return the path.
+
+        The document is a standard version-1 checkpoint — the unit's
+        current payload, zero progress (nothing of it was merged since
+        its last bank) — plus a ``quarantine`` metadata block recording
+        why it was exiled. ``csce match --resume`` on the file works,
+        but the intended replay path is ``csce retry-quarantined``,
+        which folds and deletes the residue."""
+        os.makedirs(self.directory, exist_ok=True)
+        path = os.path.join(
+            self.directory, f"{QUARANTINE_PREFIX}{unit:04d}.json"
+        )
+        payload = {
+            **base_sections(
+                self.store, self.pattern, self.variant, self.planner, options
+            ),
+            "progress": {
+                "emitted": 0,
+                "stop_reason": STOP_QUARANTINED,
+                "degradation": [],
+                "counters": {},
+            },
+            "state": dict(state_payload),
+            "quarantine": {
+                "unit": int(unit),
+                "attempts": int(attempts),
+                "error": error,
+            },
+        }
+        _write_json_atomic(path, payload)
+        return path

@@ -35,8 +35,9 @@ a single attribute check per tick window.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
+import random
 import threading
 import time
 import tracemalloc
@@ -332,3 +333,95 @@ class ResourceGovernor:
             f"<ResourceGovernor budget={self.budget}"
             f" cancel={self.cancel!r}>"
         )
+
+
+class RetryPolicy:
+    """Bounded exponential backoff for absorbing transient faults.
+
+    Wraps a callable that may fail transiently (the ``ccsr.read_cluster``
+    site is the first user: a production store hits real I/O there) and
+    retries it up to ``max_attempts`` total attempts. The delay before
+    retry *k* is ``min(max_delay, base_delay * 2**(k-1))``, scaled by a
+    jitter factor drawn from a **seeded** private :class:`random.Random` —
+    two policies built with the same seed produce byte-identical delay
+    sequences, so a chaos run is reproducible from its seed alone.
+
+    Clock discipline: only :func:`time.perf_counter` is read, and a policy
+    constructed with an absolute ``deadline`` (a ``perf_counter`` value,
+    e.g. :meth:`ResourceGovernor.effective_deadline`) never sleeps past
+    it — when the remaining budget cannot cover the next backoff, the
+    original exception is re-raised immediately instead of burning the
+    run's deadline on sleeps.
+
+    ``retries`` counts the retries actually performed (the
+    ``ccsr.read_retries`` observation counter mirrors it at the read
+    site), so absorbed faults stay visible instead of silent.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.01,
+        max_delay: float = 0.25,
+        jitter: float = 0.5,
+        seed: int = 0,
+        deadline: float | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {max_attempts}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1]: {jitter}")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.seed = seed
+        self.deadline = deadline
+        self.retries = 0
+        self._rng = random.Random(seed)
+
+    def with_deadline(self, deadline: float | None) -> "RetryPolicy":
+        """A fresh policy with the same knobs bound to ``deadline``."""
+        return RetryPolicy(
+            max_attempts=self.max_attempts,
+            base_delay=self.base_delay,
+            max_delay=self.max_delay,
+            jitter=self.jitter,
+            seed=self.seed,
+            deadline=deadline,
+        )
+
+    def backoff(self, attempt: int) -> float:
+        """The jittered delay before retrying after failure ``attempt``
+        (1-based). Deterministic given the construction seed."""
+        delay = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        return delay * (1.0 - self.jitter * self._rng.random())
+
+    def run(
+        self,
+        fn: Callable[[], Any],
+        retry_on: tuple = (Exception,),
+        on_retry: Callable[[int, float], None] | None = None,
+    ) -> Any:
+        """Call ``fn`` until it succeeds, a non-``retry_on`` error
+        escapes, the attempt budget is spent, or the deadline forbids
+        another backoff. ``on_retry(attempt, delay)`` fires before each
+        sleep (the read site uses it to bump ``ccsr.read_retries``)."""
+        attempt = 1
+        while True:
+            try:
+                return fn()
+            except retry_on:
+                if attempt >= self.max_attempts:
+                    raise
+                delay = self.backoff(attempt)
+                if self.deadline is not None:
+                    remaining = self.deadline - time.perf_counter()
+                    if remaining <= delay:
+                        raise
+                self.retries += 1
+                if on_retry is not None:
+                    on_retry(attempt, delay)
+                if delay > 0.0:
+                    time.sleep(delay)
+                attempt += 1

@@ -43,6 +43,29 @@ live inspector (per-worker rows via :class:`PoolMonitor`); the flight
 recorder logs ``unit``/``steal``/``worker`` events; the final
 :class:`~repro.engine.results.MatchResult` carries the
 ``merge_run_reports`` shards block and exact merged counters.
+
+Self-healing supervision (see ``docs/robustness.md``)
+-----------------------------------------------------
+Three escalation legs keep a sick pool from wedging or aborting:
+
+* **Stall watchdog** — the parent stamps ``last_seen`` on every worker
+  message; a *busy* worker silent past ``MatchOptions.stall_timeout`` is
+  SIGKILLed (``worker_stall`` event, ``pool.stall_kills`` counter) and
+  its unit re-runs through the ordinary death-recovery path, spending
+  the respawn budget. A dead-but-silent worker can no longer stall
+  ``run()`` forever.
+* **Poison-unit quarantine** — a unit that exhausts
+  ``MatchOptions.max_unit_attempts`` no longer raises
+  :class:`~repro.errors.PoolError`; it is serialized to
+  ``quarantine-NNNN.json`` in the pool checkpoint directory (standard
+  checkpoint wire format) and the match completes with
+  ``stop_reason="quarantined"`` and ``MatchResult.quarantined_units``
+  set. ``csce retry-quarantined`` replays the residue single-process
+  and folds the counts exactly.
+* **Retrying cluster reads** — transient
+  :class:`~repro.errors.ClusterReadError` during the read phase is
+  absorbed by :class:`~repro.engine.governor.RetryPolicy` before it can
+  ever fail a unit (wired inside :meth:`repro.ccsr.store.CCSRStore.read`).
 """
 
 from __future__ import annotations
@@ -64,12 +87,14 @@ from repro.engine.results import (
     STOP_CANCELLED,
     STOP_EMBEDDING_LIMIT,
     STOP_MEMORY_LIMIT,
+    STOP_QUARANTINED,
     STOP_TIME_LIMIT,
     MatchOptions,
     MatchResult,
 )
 from repro.engine.workunit import make_root_units, split_search_state
 from repro.errors import PoolError
+from repro.testing import faults
 from repro.obs import (
     NULL_OBS,
     RUN_REPORT_VERSION,
@@ -205,9 +230,17 @@ class PoolMonitor:
         self.runtime = _PoolRuntime()
         self.checkpoint_sink = None
         self._rows: list[dict] = []
+        self._health: dict = {}
 
     def worker_rows(self) -> list[dict]:
         return [dict(row) for row in self._rows]
+
+    def health(self) -> dict:
+        """Supervision snapshot for the inspector's ``health`` command:
+        ``{"stall_timeout", "stall_kills", "quarantined_units",
+        "respawns_left", "max_beat_age"}`` — refreshed by the parent
+        drive loop each iteration."""
+        return dict(self._health)
 
 
 # ----------------------------------------------------------------------
@@ -228,6 +261,10 @@ def _run_unit(
 ) -> None:
     """Execute one work unit inside a worker process and report the
     delta-banked outcome (see the module docstring's protocol)."""
+    # Fired before any runtime state exists, so a unit-targeted poison
+    # action surfaces as a clean "failed" message even for units shorter
+    # than one heartbeat interval.
+    faults.fire("pool.worker_beat", worker=worker_id, unit=unit_id)
     state = SearchState.from_payload(payload)
     heartbeat = Heartbeat(interval=_WORKER_HEARTBEAT, emit=_silent)
     obs = Observation(trace=False, record=False, heartbeat=heartbeat)
@@ -260,6 +297,7 @@ def _run_unit(
     def on_beat() -> None:
         # Runs on the executor thread at a tick boundary — the only
         # point where splitting the live frame stack is sound.
+        faults.fire("pool.worker_beat", worker=worker_id, unit=unit_id)
         live = runtime.stats()
         results.put(
             (
@@ -429,7 +467,17 @@ class _PoolDriver:
         self.worker_order: list[str] = []
         self.per_worker: dict[str, dict] = {}
         self.spawned = 0
-        self.respawns_left = _RESPAWN_FACTOR * options.workers
+        self.respawns_left = (
+            options.max_respawns
+            if options.max_respawns is not None
+            else _RESPAWN_FACTOR * options.workers
+        )
+        self.max_unit_attempts = max(
+            1, int(options.max_unit_attempts or MAX_UNIT_ATTEMPTS)
+        )
+        self.stall_timeout = options.stall_timeout
+        self.stall_kills = 0
+        self.quarantined: list[int] = []
         self.results = ctx.Queue()
         self.cancel_event = ctx.Event()
         self.need_work = ctx.Event()
@@ -500,6 +548,7 @@ class _PoolDriver:
             "live_nodes": 0,
             "live_emitted": 0,
             "beats": 0,
+            "last_seen": time.perf_counter(),
         }
         self.worker_order.append(wid)
         self._agg(wid)
@@ -554,6 +603,11 @@ class _PoolDriver:
     # -- message handling --------------------------------------------
     def _handle(self, msg: tuple) -> None:
         kind = msg[0]
+        # Every message kind carries the worker id at index 1; any
+        # message at all is proof of life for the stall watchdog.
+        sender = self.workers.get(msg[1]) if len(msg) > 1 else None
+        if sender is not None:
+            sender["last_seen"] = time.perf_counter()
         if kind == "ready":
             _, wid, pid = msg
             worker = self.workers.get(wid)
@@ -641,24 +695,86 @@ class _PoolDriver:
                  count_attempt: bool = True) -> None:
         """Put a unit back on the pending queue after a failure/death.
         Nothing of it was merged since its last bank, so re-running its
-        current payload is exact."""
+        current payload is exact. At the attempt cap the unit is
+        *quarantined* — never a raise — so one poison unit cannot abort
+        an otherwise healthy match."""
         unit = self.units.get(uid)
-        if unit is None or unit["status"] in ("done", "stopped"):
+        if unit is None or unit["status"] in ("done", "stopped", "quarantined"):
             return
         if count_attempt:
             unit["attempts"] += 1
-        if unit["attempts"] >= MAX_UNIT_ATTEMPTS:
-            raise PoolError(
-                f"work unit {uid} failed {unit['attempts']} times"
-                + (f" (last error: {err})" if err else "")
-                + "; giving up"
-            )
+        if unit["attempts"] >= self.max_unit_attempts:
+            self._quarantine(uid, err)
+            return
         unit["status"] = "pending"
         unit["worker"] = None
         self.pending.appendleft(uid)
         self._record("unit", id=uid, worker=None, event="requeue")
 
-    # -- death recovery ----------------------------------------------
+    def _quarantine(self, uid: int, err: str | None) -> None:
+        """Declare a unit poisonous: terminal ``quarantined`` status,
+        its current payload serialized (checkpoint wire format) to
+        ``quarantine-NNNN.json`` when a checkpoint directory is
+        configured. Exactness holds — nothing of the unit was merged
+        since its last bank, so the quarantine file's payload covers
+        exactly the missing counts, recoverable with
+        ``csce retry-quarantined``."""
+        unit = self.units[uid]
+        unit["status"] = "quarantined"
+        unit["worker"] = None
+        self.quarantined.append(uid)
+        path = None
+        if self.checkpoint is not None:
+            path = self.checkpoint.write_quarantine(
+                self.options, unit["payload"], uid, unit["attempts"], err
+            )
+        if self.obs.enabled:
+            self.obs.counters.inc("pool.quarantined_units")
+        self._record(
+            "quarantine", unit=uid, attempts=unit["attempts"], path=path
+        )
+        logger.warning(
+            "pool quarantined work unit %d after %d attempt(s)%s%s",
+            uid,
+            unit["attempts"],
+            f" (last error: {err})" if err else "",
+            f"; residue at {path}" if path else " (no checkpoint dir:"
+            " residue not recoverable)",
+        )
+
+    # -- stall watchdog / death recovery ------------------------------
+    def _check_stalls(self) -> None:
+        """Escalate on busy workers silent past ``stall_timeout``: record
+        the ``worker_stall`` event and SIGKILL the process. Recovery is
+        the ordinary death path (:meth:`_check_deaths` re-dispatches the
+        unit and spends the respawn budget) — the watchdog only turns a
+        silent wedge into a detectable death."""
+        if self.stall_timeout is None:
+            return
+        now = time.perf_counter()
+        for wid, worker in self.workers.items():
+            if worker["state"] != "busy" or not worker["proc"].is_alive():
+                continue
+            age = now - worker["last_seen"]
+            if age <= self.stall_timeout:
+                continue
+            self.stall_kills += 1
+            if self.obs.enabled:
+                self.obs.counters.inc("pool.stall_kills")
+            self._record(
+                "worker_stall", worker=wid, pid=worker["pid"],
+                unit=worker["unit"], age=round(age, 3),
+            )
+            logger.warning(
+                "pool worker %s (pid %s) stalled for %.1fs"
+                " (stall_timeout=%.1fs); killing it",
+                wid, worker["pid"], age, self.stall_timeout,
+            )
+            worker["proc"].kill()
+            # One escalation per stall: the kill may take a poll cycle
+            # to reap, and re-killing a dying pid is just noise.
+            worker["last_seen"] = now
+
     def _check_deaths(self) -> None:
         # Snapshot: a respawn inside the loop grows the worker table.
         for wid, worker in list(self.workers.items()):
@@ -707,7 +823,7 @@ class _PoolDriver:
     # -- dispatch / steal arbitration --------------------------------
     def _work_remains(self) -> bool:
         return any(
-            u["status"] not in ("done", "stopped")
+            u["status"] not in ("done", "stopped", "quarantined")
             for u in self.units.values()
         )
 
@@ -802,9 +918,18 @@ class _PoolDriver:
         ladders = [agg["degradation"] for agg in self.per_worker.values()]
         runtime.degradation = max(ladders, key=len, default=[])
         rows = []
+        now = time.perf_counter()
+        ages = []
         for wid in self.worker_order:
             worker = self.workers[wid]
             agg = self._agg(wid)
+            age = (
+                round(now - worker["last_seen"], 2)
+                if worker["state"] == "busy"
+                else None
+            )
+            if age is not None:
+                ages.append(age)
             rows.append(
                 {
                     "worker": wid,
@@ -816,9 +941,17 @@ class _PoolDriver:
                     "nodes": int(agg["stats"].get("nodes", 0))
                     + worker["live_nodes"],
                     "beats": worker["beats"],
+                    "beat_age": age,
                 }
             )
         self.monitor._rows = rows
+        self.monitor._health = {
+            "stall_timeout": self.stall_timeout,
+            "stall_kills": self.stall_kills,
+            "quarantined_units": len(self.quarantined),
+            "respawns_left": self.respawns_left,
+            "max_beat_age": max(ages, default=None),
+        }
 
     # -- drive loop ----------------------------------------------------
     def _drain_results(self) -> None:
@@ -862,6 +995,7 @@ class _PoolDriver:
         try:
             while True:
                 self._drain_results()
+                self._check_stalls()
                 self._check_deaths()
                 self._check_budgets()
                 self._dispatch()
@@ -921,11 +1055,15 @@ class _PoolDriver:
 
     def unfinished_payloads(self) -> list[dict]:
         """State payloads of every unit that has not run to completion —
-        what the pool checkpoint writes and resume re-enqueues."""
+        what the pool checkpoint writes and resume re-enqueues.
+        Quarantined units are excluded: their payloads live in
+        ``quarantine-NNNN.json`` files, replayed by
+        ``csce retry-quarantined`` (shipping them to resume as well
+        would double count)."""
         return [
             unit["payload"]
             for uid, unit in sorted(self.units.items())
-            if unit["status"] != "done"
+            if unit["status"] not in ("done", "quarantined")
         ]
 
 
@@ -995,6 +1133,11 @@ def _package_result(
 ) -> MatchResult:
     plan = physical.logical
     obs = options.obs or NULL_OBS
+    quarantined = len(driver.quarantined)
+    if merged_stop is None and quarantined:
+        # Quarantine is the least severe stop: any budget/cancel reason
+        # outranks it (the quarantined count still rides on the result).
+        merged_stop = STOP_QUARANTINED
     reports, tags = _shard_reports(driver, plan.variant.value)
     if not reports:
         # Nothing ran (empty root range / impossible plan): one synthetic
@@ -1021,6 +1164,8 @@ def _package_result(
         ]
         tags = ["w0"]
     merged = merge_run_reports(reports, workers=tags)
+    if quarantined:
+        merged["shards"]["quarantined_units"] = quarantined
     stats = merge_counters(
         driver.prior_counters,
         *(driver.per_worker[wid]["stats"] for wid in driver.worker_order),
@@ -1054,6 +1199,7 @@ def _package_result(
         progress=progress,
         stats=stats,
         shards=merged["shards"],
+        quarantined_units=quarantined,
     )
 
 
@@ -1290,6 +1436,9 @@ def resume_parallel(
     checkpoint_dir: str | os.PathLike | None = None,
     monitor: PoolMonitor | None = None,
     on_event: Callable[[str, tuple], None] | None = None,
+    stall_timeout: float | None = None,
+    max_respawns: int | None = None,
+    max_unit_attempts: int = 3,
 ) -> MatchResult:
     """Resume a partially-completed pool from its shard checkpoints.
 
@@ -1372,6 +1521,9 @@ def resume_parallel(
         obs=obs if obs is not None and getattr(obs, "enabled", False) else None,
         governor=governor,
         workers=workers,
+        stall_timeout=stall_timeout,
+        max_respawns=max_respawns,
+        max_unit_attempts=max_unit_attempts,
     )
     checkpoint = None
     if checkpoint_dir is not None:

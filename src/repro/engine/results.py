@@ -32,6 +32,7 @@ STOP_TIME_LIMIT = "time_limit"
 STOP_EMBEDDING_LIMIT = "embedding_limit"
 STOP_MEMORY_LIMIT = "memory_limit"
 STOP_CANCELLED = "cancelled"
+STOP_QUARANTINED = "quarantined"
 
 #: All valid non-None ``stop_reason`` values (run-report validation).
 STOP_REASONS = (
@@ -39,12 +40,21 @@ STOP_REASONS = (
     STOP_EMBEDDING_LIMIT,
     STOP_MEMORY_LIMIT,
     STOP_CANCELLED,
+    STOP_QUARANTINED,
 )
 
 #: Stop reasons that leave the frame stack intact and therefore support
 #: checkpoint/resume (an embedding-limit stop is resumable too: the cap
-#: fires *after* emitting, so the next step continues cleanly).
-RESUMABLE_STOP_REASONS = STOP_REASONS
+#: fires *after* emitting, so the next step continues cleanly). A
+#: ``"quarantined"`` stop is *not* resumable through the stream path —
+#: its residue lives in quarantine files replayed by
+#: ``csce retry-quarantined``.
+RESUMABLE_STOP_REASONS = (
+    STOP_TIME_LIMIT,
+    STOP_EMBEDDING_LIMIT,
+    STOP_MEMORY_LIMIT,
+    STOP_CANCELLED,
+)
 
 
 def raise_stop(stop_reason: str, partial_count: int) -> NoReturn:
@@ -130,6 +140,24 @@ class MatchOptions:
     Parallel execution requires ``count_only=True`` (embedding streams are
     not portable across process boundaries)."""
 
+    stall_timeout: float | None = None
+    """Seconds without any liveness message (ready/beat/split/done) from a
+    *busy* pool worker before the parent's stall watchdog escalates:
+    record a ``worker_stall`` flight-recorder event, SIGKILL the process,
+    and re-dispatch its unit through the death-recovery path (counted
+    against the respawn budget). ``None`` (the default) disables the
+    watchdog — a clean workload never sees a stall kill."""
+
+    max_respawns: int | None = None
+    """Cap on pool worker respawns after deaths or stall kills. ``None``
+    (the default) keeps the historical budget of 3 x ``workers``."""
+
+    max_unit_attempts: int = 3
+    """Attempts a pool work unit gets before it is declared poisonous and
+    quarantined (serialized to ``quarantine-NNNN.json`` in the pool
+    checkpoint directory instead of aborting the match; replay it with
+    ``csce retry-quarantined``)."""
+
 
 @dataclass
 class MatchResult:
@@ -191,7 +219,16 @@ class MatchResult:
     """Per-worker shard summary for parallel runs (``workers > 1``): the
     ``merge_run_reports`` shards block — ``{"count", "workers", "counts",
     "stop_reasons", "execute_seconds_sum"}`` — where ``counts`` sums
-    exactly to :attr:`count`. ``None`` on single-process runs."""
+    exactly to :attr:`count`. Pool runs that quarantined poison units add
+    ``quarantined_units`` to the block. ``None`` on single-process runs."""
+
+    quarantined_units: int = 0
+    """Work units the pool quarantined after exhausting their attempt
+    budget (see :attr:`MatchOptions.max_unit_attempts`). Nonzero only on
+    parallel runs, and always paired with ``stop_reason="quarantined"``
+    unless a more severe budget stop happened first; the missing counts
+    live in ``quarantine-NNNN.json`` files recoverable with
+    ``csce retry-quarantined``."""
 
     @property
     def total_seconds(self) -> float:
@@ -238,6 +275,8 @@ class MatchResult:
             flags.append("timed-out")
         if self.stop_reason in (STOP_MEMORY_LIMIT, STOP_CANCELLED):
             flags.append(self.stop_reason)
+        if self.quarantined_units:
+            flags.append(f"quarantined:{self.quarantined_units}")
         if self.degradation:
             flags.append("degraded:" + ">".join(self.degradation))
         suffix = f" [{', '.join(flags)}]" if flags else ""

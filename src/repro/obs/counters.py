@@ -53,12 +53,15 @@ KNOWN_COUNTERS: tuple[str, ...] = (
     "ccsr.clusters_read",
     "ccsr.bytes_read",
     "ccsr.rows_read",
+    "ccsr.read_retries",
     "continuous.updates",
     "continuous.pins",
     "continuous.delta_embeddings",
     "governor_evictions",
     "governor_memo_disabled",
     "governor_suspensions",
+    "pool.stall_kills",
+    "pool.quarantined_units",
 )
 
 

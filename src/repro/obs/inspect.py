@@ -118,6 +118,7 @@ class MatchInspector:
         "stats": "_cmd_stats",
         "counters": "_cmd_stats",
         "recorder": "_cmd_recorder",
+        "health": "_cmd_health",
         "checkpoint-now": "_cmd_checkpoint_now",
         "budget": "_cmd_budget",
         "cancel": "_cmd_cancel",
@@ -221,6 +222,11 @@ class MatchInspector:
             # Pool-backed streams (engine.pool.PoolMonitor) expose live
             # per-worker rows; `csce top` renders them as a worker table.
             status["workers"] = worker_rows()
+        health = getattr(self.stream, "health", None)
+        if callable(health):
+            # Supervision state (stall watchdog, quarantine, respawn
+            # budget) rides the same sample; `health` reads it back out.
+            status["health"] = health()
         progress: dict | None = None
         estimator = runtime.progress
         if estimator is not None:
@@ -308,6 +314,31 @@ class MatchInspector:
             events = dump.get("events", [])
             dump["events"] = events[-limit:] if limit > 0 else []
         return dump
+
+    def _cmd_health(self, args: dict) -> dict:
+        status = self._latest()["status"]
+        health = status.get("health")
+        if health is None:
+            # Single-process streams have no pool supervisor; answer with
+            # a typed "unsupervised" payload rather than an error so that
+            # `csce inspect ADDR health` is safe to script against both.
+            return {
+                "supervised": False,
+                "reason": "no pool attached; supervision health is"
+                          " published by --workers runs",
+                "workers": [],
+            }
+        payload = {"supervised": True, **health}
+        payload["workers"] = [
+            {
+                "worker": row.get("worker"),
+                "state": row.get("state"),
+                "unit": row.get("unit"),
+                "beat_age": row.get("beat_age"),
+            }
+            for row in status.get("workers") or []
+        ]
+        return payload
 
     def _cmd_checkpoint_now(self, args: dict) -> dict:
         path = args.get("path")
@@ -790,14 +821,25 @@ def render_top(
     stop = status.get("stop_reason")
     if stop:
         lines.append(f"stopped     : {stop}")
+    health = status.get("health")
+    if health:
+        timeout = health.get("stall_timeout")
+        lines.append(
+            "supervision : watchdog "
+            + ("off" if timeout is None else f"{timeout:g}s")
+            + f"  stall-kills {health.get('stall_kills', 0)}"
+            + f"  quarantined {health.get('quarantined_units', 0)}"
+            + f"  respawns-left {health.get('respawns_left', 0)}"
+        )
     workers = status.get("workers") or []
     if workers:
         lines.append(
             f"{'worker':<8}{'pid':>8}{'state':>9}{'unit':>6}"
-            f"{'units':>7}{'emitted':>12}{'nodes':>12}"
+            f"{'units':>7}{'emitted':>12}{'nodes':>12}{'beat':>8}"
         )
         for row in workers:
             unit = row.get("unit")
+            age = row.get("beat_age")
             lines.append(
                 f"{str(row.get('worker', '?')):<8}"
                 f"{str(row.get('pid', '?')):>8}"
@@ -806,6 +848,7 @@ def render_top(
                 f"{row.get('units', 0):>7}"
                 f"{row.get('emitted', 0):>12}"
                 f"{row.get('nodes', 0):>12}"
+                f"{'-' if age is None else f'{age:.1f}s':>8}"
             )
     hot = status.get("hot_clusters") or []
     if hot:

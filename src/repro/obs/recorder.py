@@ -49,6 +49,8 @@ KNOWN_EVENTS: tuple[str, ...] = (
     "unit",       # a pool work unit changed state (id, worker, event)
     "steal",      # a work-steal split (victim worker, unit, new unit)
     "worker",     # a pool worker lifecycle event (id, pid, event)
+    "worker_stall",  # the stall watchdog escalated (worker, pid, unit, age)
+    "quarantine", # a poison unit was quarantined (unit, attempts, path)
 )
 
 DEFAULT_CAPACITY = 256

@@ -45,8 +45,20 @@ _TIMING_KEYS = ("read_seconds", "plan_seconds", "execute_seconds", "total_second
 # repro.engine.results.STOP_REASONS and the repro.engine.governor ladder
 # events — obs sits below the engine in the layering, so it cannot import
 # them (tests pin the two lists against each other instead).
-_STOP_REASONS = ("time_limit", "embedding_limit", "memory_limit", "cancelled")
+_STOP_REASONS = (
+    "time_limit", "embedding_limit", "memory_limit", "cancelled",
+    "quarantined",
+)
 _DEGRADATION_EVENTS = ("evict_memo", "disable_memo", "suspend")
+
+#: Supervision knobs the ``config`` block may stamp, with their JSON
+#: types (``None`` is always allowed — the knob was left at "unset").
+_CONFIG_KNOBS: dict[str, tuple] = {
+    "workers": (int,),
+    "stall_timeout": (int, float),
+    "max_respawns": (int,),
+    "max_unit_attempts": (int,),
+}
 
 
 def schema_problems(
@@ -77,6 +89,7 @@ def build_run_report(
     dataset: str | None = None,
     extra: dict | None = None,
     checkpoint: dict | None = None,
+    config: dict | None = None,
 ) -> dict:
     """Assemble a run-report dict from a finished ``MatchResult``.
 
@@ -85,8 +98,12 @@ def build_run_report(
     ``graph`` (a ``Graph`` or ``CCSRStore``), and ``pattern`` add identity
     blocks when available. ``checkpoint`` (a ``{"path": ..., "written":
     bool}`` block) records that the run suspended to a resumable
-    checkpoint. The robustness fields ``stop_reason`` and ``degradation``
-    are always present (``None`` / empty for complete ungoverned runs).
+    checkpoint. ``config`` stamps the run's supervision knobs (workers,
+    stall_timeout, max_respawns, max_unit_attempts — see
+    :data:`_CONFIG_KNOBS`) so a report is reproducible without the
+    original command line. The robustness fields ``stop_reason`` and
+    ``degradation`` are always present (``None`` / empty for complete
+    ungoverned runs).
     """
     counters = dict(result.stats)
     spans: list[dict] = []
@@ -165,6 +182,8 @@ def build_run_report(
         report["dataset"] = dataset
     if checkpoint:
         report["checkpoint"] = dict(checkpoint)
+    if config:
+        report["config"] = dict(config)
     if extra:
         report["extra"] = dict(extra)
     return report
@@ -276,6 +295,28 @@ def robustness_problems(report: dict) -> list[str]:
     problems.extend(_recorder_problems(report))
     problems.extend(_progress_problems(report))
     problems.extend(_shards_problems(report))
+    problems.extend(_config_problems(report))
+    return problems
+
+
+def _config_problems(report: dict) -> list[str]:
+    if "config" not in report:
+        return []
+    block = report["config"]
+    if not isinstance(block, dict):
+        return ["config must be an object"]
+    problems: list[str] = []
+    for knob, types in _CONFIG_KNOBS.items():
+        if knob not in block:
+            continue
+        value = block[knob]
+        if value is None:
+            continue
+        if isinstance(value, bool) or not isinstance(value, types):
+            problems.append(
+                f"config.{knob} must be null or"
+                f" {'/'.join(t.__name__ for t in types)}"
+            )
     return problems
 
 
@@ -362,6 +403,21 @@ def _shards_problems(report: dict) -> list[str]:
             problems.append(
                 "shards.counts do not sum to the aggregate count"
                 f" ({sum(counts)} != {report.get('count')})"
+            )
+    quarantined = block.get("quarantined_units")
+    if quarantined is not None:
+        if (
+            not isinstance(quarantined, int)
+            or isinstance(quarantined, bool)
+            or quarantined < 0
+        ):
+            problems.append(
+                "shards.quarantined_units must be a non-negative integer"
+            )
+        elif quarantined > 0 and report.get("stop_reason") is None:
+            problems.append(
+                "shards.quarantined_units is positive but stop_reason is"
+                " null (a run with quarantined residue is not complete)"
             )
     return problems
 
@@ -456,6 +512,16 @@ def format_run_report(report: dict) -> str:
             f"shards      : {shards.get('count')} merged"
             + (f" ({', '.join(workers)})" if workers else "")
         )
+        quarantined = shards.get("quarantined_units")
+        if quarantined:
+            lines.append(
+                f"quarantined : {quarantined} unit(s) — replay with"
+                " `csce retry-quarantined`"
+            )
+    config = report.get("config")
+    if config:
+        shown = " ".join(f"{k}={v}" for k, v in sorted(config.items()))
+        lines.append(f"config      : {shown}")
     lines.append("")
     lines.append("phase breakdown (paper total = read + optimize + execute):")
     for label, key in (

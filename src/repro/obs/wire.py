@@ -60,6 +60,7 @@ KNOWN_COMMANDS: tuple[str, ...] = (
     "stats",
     "counters",
     "recorder",
+    "health",
     "checkpoint-now",
     "budget",
     "cancel",
@@ -73,6 +74,8 @@ COMMAND_HELP: dict[str, str] = {
     "stats": "the live WorkerSnapshot (unified stats + counters)",
     "counters": "alias of stats (same WorkerSnapshot payload)",
     "recorder": "flight-recorder ring dump (args: limit=N for the tail)",
+    "health": "pool supervision state: stall watchdog, per-worker beat"
+              " ages, quarantined units, respawn budget",
     "checkpoint-now": "write a resumable checkpoint at the next tick"
                       " (args: path=..., timeout=SECONDS)",
     "budget": "tighten deadline/embedding/memory caps (args: time_limit=,"

@@ -15,6 +15,8 @@ from repro.testing.faults import (
     cancel,
     fail_cluster_read,
     fire,
+    flaky_cluster_read,
+    hang,
     memory_spike,
     raise_error,
     slowdown,
@@ -26,6 +28,8 @@ __all__ = [
     "faults",
     "fire",
     "fail_cluster_read",
+    "flaky_cluster_read",
+    "hang",
     "slowdown",
     "memory_spike",
     "cancel",

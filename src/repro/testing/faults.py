@@ -13,6 +13,10 @@ site                   where / what an injected fault simulates
                        operator interrupts (cancellation)
 ``governor.memory``    the governor's cooperative memory sample: returns
                        extra MiB to add, simulating memory pressure
+``pool.worker_beat``   a pool worker's liveness beat (fired once when a
+                       work unit starts and again on every heartbeat, with
+                       ``worker``/``unit`` context): hung or poisoned
+                       workers for the stall watchdog and quarantine paths
 ====================== ======================================================
 
 When no injector is installed, a site costs one global load and a ``None``
@@ -87,6 +91,50 @@ def slowdown(seconds: float) -> Callable:
         time.sleep(seconds)
 
     action.__name__ = f"slowdown({seconds})"
+    return action
+
+
+def hang(seconds: float) -> Callable:
+    """An action that blocks for ``seconds`` — a wedged worker.
+
+    Unlike :func:`slowdown` (a brief, recoverable stall) this simulates a
+    worker that stops making progress entirely: aimed at the
+    ``pool.worker_beat`` site, it freezes that worker's heartbeat stream
+    so the parent's stall watchdog escalates (``worker_stall`` event,
+    SIGKILL, re-dispatch). Gate it on ``ctx["worker"]`` / the
+    ``REPRO_WORKER`` environment variable to hang one specific worker.
+    """
+
+    def action(rule: "FaultRule", site: str, ctx: dict) -> None:
+        time.sleep(seconds)
+
+    action.__name__ = f"hang({seconds})"
+    return action
+
+
+def flaky_cluster_read(times: int) -> Callable:
+    """An action that fails the first ``times`` invocations with
+    :class:`ClusterReadError`, then succeeds — a transient I/O fault for
+    exercising :class:`~repro.engine.governor.RetryPolicy` at the
+    ``ccsr.read_cluster`` site.
+
+    The failure budget is private to the returned action (not the rule),
+    so one action instance fails exactly ``times`` reads in the process
+    that fires it regardless of rule gating.
+    """
+
+    state = {"remaining": times}
+
+    def action(rule: "FaultRule", site: str, ctx: dict) -> None:
+        if state["remaining"] > 0:
+            state["remaining"] -= 1
+            key = ctx.get("key", "?")
+            raise ClusterReadError(
+                f"injected transient cluster read failure at {site}: {key}"
+                f" ({state['remaining']} more to come)"
+            )
+
+    action.__name__ = f"flaky_cluster_read({times})"
     return action
 
 

@@ -117,6 +117,9 @@ class TestFlightRecorder:
             # Pool lifecycle (engine.pool): unit dispatched, live stack
             # split for a steal, worker joined/died.
             "unit", "steal", "worker",
+            # Pool supervision (engine.pool): stall watchdog escalated,
+            # poison unit quarantined to replayable residue.
+            "worker_stall", "quarantine",
         }
 
 
