@@ -62,6 +62,57 @@ CHECKPOINT_VERSION = 1
 #: what ``csce retry-quarantined`` replays — that would double count).
 QUARANTINE_PREFIX = "quarantine-"
 
+#: Declared wire-format manifests for this module, gated by the
+#: ``wire_schema`` reprolint pass: every listed encoder must write exactly
+#: the declared key set (including the format/version stamps), every
+#: listed decoder may read only declared keys, and changing a ``keys``
+#: tuple without bumping the format's version fails
+#: ``reprolint --diff`` (see docs/static-analysis.md). Encoder/decoder
+#: entries are ``"func"`` / ``"Class.method"``, optionally suffixed
+#: ``":var"`` to name the local dict that becomes the document.
+WIRE_MANIFESTS: dict[str, dict] = {
+    "checkpoint": {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "keys": (
+            "format",
+            "version",
+            "pattern",
+            "store",
+            "query",
+            "limits",
+            "progress",
+            "state",
+        ),
+        "encoders": (
+            "checkpoint_payload",
+            "PoolCheckpointDir.write:payload",
+        ),
+        "decoders": (
+            "validate_checkpoint",
+            "restore_stream",
+            "check_store_compatibility",
+        ),
+    },
+    "quarantine-residue": {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "keys": (
+            "format",
+            "version",
+            "pattern",
+            "store",
+            "query",
+            "limits",
+            "progress",
+            "state",
+            "quarantine",
+        ),
+        "encoders": ("PoolCheckpointDir.write_quarantine:payload",),
+        "decoders": ("validate_checkpoint",),
+    },
+}
+
 #: Runtime counters carried across the suspend/resume boundary.
 _RUNTIME_COUNTERS = (
     "nodes",

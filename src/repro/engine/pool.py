@@ -112,6 +112,22 @@ if TYPE_CHECKING:  # pragma: no cover - annotation only
 
 logger = logging.getLogger(__name__)
 
+#: Every message kind a worker may put on the shared result queue, in
+#: protocol order. Closed registry — the ``message_protocol`` reprolint
+#: pass checks that every send site uses a registered kind and that the
+#: parent dispatch (:meth:`_PoolDriver._handle`) handles all of them
+#: exhaustively, so an unroutable message fails lint instead of silently
+#: dropping a worker's progress delta.
+MESSAGE_KINDS: tuple[str, ...] = (
+    "ready",
+    "started",
+    "beat",
+    "split",
+    "done",
+    "failed",
+    "bye",
+)
+
 #: Initial root-range shards per worker: finer than 1:1 so the tail of a
 #: skewed workload rebalances through the queue before stealing kicks in.
 DEFAULT_UNITS_PER_WORKER = 4

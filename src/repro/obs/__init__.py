@@ -33,6 +33,8 @@ Structured logging is configured separately (it is process-global):
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.obs.counters import (
     NULL_COUNTERS,
     STAT_KEYS,
@@ -150,7 +152,7 @@ class Observation:
         metrics: MetricsPump | NullMetricsPump | None = None,
         recorder: FlightRecorder | NullFlightRecorder | None = None,
         record: bool = True,
-    ):
+    ) -> None:
         if profile is True:
             profile = Profiler()
         elif not profile:
@@ -189,7 +191,7 @@ class Observation:
         heartbeat lines, the metrics pump, and run-reports read it."""
         self.progress = estimator
 
-    def finish(self, result=None) -> None:
+    def finish(self, result: Any = None) -> None:
         """Close out the run: final metrics sample, profiler teardown."""
         if self.metrics.enabled:
             self.metrics.finalize(result, obs=self)
@@ -219,10 +221,10 @@ class _NullObservation:
     recorder = NULL_RECORDER
     progress = None
 
-    def attach_progress(self, estimator) -> None:
+    def attach_progress(self, estimator: ProgressEstimator) -> None:
         pass
 
-    def finish(self, result=None) -> None:
+    def finish(self, result: Any = None) -> None:
         pass
 
 

@@ -24,7 +24,7 @@ original keys, kept as-is (aliases of the unified schema).
 from __future__ import annotations
 
 import threading
-from typing import Callable, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 #: Canonical ``MatchResult.stats`` keys, emitted by *both* execution paths.
 STAT_KEYS: tuple[str, ...] = (
@@ -67,7 +67,7 @@ KNOWN_COUNTERS: tuple[str, ...] = (
 
 def unified_stats(
     nodes: int = 0,
-    candidate_stats=None,
+    candidate_stats: Any = None,
     backtracks: int = 0,
     prunes_injective: int = 0,
     prunes_restriction: int = 0,
@@ -111,7 +111,7 @@ class CounterRegistry:
 
     enabled = True
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._counts: dict[str, int] = {}
         self._sources: list[Callable[[], Mapping[str, int]]] = []
         self._lock = threading.Lock()
@@ -164,10 +164,10 @@ class NullCounterRegistry:
     def inc(self, name: str, amount: int = 1) -> None:
         pass
 
-    def add_source(self, source) -> None:
+    def add_source(self, source: Callable[[], Mapping[str, int]]) -> None:
         pass
 
-    def merge(self, stats) -> None:
+    def merge(self, stats: Mapping[str, int]) -> None:
         pass
 
     def get(self, name: str, default: int = 0) -> int:

@@ -66,9 +66,9 @@ def _actuals_from_report(report: dict | None) -> dict[int, dict]:
 
 def build_explain(
     plan: Plan,
-    sce_stats=None,
+    sce_stats: Any = None,
     report: dict | None = None,
-    physical=None,
+    physical: Any = None,
 ) -> dict[str, Any]:
     """Assemble the EXPLAIN document (JSON-ready) for a plan.
 

@@ -126,9 +126,9 @@ class MatchInspector:
 
     def __init__(
         self,
-        stream,
-        obs,
-        governor=None,
+        stream: Any,
+        obs: Any,
+        governor: Any = None,
         worker: str | None = None,
         checkpoint_factory: Callable[[str], Any] | None = None,
         default_checkpoint_path: str | None = None,
@@ -161,7 +161,7 @@ class MatchInspector:
         self.publish()
         return self
 
-    def finish(self, result=None) -> None:
+    def finish(self, result: Any = None) -> None:
         """Publish the final sample once the run has ended. Late clients
         (and the E2E counters-equality check) read this quiescent state."""
         with self._lock:

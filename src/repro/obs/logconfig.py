@@ -19,6 +19,7 @@ import json
 import logging
 import sys
 import time
+from typing import TextIO
 
 import os
 
@@ -63,11 +64,11 @@ class _StderrHandler(logging.StreamHandler):
     harness — swaps ``sys.stderr`` after configuration.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         logging.Handler.__init__(self)
 
     @property
-    def stream(self):
+    def stream(self) -> TextIO:  # type: ignore[override]
         return sys.stderr
 
 

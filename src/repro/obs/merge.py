@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 
 def _new_id(nbytes: int = 8) -> str:
@@ -80,7 +80,7 @@ class SpanContext:
             ),
         )
 
-    def annotate(self, span) -> None:
+    def annotate(self, span: Any) -> None:
         """Stamp this context onto a live :class:`~repro.obs.tracer.Span`
         so the exported span tree carries the distributed identity."""
         span.set("trace_id", self.trace_id)
@@ -127,8 +127,8 @@ class WorkerSnapshot:
     def capture(
         cls,
         worker: str,
-        obs=None,
-        result=None,
+        obs: Any = None,
+        result: Any = None,
         context: SpanContext | None = None,
     ) -> "WorkerSnapshot":
         """Snapshot a finished run: the observation's counter registry

@@ -30,7 +30,7 @@ import os
 import re
 import time
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Any, Iterator, Mapping
 
 GAUGE = "gauge"
 COUNTER = "counter"
@@ -133,7 +133,7 @@ class MetricsRegistry:
     one run, mirroring :class:`~repro.obs.counters.CounterRegistry`.
     """
 
-    def __init__(self, labels: Mapping[str, str] | None = None):
+    def __init__(self, labels: Mapping[str, str] | None = None) -> None:
         self.labels: dict[str, str] = dict(labels or {})
         self._metrics: dict[str, Metric] = {}
 
@@ -172,7 +172,7 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Metric]:
         return iter(self._metrics.values())
 
     # ------------------------------------------------------------------
@@ -260,7 +260,7 @@ class PrometheusTextfileExporter:
     then always reads a complete sample. Repeated exports overwrite.
     """
 
-    def __init__(self, path: str | os.PathLike):
+    def __init__(self, path: str | os.PathLike) -> None:
         self.path = str(path)
         self.exports = 0
 
@@ -276,7 +276,7 @@ class PrometheusTextfileExporter:
 class JsonlTimeSeriesExporter:
     """Append one ``{"ts": ..., "metrics": {...}}`` JSON line per sample."""
 
-    def __init__(self, path: str | os.PathLike):
+    def __init__(self, path: str | os.PathLike) -> None:
         self.path = str(path)
         self.exports = 0
 
@@ -311,12 +311,12 @@ class MetricsPump:
         exporters: list | None = None,
         labels: Mapping[str, str] | None = None,
         registry: MetricsRegistry | None = None,
-    ):
+    ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry(labels)
         self.exporters = list(exporters or [])
         self.samples = 0
 
-    def sample(self, obs=None, ts: float | None = None) -> None:
+    def sample(self, obs: Any = None, ts: float | None = None) -> None:
         """Fold the observation's counters in and push to every exporter."""
         if obs is not None:
             counters = getattr(obs, "counters", None)
@@ -348,7 +348,7 @@ class MetricsPump:
         for exporter in self.exporters:
             exporter.export(self.registry, ts=ts)
 
-    def finalize(self, result=None, obs=None) -> None:
+    def finalize(self, result: Any = None, obs: Any = None) -> None:
         """Export the terminal sample, adding the run's reporting fields."""
         if result is not None:
             self.registry.gauge(
@@ -383,10 +383,10 @@ class NullMetricsPump:
     samples = 0
     exporters: list = []
 
-    def sample(self, obs=None, ts: float | None = None) -> None:
+    def sample(self, obs: Any = None, ts: float | None = None) -> None:
         pass
 
-    def finalize(self, result=None, obs=None) -> None:
+    def finalize(self, result: Any = None, obs: Any = None) -> None:
         pass
 
 

@@ -43,7 +43,7 @@ class SearchDepthProfile:
 
     __slots__ = ("visits", "backtracks", "memo_hits", "memo_misses", "candidates")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.visits: dict[int, int] = {}
         self.backtracks: dict[int, int] = {}
         self.memo_hits: dict[int, int] = {}
@@ -108,7 +108,7 @@ class Profiler:
 
     enabled = True
 
-    def __init__(self, top_k: int = 10, start_tracemalloc: bool = True):
+    def __init__(self, top_k: int = 10, start_tracemalloc: bool = True) -> None:
         self.top_k = top_k
         self.search = SearchDepthProfile()
         #: cluster key -> {"rows": ..., "bytes": ..., "reads": ...}
@@ -215,7 +215,7 @@ class NullProfiler:
     def finish(self) -> None:
         pass
 
-    def as_dict(self, order=None) -> dict:
+    def as_dict(self, order: list[int] | None = None) -> dict:
         return {}
 
 
@@ -233,7 +233,7 @@ class MemoryTracer(Tracer):
     span (and its children) ran.
     """
 
-    def __init__(self, profiler: Profiler | None = None):
+    def __init__(self, profiler: Profiler | None = None) -> None:
         super().__init__()
         self.profiler = profiler
         self._mlocal = threading.local()

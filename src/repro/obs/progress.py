@@ -88,7 +88,7 @@ class ProgressEstimator:
 
     enabled = True
 
-    def __init__(self, alpha: float = 0.3):
+    def __init__(self, alpha: float = 0.3) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ValueError(f"alpha must be in (0, 1]: {alpha}")
         self._alpha = alpha
@@ -178,7 +178,7 @@ class Heartbeat:
         self,
         interval: float = DEFAULT_INTERVAL,
         emit: Callable[[str], None] | None = None,
-    ):
+    ) -> None:
         self.interval = interval
         self.emit = emit if emit is not None else logger.info
         self.started = time.monotonic()

@@ -33,6 +33,7 @@ import json
 import os
 import time
 from collections import deque
+from typing import Any
 
 #: Every event name recorded by literal in this codebase. The ``obs_keys``
 #: reprolint pass gates ``.record()`` string literals against this tuple,
@@ -61,7 +62,7 @@ class RecordedEvent:
 
     __slots__ = ("name", "ts", "fields")
 
-    def __init__(self, name: str, ts: float, fields: dict):
+    def __init__(self, name: str, ts: float, fields: dict) -> None:
         self.name = name
         self.ts = ts
         self.fields = fields
@@ -94,7 +95,7 @@ class FlightRecorder:
 
     enabled = True
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         if capacity <= 0:
             raise ValueError(f"recorder capacity must be positive: {capacity}")
         self.capacity = capacity
@@ -102,7 +103,7 @@ class FlightRecorder:
         self.started = time.perf_counter()
         self._ring: deque[RecordedEvent] = deque(maxlen=capacity)
 
-    def record(self, name: str, **fields) -> None:
+    def record(self, name: str, **fields: Any) -> None:
         """Append one event (evicting the oldest when full)."""
         self.recorded += 1
         self._ring.append(RecordedEvent(name, time.perf_counter(), fields))
@@ -166,7 +167,7 @@ class NullFlightRecorder:
     recorded = 0
     dropped = 0
 
-    def record(self, name: str, **fields) -> None:
+    def record(self, name: str, **fields: Any) -> None:
         pass
 
     def events(self) -> list:
@@ -194,13 +195,13 @@ NULL_RECORDER = NullFlightRecorder()
 # ----------------------------------------------------------------------
 # Chrome/Perfetto trace-event export
 # ----------------------------------------------------------------------
-def _jsonable(value):
+def _jsonable(value: Any) -> Any:
     if isinstance(value, (bool, int, float, str)) or value is None:
         return value
     return str(value)
 
 
-def _span_events(span, pid: int, tid: int, out: list) -> None:
+def _span_events(span: Any, pid: int, tid: int, out: list) -> None:
     # "ph": "X" complete events: ts/dur in microseconds on the
     # time.perf_counter timeline spans already use.
     event = {
@@ -218,7 +219,9 @@ def _span_events(span, pid: int, tid: int, out: list) -> None:
         _span_events(child, pid, tid, out)
 
 
-def perfetto_trace(tracer=None, recorder=None, pid: int | None = None) -> dict:
+def perfetto_trace(
+    tracer: Any = None, recorder: Any = None, pid: int | None = None
+) -> dict:
     """Render spans + recorder events as a Chrome trace-event document.
 
     Spans become nested ``"ph": "X"`` duration events; recorder events
@@ -251,7 +254,7 @@ def perfetto_trace(tracer=None, recorder=None, pid: int | None = None) -> dict:
 
 
 def write_perfetto(
-    path: str | os.PathLike, tracer=None, recorder=None
+    path: str | os.PathLike, tracer: Any = None, recorder: Any = None
 ) -> dict:
     """Write :func:`perfetto_trace` to ``path``; returns the document."""
     doc = perfetto_trace(tracer=tracer, recorder=recorder)

@@ -60,6 +60,54 @@ _CONFIG_KNOBS: dict[str, tuple] = {
     "max_unit_attempts": (int,),
 }
 
+#: Declared wire-format manifest for the run-report document, gated by
+#: the ``wire_schema`` reprolint pass: the encoder must write exactly the
+#: declared keys (stamping format/version), the decoders may read only
+#: declared keys, and a ``keys`` change without a version bump fails
+#: ``reprolint --diff``. See docs/static-analysis.md.
+WIRE_MANIFESTS: dict[str, dict] = {
+    "run-report": {
+        "format": RUN_REPORT_FORMAT,
+        "version": RUN_REPORT_VERSION,
+        "keys": (
+            "format",
+            "version",
+            "engine",
+            "variant",
+            "count",
+            "truncated",
+            "timed_out",
+            "stop_reason",
+            "degradation",
+            "timings",
+            "throughput",
+            "counters",
+            "spans",
+            "progress",
+            "shards",
+            "recorder",
+            "profile",
+            "plan",
+            "pattern",
+            "graph",
+            "dataset",
+            "checkpoint",
+            "config",
+            "extra",
+        ),
+        "encoders": ("build_run_report:report",),
+        "decoders": (
+            "validate_run_report",
+            "robustness_problems",
+            "_config_problems",
+            "_recorder_problems",
+            "_progress_problems",
+            "_shards_problems",
+            "format_run_report",
+        ),
+    },
+}
+
 
 def schema_problems(
     doc: object, schema: dict[str, type | tuple], label: str = "document"
@@ -80,12 +128,12 @@ def schema_problems(
 
 
 def build_run_report(
-    result,
+    result: Any,
     engine: str = "CSCE",
-    obs=None,
-    plan=None,
-    graph=None,
-    pattern=None,
+    obs: Any = None,
+    plan: Any = None,
+    graph: Any = None,
+    pattern: Any = None,
     dataset: str | None = None,
     extra: dict | None = None,
     checkpoint: dict | None = None,
@@ -189,7 +237,7 @@ def build_run_report(
     return report
 
 
-def plan_summary(plan) -> dict:
+def plan_summary(plan: Any) -> dict:
     """The plan block of a run-report (order, planner, cluster usage)."""
     task = plan.task_clusters
     summary = {

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import threading
 import time
+from types import TracebackType
+from typing import Any
 
 
 class Span:
@@ -25,7 +27,7 @@ class Span:
 
     __slots__ = ("name", "attrs", "start", "end", "children")
 
-    def __init__(self, name: str, attrs: dict | None = None):
+    def __init__(self, name: str, attrs: dict | None = None) -> None:
         self.name = name
         self.attrs: dict = attrs or {}
         self.start: float = 0.0
@@ -39,7 +41,7 @@ class Span:
             return 0.0
         return self.end - self.start
 
-    def set(self, key: str, value) -> None:
+    def set(self, key: str, value: Any) -> None:
         """Attach an attribute to the span (e.g. bytes read, order chosen)."""
         self.attrs[key] = value
 
@@ -71,7 +73,7 @@ class _SpanHandle:
 
     __slots__ = ("_tracer", "_span")
 
-    def __init__(self, tracer: "Tracer", span: Span):
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
         self._tracer = tracer
         self._span = span
 
@@ -80,7 +82,12 @@ class _SpanHandle:
         self._span.start = time.perf_counter()
         return self._span
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         self._span.end = time.perf_counter()
         if exc_type is not None:
             self._span.attrs.setdefault("error", exc_type.__name__)
@@ -98,13 +105,13 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.roots: list[Span] = []
         self._local = threading.local()
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
-    def span(self, name: str, **attrs) -> _SpanHandle:
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
         """Open a span as a context manager; attributes are key=value."""
         return _SpanHandle(self, Span(name, attrs or None))
 
@@ -163,10 +170,15 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         return False
 
-    def set(self, key: str, value) -> None:
+    def set(self, key: str, value: Any) -> None:
         pass
 
     def to_dict(self) -> dict:
@@ -185,7 +197,7 @@ class NullTracer:
     enabled = False
     roots: list = []
 
-    def span(self, name: str, **attrs) -> _NullSpan:
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
 
     def current(self) -> None:

@@ -50,6 +50,36 @@ SNAPSHOT_VERSION = 1
 #: garbage or hostile peer cannot make the server buffer arbitrarily.
 MAX_FRAME_BYTES = 4 * 1024 * 1024
 
+#: Declared wire-format manifests for this module, gated by the
+#: ``wire_schema`` reprolint pass: encoders must together write exactly
+#: the declared keys (each stamping format/version), decoders may read
+#: only declared keys, and a ``keys`` change without a version bump fails
+#: ``reprolint --diff``. See docs/static-analysis.md.
+WIRE_MANIFESTS: dict[str, dict] = {
+    "inspect-frame": {
+        "format": WIRE_FORMAT,
+        "version": WIRE_VERSION,
+        "keys": ("format", "version", "cmd", "args", "ok", "data", "error"),
+        "encoders": ("request_frame", "ok_frame", "error_frame"),
+        "decoders": ("validate_request", "decode_response"),
+    },
+    "worker-snapshot": {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "keys": (
+            "format",
+            "version",
+            "worker",
+            "workers",
+            "counters",
+            "stats",
+            "context",
+        ),
+        "encoders": ("encode_snapshot",),
+        "decoders": ("decode_snapshot",),
+    },
+}
+
 #: Every command the inspector serves, in documentation order. Closed
 #: registry: the ``inspector_commands`` reprolint pass checks command
 #: literals against this tuple, and ``MatchInspector.HANDLERS`` must map

@@ -5,7 +5,7 @@ Currently this is the seeded fault-injection registry
 intentionally dependency-light — it may be imported by production modules
 (the injection points live in ``repro.ccsr.store`` and ``repro.engine``)
 and therefore must never import ``repro.cli`` or ``repro.bench``
-(enforced by ``tools/check_layering.py`` in CI).
+(enforced by ``python -m tools.reprolint --select layering`` in CI).
 """
 
 from repro.testing import faults

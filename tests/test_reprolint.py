@@ -11,11 +11,13 @@ Each pass is exercised two ways:
 
 from __future__ import annotations
 
-import subprocess
+import json
 import sys
 from pathlib import Path
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 REPO = Path(__file__).resolve().parent.parent
 if str(REPO) not in sys.path:
@@ -49,12 +51,16 @@ def test_every_pass_registered():
         "api_all",
         "checkpoint_fields",
         "clock_discipline",
+        "exception_flow",
         "fork_safety",
         "inspector_commands",
         "layering",
+        "message_protocol",
         "no_recursion",
         "obs_keys",
+        "signal_safety",
         "stop_reasons",
+        "wire_schema",
     }
 
 
@@ -194,6 +200,60 @@ def test_api_all_fixture_flagged():
     assert "string literals" in messages  # the 42 entry
 
 
+def test_wire_schema_fixture_flagged():
+    violations = run_fixture("wire_schema", "wire_schema.py")
+    messages = " ".join(v.message for v in violations)
+    # Encoder writes a key the manifest does not declare.
+    assert "'trailer'" in messages
+    # Encoder that never stamps format/version.
+    assert "encode_unstamped" in messages
+    # Manifest key no listed encoder writes.
+    assert "'ghost'" in messages
+    # Decoder reads a key outside the manifest.
+    assert "'checksum'" in messages
+    # The agreeing key is never flagged.
+    assert "'body'" not in messages
+    assert len(violations) == 4
+
+
+def test_message_protocol_fixture_flagged():
+    violations = run_fixture("message_protocol", "message_protocol.py")
+    messages = " ".join(v.message for v in violations)
+    assert "'progress'" in messages  # unregistered send
+    assert "'retired'" in messages  # dead dispatcher branch
+    assert "'lost'" in messages  # registered but never handled
+    # Kinds that are both registered and handled stay clean.
+    assert "'ready'" not in messages
+    assert "'done'" not in messages
+    assert len(violations) == 3
+
+
+def test_exception_flow_fixture_flagged():
+    violations = run_fixture("exception_flow", "exception_flow.py")
+    messages = " ".join(v.message for v in violations)
+    # TimeLimitExceeded raised in tick() escapes through search() to the
+    # root run_query() with no mapping handler anywhere on the path.
+    assert "TimeLimitExceeded" in messages
+    assert "run_query" in messages
+    # The handler that catches EmbeddingLimitExceeded and just logs.
+    assert "EmbeddingLimitExceeded" in messages
+    assert "swallow" in messages
+    assert len(violations) == 2
+    # The escape is reported at the raise site.
+    lines = {v.line for v in violations}
+    assert 19 in lines
+
+
+def test_signal_safety_fixture_flagged():
+    violations = run_fixture("signal_safety", "signal_safety.py")
+    messages = " ".join(v.message for v in violations)
+    assert "context manager" in messages  # `with lock:` in the handler
+    assert ".flush()" in messages  # disallowed method call
+    assert "file=sys.stderr" in messages  # print without stderr
+    assert "open()" in messages  # arbitrary call
+    assert len(violations) == 4
+
+
 # ---------------------------------------------------------------------------
 # Live tree: the repository itself is clean
 # ---------------------------------------------------------------------------
@@ -225,8 +285,6 @@ def test_cli_exit_two_on_missing_path(capsys):
 
 
 def test_cli_json_output(capsys):
-    import json
-
     code = reprolint_main(
         ["--json", "--select", "stop_reasons",
          str(FIXTURES / "stop_reasons.py")]
@@ -237,11 +295,180 @@ def test_cli_json_output(capsys):
     assert all(v["pass"] == "stop_reasons" for v in payload["violations"])
 
 
-def test_check_layering_shim():
-    result = subprocess.run(
-        [sys.executable, str(REPO / "tools" / "check_layering.py")],
-        capture_output=True,
-        text=True,
-        cwd=REPO,
+# ---------------------------------------------------------------------------
+# Seeded drift demos: mutate the *real* wire modules and watch the
+# semantic passes name the exact file, line, and manifest
+# ---------------------------------------------------------------------------
+def run_on_file(pass_name: str, path: Path):
+    ctx = LintContext(root=REPO, explicit_paths=[path])
+    return run_passes(ctx, select=[pass_name])
+
+
+def test_wire_schema_catches_dropped_checkpoint_key(tmp_path):
+    """Deleting one encoder-written key from the live checkpoint module
+    (without bumping CHECKPOINT_VERSION) must be flagged on *both*
+    manifests that declare it, at the manifest lines."""
+    source = (REPO / "src" / "repro" / "engine" / "checkpoint.py").read_text()
+    dropped = '        "pattern": {"text": text, "digest": digest},\n'
+    assert dropped in source, "drift-demo anchor line moved"
+    mutated = tmp_path / "checkpoint_drift.py"
+    mutated.write_text(source.replace(dropped, "", 1))
+
+    violations = run_on_file("wire_schema", mutated)
+    assert len(violations) == 2  # "checkpoint" and "quarantine-residue"
+    messages = " ".join(v.message for v in violations)
+    assert "'pattern'" in messages
+    assert "manifest 'checkpoint'" in messages
+    assert "manifest 'quarantine-residue'" in messages
+    assert "version bump" in messages
+    # Each violation is anchored at its manifest's declaration line.
+    for v in violations:
+        assert v.path == str(mutated)
+        assert v.line > 0
+
+
+def test_message_protocol_catches_unregistered_send(tmp_path):
+    """Appending a send site with an unregistered kind to the live pool
+    module must be flagged at the exact line of the new put() call."""
+    source = (REPO / "src" / "repro" / "engine" / "pool.py").read_text()
+    addition = '\n\ndef _vanish(q):\n    q.put(("vanish", 1))\n'
+    mutated = tmp_path / "pool_drift.py"
+    mutated.write_text(source + addition)
+
+    violations = run_on_file("message_protocol", mutated)
+    assert len(violations) == 1
+    v = violations[0]
+    assert "'vanish'" in v.message
+    assert "MESSAGE_KINDS" in v.message
+    # The flagged line is the put() call — the last line of the file.
+    assert v.line == len(mutated.read_text().splitlines())
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: *any* single-key drift in a clean fixture is caught
+# ---------------------------------------------------------------------------
+CLEAN_WIRE = (FIXTURES / "clean_wire.py").read_text()
+CLEAN_PROTOCOL = (FIXTURES / "clean_protocol.py").read_text()
+
+
+@settings(max_examples=20, derandomize=True, deadline=None)
+@given(key=st.sampled_from(["head", "body", "tail"]))
+def test_any_dropped_encoder_key_is_flagged(tmp_path_factory, key):
+    """Property: delete any one encoder-written key from the clean wire
+    fixture and wire_schema must flag exactly that key's manifest drift."""
+    line = f'        "{key}": {key},\n'
+    assert line in CLEAN_WIRE
+    mutated = tmp_path_factory.mktemp("drift") / "clean_wire_mut.py"
+    mutated.write_text(CLEAN_WIRE.replace(line, "", 1))
+
+    violations = run_on_file("wire_schema", mutated)
+    assert len(violations) == 1
+    assert f"'{key}'" in violations[0].message
+    assert "manifest 'clean-doc'" in violations[0].message
+
+
+@settings(max_examples=20, derandomize=True, deadline=None)
+@given(kind=st.from_regex(r"[a-z]{3,10}", fullmatch=True))
+def test_any_unregistered_kind_is_flagged(tmp_path_factory, kind):
+    """Property: append a send with any kind outside MESSAGE_KINDS to
+    the clean protocol fixture and message_protocol must flag it."""
+    registered = ("ready", "beat", "done")
+    addition = f'\n\ndef stray(results):\n    results.put(("{kind}", 1))\n'
+    mutated = tmp_path_factory.mktemp("drift") / "clean_protocol_mut.py"
+    mutated.write_text(CLEAN_PROTOCOL + addition)
+
+    violations = run_on_file("message_protocol", mutated)
+    if kind in registered:
+        assert violations == []
+    else:
+        assert len(violations) == 1
+        assert f"'{kind}'" in violations[0].message
+
+
+# ---------------------------------------------------------------------------
+# SARIF output
+# ---------------------------------------------------------------------------
+def test_sarif_output_structure(capsys):
+    code = reprolint_main(
+        ["--sarif", "--select", "wire_schema",
+         str(FIXTURES / "wire_schema.py")]
     )
-    assert result.returncode == 0, result.stdout + result.stderr
+    assert code == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "reprolint"
+    # One rule per registered pass, regardless of selection.
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert rule_ids == set(ALL_PASSES)
+    results = run["results"]
+    assert len(results) == 4
+    for result in results:
+        assert result["ruleId"] == "wire_schema"
+        assert result["level"] == "error"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("wire_schema.py")
+        assert loc["region"]["startLine"] > 0
+
+
+def test_sarif_clean_tree_empty_results(capsys):
+    assert reprolint_main(["--sarif"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["runs"][0]["results"] == []
+
+
+# ---------------------------------------------------------------------------
+# --diff: wire-manifest version-bump discipline against a git base
+# ---------------------------------------------------------------------------
+def test_diff_against_head_is_clean(capsys):
+    # HEAD vs HEAD: no manifest drift by construction.
+    assert reprolint_main(["--diff", "HEAD"]) == 0
+
+
+def test_diff_rejects_bad_revision(capsys):
+    assert reprolint_main(["--diff", "no-such-ref-xyz"]) == 2
+    assert "not a resolvable" in capsys.readouterr().err
+
+
+def test_diff_rejects_explicit_paths(capsys):
+    code = reprolint_main(
+        ["--diff", "HEAD", str(FIXTURES / "wire_schema.py")]
+    )
+    assert code == 2
+
+
+def test_diff_flags_unbumped_keyset_change():
+    """Unit-level: same version, changed key set -> violation; bumped
+    version -> clean; removed manifest -> violation."""
+    import ast
+
+    from tools.reprolint.passes import wire_schema
+
+    old_src = CLEAN_WIRE
+    new_same_version = CLEAN_WIRE.replace(
+        '"keys": ("format", "version", "head", "body", "tail"),',
+        '"keys": ("format", "version", "head", "body"),',
+    )
+    new_bumped = new_same_version.replace(
+        "DOC_VERSION = 1", "DOC_VERSION = 2"
+    )
+    ctx = LintContext(root=REPO, explicit_paths=[FIXTURES / "clean_wire.py"])
+    path = FIXTURES / "clean_wire.py"
+
+    drift = wire_schema.diff_violations(
+        ctx, path, ast.parse(old_src), ast.parse(new_same_version)
+    )
+    assert len(drift) == 1
+    assert "'tail'" in drift[0].message
+    assert "version" in drift[0].message
+
+    bumped = wire_schema.diff_violations(
+        ctx, path, ast.parse(old_src), ast.parse(new_bumped)
+    )
+    assert bumped == []
+
+    removed = wire_schema.diff_violations(
+        ctx, path, ast.parse(old_src), ast.parse("X = 1\n")
+    )
+    assert len(removed) == 1
+    assert "clean-doc" in removed[0].message

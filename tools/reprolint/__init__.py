@@ -72,6 +72,7 @@ class LintContext:
             else None
         )
         self._trees: dict[Path, ast.Module] = {}
+        self._model = None
 
     @property
     def fixture_mode(self) -> bool:
@@ -115,6 +116,15 @@ class LintContext:
             return str(Path(path).resolve().relative_to(self.root))
         except ValueError:
             return str(path)
+
+    def program_model(self):
+        """The shared :class:`~tools.reprolint.model.ProgramModel` for
+        this run (built lazily, reused across semantic passes)."""
+        if self._model is None:
+            from tools.reprolint.model import ProgramModel
+
+            self._model = ProgramModel(self)
+        return self._model
 
 
 class LintPass:

@@ -3,11 +3,18 @@
 from __future__ import annotations
 
 import argparse
+import ast
 import json
+import subprocess
 import sys
 from pathlib import Path
 
-from tools.reprolint import LintContext, load_passes, run_passes
+from tools.reprolint import (
+    LintContext,
+    Violation,
+    load_passes,
+    run_passes,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -31,7 +38,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="machine-readable output (one object with all violations)",
     )
+    parser.add_argument(
+        "--sarif", action="store_true",
+        help="SARIF 2.1.0 output (for code-scanning upload)",
+    )
+    parser.add_argument(
+        "--diff", metavar="BASE", default=None,
+        help="version-bump discipline only: compare each WIRE_MANIFESTS"
+             " entry against the git merge-base with BASE and fail key-set"
+             " changes that did not bump the format's version",
+    )
     return parser
+
+
+def diff_violations(ctx: LintContext, base: str) -> list[Violation]:
+    """The ``--diff`` check: wire-manifest version-bump discipline
+    against the merge-base with ``base``.
+
+    Each wire-format module is compared to its merge-base revision via
+    :func:`tools.reprolint.passes.wire_schema.diff_violations`; files
+    absent at the base (new formats) are skipped — a brand-new manifest
+    carries whatever version it likes.
+    """
+    from tools.reprolint.passes import wire_schema
+
+    merge_base = subprocess.run(
+        ["git", "merge-base", base, "HEAD"],
+        cwd=ctx.root, capture_output=True, text=True,
+    )
+    # A shallow clone (or a literal ref like HEAD~1) may have no
+    # computable merge-base; fall back to comparing against BASE itself.
+    rev = merge_base.stdout.strip() if merge_base.returncode == 0 else base
+    violations: list[Violation] = []
+    for rel in wire_schema.SCOPES:
+        path = ctx.root / rel
+        if not path.is_file():
+            continue
+        shown = subprocess.run(
+            ["git", "show", f"{rev}:{rel}"],
+            cwd=ctx.root, capture_output=True, text=True,
+        )
+        if shown.returncode != 0:
+            continue  # file did not exist at the base revision
+        old_tree = ast.parse(shown.stdout, filename=f"{rev}:{rel}")
+        violations.extend(
+            wire_schema.diff_violations(ctx, path, old_tree, ctx.tree(path))
+        )
+    return violations
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -48,6 +101,13 @@ def main(argv: list[str] | None = None) -> int:
             for name, p in registry.items():
                 print(f"{name:<{width}}  {p.description}")
         return 0
+    if args.diff and args.paths:
+        print(
+            "error: --diff lints the live tree against a git base and"
+            " cannot be combined with explicit paths",
+            file=sys.stderr,
+        )
+        return 2
 
     select = None
     if args.select:
@@ -66,17 +126,36 @@ def main(argv: list[str] | None = None) -> int:
     ctx = LintContext(explicit_paths=explicit)
 
     def narrate(name: str, found) -> None:
-        if not args.json:
+        if not args.json and not args.sarif:
             status = "ok" if not found else f"{len(found)} violation(s)"
             print(f"reprolint: {name}: {status}", file=sys.stderr)
 
-    try:
-        violations = run_passes(ctx, select=select, on_pass=narrate)
-    except KeyError as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
-        return 2
+    if args.diff:
+        rev_check = subprocess.run(
+            ["git", "rev-parse", "--verify", f"{args.diff}^{{commit}}"],
+            cwd=ctx.root, capture_output=True, text=True,
+        )
+        if rev_check.returncode != 0:
+            print(
+                f"error: --diff base {args.diff!r} is not a resolvable"
+                " git revision",
+                file=sys.stderr,
+            )
+            return 2
+        violations = diff_violations(ctx, args.diff)
+        narrate("wire_schema(diff)", violations)
+    else:
+        try:
+            violations = run_passes(ctx, select=select, on_pass=narrate)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
 
-    if args.json:
+    if args.sarif:
+        from tools.reprolint.sarif import sarif_report
+
+        print(json.dumps(sarif_report(registry, violations), indent=2))
+    elif args.json:
         print(json.dumps(
             {
                 "passes": list(select or registry),

@@ -1,0 +1,23 @@
+"""Clean fixture for the message_protocol pass: every send site uses a
+registered kind and the dispatcher routes all of them. The Hypothesis
+property in tests/test_reprolint.py mutates this file (appending a send
+with an unregistered kind) and asserts the pass always flags it."""
+
+MESSAGE_KINDS = ("ready", "beat", "done")
+
+
+def worker(results, unit):
+    results.put(("ready", unit))
+    results.put(("beat", unit, 1))
+    results.put(("done", unit, None))
+
+
+def handle(msg):
+    kind = msg[0]
+    if kind == "ready":
+        return "armed"
+    elif kind == "beat":
+        return "alive"
+    elif kind == "done":
+        return "finished"
+    return None

@@ -1,0 +1,36 @@
+"""Clean fixture for the wire_schema pass: a module whose encoder,
+decoder, and manifest agree exactly. The Hypothesis property in
+tests/test_reprolint.py mutates this file (dropping one encoder key)
+and asserts the pass always flags the drift; keep each written key on
+its own line so the mutation stays a one-line deletion."""
+
+DOC_FORMAT = "clean-doc"
+DOC_VERSION = 1
+
+WIRE_MANIFESTS = {
+    "clean-doc": {
+        "format": DOC_FORMAT,
+        "version": DOC_VERSION,
+        "keys": ("format", "version", "head", "body", "tail"),
+        "encoders": ("encode_doc",),
+        "decoders": ("decode_doc",),
+    },
+}
+
+
+def encode_doc(head, body, tail):
+    return {
+        "format": DOC_FORMAT,
+        "version": DOC_VERSION,
+        "head": head,
+        "body": body,
+        "tail": tail,
+    }
+
+
+def decode_doc(payload):
+    if payload.get("format") != DOC_FORMAT:
+        raise ValueError("foreign document")
+    if payload.get("version") != DOC_VERSION:
+        raise ValueError("unsupported version")
+    return payload["head"], payload["body"], payload.get("tail")

@@ -1,0 +1,23 @@
+"""Known-bad fixture for the message_protocol pass: a send site uses an
+unregistered kind, the dispatcher compares against a kind that exists in
+no registry, and a registered kind is never routed."""
+
+MESSAGE_KINDS = ("ready", "done", "lost")
+
+
+def worker(results, unit):
+    results.put(("ready", unit))  # clean: registered kind
+    results.put(("progress", unit, 3))  # violation: unregistered kind
+    results.put(("done", unit))  # clean: registered kind
+
+
+def handle(msg):
+    kind = msg[0]
+    if kind == "ready":
+        return "armed"
+    elif kind == "retired":  # violation: unregistered kind (dead branch)
+        return "gone"
+    elif kind == "done":
+        return "finished"
+    # violation: registered kind "lost" is never handled
+    return None

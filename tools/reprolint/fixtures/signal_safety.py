@@ -1,0 +1,16 @@
+"""Known-bad fixture for the signal_safety pass: an installed SIGINT
+handler acquires a lock, flushes a file, prints to buffered stdout, and
+opens a file — none of which belong in a signal handler."""
+
+import signal
+
+
+def install(token, lock, log):
+    def handler(signum, frame):
+        token.trip("SIGINT")  # clean: allowlisted cancel-token trip
+        with lock:  # violation: lock acquisition inside a handler
+            log.flush()  # violation: .flush() is not allowlisted
+        print("interrupted")  # violation: print without file=sys.stderr
+        open("/tmp/handler-dump", "w")  # violation: open() call
+
+    signal.signal(signal.SIGINT, handler)

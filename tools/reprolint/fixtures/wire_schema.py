@@ -1,0 +1,41 @@
+"""Known-bad fixture for the wire_schema pass: the encoder writes a key
+outside the manifest, a declared key is written by no encoder, the
+decoder reads a key the encoders never emit, and a second encoder forgets
+the format/version stamps."""
+
+DEMO_FORMAT = "demo-doc"
+DEMO_VERSION = 1
+
+WIRE_MANIFESTS = {
+    "demo": {
+        "format": DEMO_FORMAT,
+        "version": DEMO_VERSION,
+        # violation: "ghost" is declared but no encoder writes it
+        "keys": ("format", "version", "body", "ghost"),
+        "encoders": ("encode_demo", "encode_unstamped"),
+        "decoders": ("decode_demo",),
+    },
+}
+
+
+def encode_demo(body, meta):
+    return {
+        "format": DEMO_FORMAT,
+        "version": DEMO_VERSION,
+        "body": body,
+        "trailer": meta,  # violation: not in the manifest
+    }
+
+
+def encode_unstamped(body):
+    # violation: no format/version stamp on the document
+    return {"body": body}
+
+
+def decode_demo(payload):
+    if payload.get("format") != DEMO_FORMAT:
+        raise ValueError("foreign document")
+    if payload.get("version") != DEMO_VERSION:
+        raise ValueError("unsupported version")
+    # violation: reads "checksum", which the encoders never write
+    return payload["body"], payload.get("checksum")

@@ -1,0 +1,663 @@
+"""The whole-program semantic layer shared by reprolint passes.
+
+Per-file AST passes cannot see contracts that span functions and modules:
+an encoder in ``engine/checkpoint.py`` spreading a helper's sections into
+its document, a decoder looping over a tuple of section names, a raise in
+``baselines/base.py`` that only reaches its handler three call frames up.
+This module builds the three structures those checks need, all derived
+conservatively from the cached ASTs (no imports, no execution):
+
+* **module symbol tables** (:class:`ModuleInfo`) — module-level string and
+  integer constants, the import table, every function/method keyed by
+  qualified name (nested defs included), and the class table with base
+  names;
+* **a cross-module call graph** (:meth:`ProgramModel.call_graph`) —
+  generalizing the ``no_recursion`` pass's local one: bare names resolve
+  through the lexical scope chain and the import table, ``self.m()``
+  through the class (and its subclasses: a call to a base method also
+  targets every override, the conservative virtual dispatch), and
+  ``obj.m()`` through parameter annotations or local ``obj = Class(...)``
+  bindings;
+* **a dict-key dataflow** (:meth:`ProgramModel.written_keys` /
+  :meth:`ProgramModel.read_keys`) answering "which string keys does this
+  function write/read on this dict", with ``**helper()`` spreads resolved
+  through the call graph (including one level of ``base = helper(...)``
+  name indirection and annotation-typed ``**obj.method()`` spreads into
+  other modules) and decoder loops over literal tuples expanded
+  (``for s in ("a", "b"): payload.get(s)`` reads both keys).
+
+Everything is *conservative*: when a construct cannot be resolved
+statically the analysis reports it as a problem (for the dataflow) or
+simply drops the edge (for the call graph) instead of guessing.
+
+Passes obtain one shared instance via ``ctx.program_model()``. In fixture
+mode cross-module resolution is disabled — fixtures are self-contained
+snippets, so every name must resolve within the fixture file itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from tools.reprolint import LintContext
+
+#: A function in the program: (file path, qualified name within the
+#: module — "func", "Class.method", "Class.method.nested", ...).
+FuncId = tuple[Path, str]
+
+
+@dataclass
+class ModuleInfo:
+    """Symbol table of one parsed module."""
+
+    path: Path
+    tree: ast.Module
+    #: module-level ``NAME = <str|int constant>`` assignments
+    constants: dict[str, object] = field(default_factory=dict)
+    #: local name -> (module, attr or None): ``import m as x`` maps
+    #: ``x -> (m, None)``; ``from m import a as b`` maps ``b -> (m, a)``.
+    imports: dict[str, tuple[str, str | None]] = field(default_factory=dict)
+    #: qualified name -> def node (methods "C.m", nested defs "f.g")
+    functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(
+        default_factory=dict
+    )
+    #: qualified name -> enclosing def nodes, outermost first (closures)
+    enclosing: dict[str, list[ast.FunctionDef | ast.AsyncFunctionDef]] = field(
+        default_factory=dict
+    )
+    classes: dict[str, ast.ClassDef] = field(default_factory=dict)
+    #: class name -> base-name expressions rendered as dotted strings
+    class_bases: dict[str, list[str]] = field(default_factory=dict)
+
+    def resolve_const(self, node: ast.AST) -> object | None:
+        """A literal constant, or a one-hop module-level Name lookup."""
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, ast.Name):
+            return self.constants.get(node.id)
+        return None
+
+
+def _collect_module(path: Path, tree: ast.Module) -> ModuleInfo:
+    info = ModuleInfo(path=path, tree=tree)
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Constant):
+            if isinstance(node.value.value, (str, int)):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        info.constants[target.id] = node.value.value
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                info.imports[local] = (
+                    alias.name if alias.asname else alias.name.split(".")[0],
+                    None,
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                info.imports[alias.asname or alias.name] = (
+                    node.module, alias.name
+                )
+
+    def visit(node: ast.AST, prefix: str, stack: list) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                info.functions.setdefault(qual, child)
+                info.enclosing.setdefault(qual, list(stack))
+                visit(child, f"{qual}.", stack + [child])
+            elif isinstance(child, ast.ClassDef):
+                info.classes.setdefault(child.name, child)
+                info.class_bases.setdefault(
+                    child.name,
+                    [_dotted(b) for b in child.bases if _dotted(b)],
+                )
+                visit(child, f"{prefix}{child.name}.", stack)
+            else:
+                visit(child, prefix, stack)
+
+    visit(tree, "", [])
+    return info
+
+
+def _dotted(node: ast.AST) -> str:
+    """Render ``a.b.c`` attribute chains as a dotted string ('' if not)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _walk_shallow(node: ast.AST) -> Iterable[ast.AST]:
+    """Walk a function body without descending into nested defs/classes
+    (their statements belong to a different scope)."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def _assign_targets(node: ast.AST) -> tuple[list[ast.expr], ast.expr] | None:
+    """Normalize ``Assign`` / ``AnnAssign`` to ``(targets, value)``
+    (None for anything else, including a bare annotation)."""
+    if isinstance(node, ast.Assign):
+        return node.targets, node.value
+    if isinstance(node, ast.AnnAssign) and node.value is not None:
+        return [node.target], node.value
+    return None
+
+
+class KeyFlowResult:
+    """Outcome of one written/read-keys query."""
+
+    def __init__(self) -> None:
+        self.keys: set[str] = set()
+        self.line: int | None = None
+        self.problems: list[tuple[int, str]] = []
+
+
+class ProgramModel:
+    """Lazily-built whole-program model over the lint context's ASTs."""
+
+    #: recursion guard for spread resolution
+    _MAX_DEPTH = 4
+
+    def __init__(self, ctx: "LintContext") -> None:
+        self.ctx = ctx
+        self._modules: dict[Path, ModuleInfo] = {}
+
+    # -- symbol tables ------------------------------------------------
+    def module(self, path: Path) -> ModuleInfo:
+        path = Path(path).resolve()
+        if path not in self._modules:
+            self._modules[path] = _collect_module(path, self.ctx.tree(path))
+        return self._modules[path]
+
+    def module_by_name(self, dotted: str) -> ModuleInfo | None:
+        """Resolve a dotted module name to its source under ``src/``.
+
+        Disabled in fixture mode: fixtures are self-contained, so a
+        cross-module reference in a fixture simply fails to resolve.
+        """
+        if self.ctx.fixture_mode:
+            return None
+        base = self.ctx.root / "src" / Path(*dotted.split("."))
+        for candidate in (base.with_suffix(".py"), base / "__init__.py"):
+            if candidate.is_file():
+                return self.module(candidate)
+        return None
+
+    def find_function(
+        self, mod: ModuleInfo, spec: str
+    ) -> tuple[ModuleInfo, ast.FunctionDef | ast.AsyncFunctionDef] | None:
+        """Find ``"func"`` / ``"Class.method"`` in ``mod``, following one
+        ``from m import name`` hop for plain function names."""
+        node = mod.functions.get(spec)
+        if node is not None:
+            return mod, node
+        if "." not in spec and spec in mod.imports:
+            target_mod, attr = mod.imports[spec]
+            other = self.module_by_name(target_mod)
+            if other is not None:
+                node = other.functions.get(attr or spec)
+                if node is not None:
+                    return other, node
+        return None
+
+    # -- dict-key dataflow --------------------------------------------
+    def written_keys(self, mod: ModuleInfo, spec: str) -> KeyFlowResult:
+        """String keys ``spec`` writes on its tracked dict.
+
+        ``spec`` is ``"func"`` / ``"Class.method"``, optionally suffixed
+        ``":varname"`` to track a named local dict instead of the returned
+        one. Collected: dict-literal keys (with ``**`` spreads resolved),
+        and ``var["k"] = ...`` subscript writes.
+        """
+        result = KeyFlowResult()
+        func_spec, _, var = spec.partition(":")
+        found = self.find_function(mod, func_spec)
+        if found is None:
+            result.problems.append(
+                (1, f"function {func_spec!r} not found")
+            )
+            return result
+        fmod, func = found
+        result.line = func.lineno
+        self._collect_written(fmod, func, var or None, result, self._MAX_DEPTH)
+        return result
+
+    def _collect_written(
+        self,
+        mod: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        var: str | None,
+        result: KeyFlowResult,
+        depth: int,
+    ) -> None:
+        tracked = var
+        if tracked is None:
+            # Default: the returned dict — a literal, or a local Name.
+            for node in _walk_shallow(func):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    if isinstance(node.value, ast.Dict):
+                        self._dict_literal_keys(
+                            mod, func, node.value, result, depth
+                        )
+                    elif isinstance(node.value, ast.Name):
+                        tracked = node.value.id
+            if tracked is None:
+                return
+        for node in _walk_shallow(func):
+            normalized = _assign_targets(node)
+            if normalized is None:
+                continue
+            targets, value = normalized
+            for target in targets:
+                if (isinstance(target, ast.Name) and target.id == tracked
+                        and isinstance(value, ast.Dict)):
+                    self._dict_literal_keys(mod, func, value, result, depth)
+                elif (isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == tracked
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)):
+                    result.keys.add(target.slice.value)
+
+    def _dict_literal_keys(
+        self,
+        mod: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        literal: ast.Dict,
+        result: KeyFlowResult,
+        depth: int,
+    ) -> None:
+        for key, value in zip(literal.keys, literal.values):
+            if key is not None:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    result.keys.add(key.value)
+                else:
+                    result.problems.append(
+                        (key.lineno, "non-literal dict key")
+                    )
+                continue
+            # ``**value`` spread
+            if depth <= 0:
+                result.problems.append(
+                    (value.lineno, "spread nesting too deep to resolve")
+                )
+                continue
+            target = self._resolve_spread(mod, func, value)
+            if target is None:
+                result.problems.append((
+                    value.lineno,
+                    "cannot statically resolve '**' spread"
+                    f" (line {value.lineno})",
+                ))
+            elif isinstance(target, ast.Dict):
+                self._dict_literal_keys(mod, func, target, result, depth - 1)
+            else:
+                tmod, tfunc = target
+                self._collect_written(tmod, tfunc, None, result, depth - 1)
+
+    def _resolve_spread(
+        self,
+        mod: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        value: ast.AST,
+    ):
+        """Resolve a ``**value`` spread to a dict literal or a function
+        whose returned dict supplies the keys (or None)."""
+        # ``**name`` — a local assigned from a call or a literal.
+        if isinstance(value, ast.Name):
+            for node in _walk_shallow(func):
+                normalized = _assign_targets(node)
+                if normalized is None:
+                    continue
+                targets, assigned = normalized
+                for target in targets:
+                    if (isinstance(target, ast.Name)
+                            and target.id == value.id):
+                        if isinstance(assigned, ast.Dict):
+                            return assigned
+                        if isinstance(assigned, ast.Call):
+                            return self._resolve_spread(
+                                mod, func, assigned
+                            )
+            return None
+        if not isinstance(value, ast.Call):
+            return None
+        callee = value.func
+        # ``**helper(...)`` — module function (or one import hop away).
+        if isinstance(callee, ast.Name):
+            return self.find_function(mod, callee.id)
+        # ``**obj.method(...)`` — type the receiver via annotations or a
+        # local ``obj = Class(...)`` binding, then look the method up.
+        if isinstance(callee, ast.Attribute) and isinstance(
+            callee.value, ast.Name
+        ):
+            cls = self._infer_type(mod, func, callee.value.id)
+            if cls is not None:
+                cmod, cname = cls
+                return self.find_function(cmod, f"{cname}.{callee.attr}")
+        return None
+
+    def _infer_type(
+        self,
+        mod: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        name: str,
+    ) -> tuple[ModuleInfo, str] | None:
+        """Infer a local name's class: parameter annotations (walking the
+        lexical scope chain outward for closures) or ``name = Class(...)``
+        assignments."""
+        qual = next(
+            (q for q, node in mod.functions.items() if node is func), None
+        )
+        chain = [func] + list(reversed(mod.enclosing.get(qual or "", [])))
+        for scope in chain:
+            args = scope.args
+            for arg in (
+                args.posonlyargs + args.args + args.kwonlyargs
+            ):
+                if arg.arg == name and arg.annotation is not None:
+                    return self._resolve_class(mod, arg.annotation)
+            for node in _walk_shallow(scope):
+                normalized = _assign_targets(node)
+                if normalized is None or not isinstance(
+                    normalized[1], ast.Call
+                ):
+                    continue
+                targets, value = normalized
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        resolved = self._resolve_class(mod, value.func)
+                        if resolved is not None:
+                            return resolved
+        return None
+
+    def _resolve_class(
+        self, mod: ModuleInfo, node: ast.AST
+    ) -> tuple[ModuleInfo, str] | None:
+        """Resolve a class-name expression (Name, dotted, or a string
+        annotation) to its defining module."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            name = node.value
+        else:
+            name = _dotted(node)
+        if not name:
+            return None
+        head, _, rest = name.partition(".")
+        if not rest and head in mod.classes:
+            return mod, head
+        if head in mod.imports:
+            target_mod, attr = mod.imports[head]
+            if attr is not None and not rest:
+                # from m import Class
+                other = self.module_by_name(target_mod)
+                if other is not None and attr in other.classes:
+                    return other, attr
+            elif attr is None and rest:
+                # import m; m.Class
+                other = self.module_by_name(target_mod)
+                if other is not None and rest in other.classes:
+                    return other, rest
+        return None
+
+    def read_keys(self, mod: ModuleInfo, spec: str) -> KeyFlowResult:
+        """String keys ``spec`` reads off its tracked mapping parameter.
+
+        ``spec`` is ``"func"`` / ``"Class.method"``, optionally suffixed
+        ``":param"`` (default: the first parameter, skipping
+        ``self``/``cls``). Collected: ``p["k"]``, ``p.get("k")``/``.pop``,
+        ``"k" in p``, and loop-expanded reads where the key is a loop
+        variable over a literal tuple of strings.
+        """
+        result = KeyFlowResult()
+        func_spec, _, var = spec.partition(":")
+        found = self.find_function(mod, func_spec)
+        if found is None:
+            result.problems.append((1, f"function {func_spec!r} not found"))
+            return result
+        fmod, func = found
+        result.line = func.lineno
+        tracked = var or None
+        if tracked is None:
+            params = [
+                a.arg
+                for a in func.args.posonlyargs + func.args.args
+                if a.arg not in ("self", "cls")
+            ]
+            if not params:
+                result.problems.append(
+                    (func.lineno, f"{func_spec} has no parameter to track")
+                )
+                return result
+            tracked = params[0]
+
+        # Loop variables bound over literal string tuples/lists.
+        loops: dict[str, set[str]] = {}
+        for node in _walk_shallow(func):
+            if (isinstance(node, ast.For)
+                    and isinstance(node.target, ast.Name)
+                    and isinstance(node.iter, (ast.Tuple, ast.List))):
+                values = {
+                    e.value
+                    for e in node.iter.elts
+                    if isinstance(e, ast.Constant)
+                    and isinstance(e.value, str)
+                }
+                if values and len(values) == len(node.iter.elts):
+                    loops.setdefault(node.target.id, set()).update(values)
+
+        def expand(key_node: ast.AST) -> set[str]:
+            if isinstance(key_node, ast.Constant) and isinstance(
+                key_node.value, str
+            ):
+                return {key_node.value}
+            if isinstance(key_node, ast.Name) and key_node.id in loops:
+                return set(loops[key_node.id])
+            return set()
+
+        for node in _walk_shallow(func):
+            if (isinstance(node, ast.Subscript)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == tracked):
+                result.keys.update(expand(node.slice))
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == tracked
+                    and node.func.attr in ("get", "pop")
+                    and node.args):
+                result.keys.update(expand(node.args[0]))
+            elif isinstance(node, ast.Compare) and len(node.ops) == 1:
+                if (isinstance(node.ops[0], (ast.In, ast.NotIn))
+                        and isinstance(node.comparators[0], ast.Name)
+                        and node.comparators[0].id == tracked):
+                    result.keys.update(expand(node.left))
+        return result
+
+    # -- cross-module call graph --------------------------------------
+    def call_graph(self, paths: Iterable[Path]) -> "CallGraph":
+        """Build the name-resolved call graph over ``paths``."""
+        return CallGraph(self, [Path(p).resolve() for p in paths])
+
+
+class CallGraph:
+    """Cross-module call graph with conservative virtual dispatch."""
+
+    def __init__(self, model: ProgramModel, paths: list[Path]) -> None:
+        self.model = model
+        self.paths = paths
+        #: FuncId -> def node
+        self.nodes: dict[FuncId, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        #: FuncId -> list of (Call node, resolved target FuncIds)
+        self.calls: dict[FuncId, list[tuple[ast.Call, list[FuncId]]]] = {}
+        #: FuncId -> caller FuncIds
+        self.callers: dict[FuncId, set[FuncId]] = {}
+        self._subclasses = self._class_hierarchy()
+        self._build()
+
+    def _class_hierarchy(self) -> dict[tuple[Path, str], list[tuple[Path, str]]]:
+        children: dict[tuple[Path, str], list[tuple[Path, str]]] = {}
+        for path in self.paths:
+            mod = self.model.module(path)
+            for cls, bases in mod.class_bases.items():
+                for base in bases:
+                    resolved = self.model._resolve_class(
+                        mod, ast.parse(base, mode="eval").body
+                    )
+                    if resolved is not None:
+                        bmod, bname = resolved
+                        children.setdefault(
+                            (bmod.path, bname), []
+                        ).append((path, cls))
+        # transitive closure
+        changed = True
+        while changed:
+            changed = False
+            for key, subs in children.items():
+                extra = [
+                    s for sub in subs for s in children.get(sub, [])
+                    if s not in subs
+                ]
+                if extra:
+                    subs.extend(extra)
+                    changed = True
+        return children
+
+    def _build(self) -> None:
+        for path in self.paths:
+            mod = self.model.module(path)
+            for qual, node in mod.functions.items():
+                self.nodes[(path, qual)] = node
+        for path in self.paths:
+            mod = self.model.module(path)
+            for qual, node in mod.functions.items():
+                fid = (path, qual)
+                sites: list[tuple[ast.Call, list[FuncId]]] = []
+                for child in _walk_shallow(node):
+                    if isinstance(child, ast.Call):
+                        targets = self._resolve(mod, qual, node, child)
+                        targets = [t for t in targets if t in self.nodes]
+                        if targets:
+                            sites.append((child, targets))
+                            for t in targets:
+                                self.callers.setdefault(t, set()).add(fid)
+                self.calls[fid] = sites
+
+    def _expand_overrides(self, target: FuncId) -> list[FuncId]:
+        """A call to ``C.m`` also targets every subclass override of
+        ``m`` (conservative virtual dispatch)."""
+        path, qual = target
+        if "." not in qual:
+            return [target]
+        cls, _, method = qual.rpartition(".")
+        if "." in cls:
+            return [target]
+        out = [target]
+        for spath, sname in self._subclasses.get((path, cls), []):
+            sid = (spath, f"{sname}.{method}")
+            if sid in self.nodes:
+                out.append(sid)
+        return out
+
+    def _resolve(
+        self,
+        mod: ModuleInfo,
+        qual: str,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        call: ast.Call,
+    ) -> list[FuncId]:
+        target = call.func
+        if isinstance(target, ast.Name):
+            name = target.id
+            # Lexically enclosing function scopes first (nested defs of
+            # this function, then of its enclosing functions — class
+            # scope is *not* in the bare-name lookup chain), then module
+            # scope.
+            prefix = qual
+            while prefix:
+                if prefix == qual or prefix in mod.functions:
+                    nested = f"{prefix}.{name}"
+                    if nested in mod.functions:
+                        return [(mod.path, nested)]
+                prefix = prefix.rpartition(".")[0]
+            if name in mod.functions:
+                return [(mod.path, name)]
+            if name in mod.classes:
+                init = f"{name}.__init__"
+                return self._expand_overrides((mod.path, init))
+            if name in mod.imports:
+                tmod, attr = mod.imports[name]
+                other = self.model.module_by_name(tmod)
+                if other is not None and attr:
+                    if attr in other.functions:
+                        return [(other.path, attr)]
+                    if attr in other.classes:
+                        return self._expand_overrides(
+                            (other.path, f"{attr}.__init__")
+                        )
+            return []
+        if isinstance(target, ast.Attribute) and isinstance(
+            target.value, ast.Name
+        ):
+            obj, method = target.value.id, target.attr
+            if obj == "self":
+                cls = qual.split(".")[0] if "." in qual else None
+                if cls and cls in mod.classes:
+                    resolved = self._method_in_hierarchy(mod, cls, method)
+                    if resolved is not None:
+                        return self._expand_overrides(resolved)
+                return []
+            inferred = self.model._infer_type(mod, func, obj)
+            if inferred is not None:
+                cmod, cname = inferred
+                resolved = self._method_in_hierarchy(cmod, cname, method)
+                if resolved is not None:
+                    return self._expand_overrides(resolved)
+                return []
+            if obj in mod.imports and mod.imports[obj][1] is None:
+                other = self.model.module_by_name(mod.imports[obj][0])
+                if other is not None and method in other.functions:
+                    return [(other.path, method)]
+        return []
+
+    def _method_in_hierarchy(
+        self, mod: ModuleInfo, cls: str, method: str
+    ) -> FuncId | None:
+        """Look ``method`` up on ``cls`` then its base classes."""
+        seen: set[tuple[Path, str]] = set()
+        queue: list[tuple[ModuleInfo, str]] = [(mod, cls)]
+        while queue:
+            cmod, cname = queue.pop(0)
+            if (cmod.path, cname) in seen:
+                continue
+            seen.add((cmod.path, cname))
+            qual = f"{cname}.{method}"
+            if qual in cmod.functions:
+                return (cmod.path, qual)
+            for base in cmod.class_bases.get(cname, []):
+                resolved = self.model._resolve_class(
+                    cmod, ast.parse(base, mode="eval").body
+                )
+                if resolved is not None:
+                    queue.append(resolved)
+        return None
+
+    def roots(self) -> list[FuncId]:
+        """Functions with no resolved in-graph callers."""
+        return [fid for fid in self.nodes if not self.callers.get(fid)]

@@ -10,10 +10,14 @@ from tools.reprolint.passes import (  # noqa: F401  (registration side effect)
     api_all,
     checkpoint_fields,
     clock_discipline,
+    exception_flow,
     fork_safety,
     inspector_commands,
     layering,
+    message_protocol,
     no_recursion,
     obs_keys,
+    signal_safety,
     stop_reasons,
+    wire_schema,
 )

@@ -7,8 +7,9 @@ dependency in the other direction (engine/testing -> cli / bench) would be
 an import cycle waiting to happen and would drag argparse/IO machinery
 into every library import.
 
-Two checks per guarded package (this pass absorbs the former
-``tools/check_layering.py``):
+Two checks per guarded package (this pass absorbed the former
+``tools/check_layering.py`` script, since removed — the entry point is
+``python -m tools.reprolint --select layering``):
 
 1. **Static**: walk each module's AST for ``repro.cli`` / ``repro.bench``
    imports — including lazy (function-local) ones the dynamic check

@@ -1,0 +1,180 @@
+"""Signal-safety pass: installed handler bodies stay on an allowlist.
+
+CPython runs signal handlers between bytecodes on the main thread, so
+the classic async-signal-safety rules relax — but not to nothing: a
+handler that acquires a lock the interrupted code may hold deadlocks, a
+handler writing buffered stdout can interleave with an in-progress
+write, and allocation-heavy work stretches the window where a second
+signal lands re-entrantly. The repo's handlers (SIGINT cancel trip,
+SIGUSR1 recorder dump, SIGUSR2 checkpoint request) are deliberately
+restricted to *flag sets, queue appends, and audited bounded calls*.
+
+This pass finds every ``signal.signal(sig, handler)`` install whose
+handler resolves to a local ``def`` (``SIG_IGN``/``SIG_DFL`` and
+restored previous-handler variables are skipped) and restricts the
+handler body:
+
+* calls must be ``print(..., file=sys.stderr)`` (unbuffered-enough,
+  never stdout), ``os.write``/``os.kill`` (genuinely async-signal-safe),
+  or a method on the allowlist — cancel-token trips, event flags, queue
+  appends, the inspector's checkpoint request, and the flight recorder's
+  ``format_dump`` (audited: bounded, lock-free, in-memory);
+* ``with`` blocks are flagged outright — that is how locks are taken.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from tools.reprolint import LintContext, LintPass, Violation, register
+
+SCOPE = "src/repro"
+
+#: Handler sentinels that install no Python-level body.
+SENTINELS = ("SIG_IGN", "SIG_DFL")
+
+#: Method names a handler may call: cooperative flags and bounded,
+#: lock-free appends — plus the two audited inspector/recorder entry
+#: points (request_checkpoint only enqueues; format_dump renders the
+#: in-memory ring without locks or I/O).
+ALLOWED_METHODS = frozenset((
+    "trip",
+    "set",
+    "clear",
+    "append",
+    "appendleft",
+    "put_nowait",
+    "request_checkpoint",
+    "format_dump",
+))
+
+#: ``os.<attr>`` calls that are async-signal-safe at the OS level.
+ALLOWED_OS_CALLS = frozenset(("write", "kill"))
+
+
+def _is_signal_install(node: ast.Call) -> bool:
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "signal"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "signal"
+        and len(node.args) >= 2
+    )
+
+
+def _stderr_keyword(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if (keyword.arg == "file"
+                and isinstance(keyword.value, ast.Attribute)
+                and keyword.value.attr == "stderr"
+                and isinstance(keyword.value.value, ast.Name)
+                and keyword.value.value.id == "sys"):
+            return True
+    return False
+
+
+@register
+class SignalSafetyPass(LintPass):
+    name = "signal_safety"
+    description = (
+        "installed signal-handler bodies restricted to an"
+        " async-signal-safe allowlist (flag sets, queue appends, stderr)"
+    )
+
+    def run(self, ctx: LintContext) -> list[Violation]:
+        violations: list[Violation] = []
+        for path in ctx.files(SCOPE):
+            violations.extend(self._check_file(ctx, path))
+        return violations
+
+    def _check_file(self, ctx: LintContext, path: Path) -> list[Violation]:
+        model = ctx.program_model()
+        mod = model.module(path)
+        violations: list[Violation] = []
+        checked: set[int] = set()
+        # Install sites live inside functions (qualified scope chain) or
+        # at module level (empty qual).
+        scopes: list[tuple[str, ast.AST]] = [("", mod.tree)]
+        scopes.extend(mod.functions.items())
+        for qual, scope in scopes:
+            for node in ast.walk(scope):
+                if not (isinstance(node, ast.Call)
+                        and _is_signal_install(node)):
+                    continue
+                handler = self._resolve_handler(mod, qual, node.args[1])
+                if handler is None or id(handler) in checked:
+                    continue
+                checked.add(id(handler))
+                violations.extend(
+                    self._check_handler(ctx, path, node, handler)
+                )
+        return violations
+
+    def _resolve_handler(self, mod, qual: str, node: ast.AST):
+        """The local ``def`` a handler argument names, or None for
+        sentinels, restored previous-handler variables, and anything
+        else not statically resolvable."""
+        if isinstance(node, ast.Attribute) and node.attr in SENTINELS:
+            return None
+        if not isinstance(node, ast.Name):
+            return None  # starred restore, lambda, partial — skip
+        name = node.id
+        prefix = qual
+        while prefix:
+            if prefix == qual or prefix in mod.functions:
+                nested = f"{prefix}.{name}"
+                if nested in mod.functions:
+                    return mod.functions[nested]
+            prefix = prefix.rpartition(".")[0]
+        return mod.functions.get(name)
+
+    def _check_handler(self, ctx: LintContext, path: Path,
+                       install: ast.Call, handler) -> list[Violation]:
+        violations: list[Violation] = []
+        where = (
+            f"signal handler {handler.name}() (installed line"
+            f" {install.lineno})"
+        )
+        for node in ast.walk(handler):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                violations.append(self.violation(
+                    ctx, path, node.lineno,
+                    f"{where} enters a context manager — if that is a"
+                    " lock the interrupted code may already hold it;"
+                    " handlers must stay lock-free",
+                ))
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id == "print":
+                    if not _stderr_keyword(node):
+                        violations.append(self.violation(
+                            ctx, path, node.lineno,
+                            f"{where} prints without file=sys.stderr —"
+                            " buffered stdout is not reentrant under a"
+                            " signal",
+                        ))
+                    continue
+                violations.append(self.violation(
+                    ctx, path, node.lineno,
+                    f"{where} calls {func.id}(), which is not on the"
+                    " async-signal-safe allowlist (flag sets, queue"
+                    " appends, os.write, print to stderr)",
+                ))
+            elif isinstance(func, ast.Attribute):
+                if (isinstance(func.value, ast.Name)
+                        and func.value.id == "os"
+                        and func.attr in ALLOWED_OS_CALLS):
+                    continue
+                if func.attr in ALLOWED_METHODS:
+                    continue
+                violations.append(self.violation(
+                    ctx, path, node.lineno,
+                    f"{where} calls .{func.attr}(), which is not on the"
+                    " async-signal-safe allowlist"
+                    f" ({', '.join(sorted(ALLOWED_METHODS))})",
+                ))
+        return violations

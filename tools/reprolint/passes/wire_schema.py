@@ -1,0 +1,302 @@
+"""Wire-schema pass: encoder/decoder key parity against declared manifests.
+
+Every versioned wire format (checkpoint v1 and its quarantine residue,
+the run-report, the inspector frames, the worker snapshot) declares a
+``WIRE_MANIFESTS`` table in its defining module: the format/version
+stamps, the frozen top-level key set, and which functions encode and
+decode the document. This pass derives — through the
+:class:`~tools.reprolint.model.ProgramModel` dict-key dataflow — the key
+set each encoder actually writes and each decoder actually reads, and
+requires:
+
+* every encoder writes only declared keys, and stamps ``format`` and
+  ``version``;
+* the encoders together write *exactly* the declared key set (a key no
+  encoder emits is dead schema; a key outside the manifest is silent
+  drift);
+* every decoder reads only declared keys, and the decoders together
+  check the ``format``/``version`` stamps;
+* an unresolvable construct (a ``**`` spread the dataflow cannot follow,
+  a non-literal key) is itself a violation — the manifest is only a
+  guarantee if the document stays statically visible.
+
+``reprolint --diff BASE`` adds the version-bump discipline on top:
+:func:`diff_violations` compares each manifest's key set against the
+merge-base revision and fails any change that did not bump the format's
+version (see docs/static-analysis.md).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from tools.reprolint import LintContext, LintPass, Violation, register
+
+SCOPES = (
+    "src/repro/engine/checkpoint.py",
+    "src/repro/obs/report.py",
+    "src/repro/obs/wire.py",
+)
+
+#: Manifest names each live module must declare (live-tree mode only —
+#: fixtures declare whatever they exercise).
+REQUIRED_MANIFESTS = {
+    "src/repro/engine/checkpoint.py": {"checkpoint", "quarantine-residue"},
+    "src/repro/obs/report.py": {"run-report"},
+    "src/repro/obs/wire.py": {"inspect-frame", "worker-snapshot"},
+}
+
+_MANIFEST_FIELDS = ("format", "version", "keys", "encoders", "decoders")
+
+
+def _module_constants(tree: ast.Module) -> dict[str, object]:
+    consts: dict[str, object] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Constant):
+            if isinstance(node.value.value, (str, int)):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        consts[target.id] = node.value.value
+    return consts
+
+
+def _resolve(consts: dict[str, object], node: ast.AST) -> object | None:
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.Name):
+        return consts.get(node.id)
+    return None
+
+
+def _str_tuple(node: ast.AST) -> tuple[str, ...] | None:
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    values = []
+    for elt in node.elts:
+        if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+            return None
+        values.append(elt.value)
+    return tuple(values)
+
+
+def manifest_signatures(tree: ast.Module) -> dict[str, dict]:
+    """Parse a module's ``WIRE_MANIFESTS``: name -> parsed entry.
+
+    Each entry holds ``format``/``version`` (resolved through module-level
+    constants, None when unresolvable), ``keys``/``encoders``/``decoders``
+    (tuples of strings, None when not literal tuples), and ``line`` (the
+    entry's location). Shared by the lint pass and the ``--diff``
+    version-bump check, which parses the merge-base revision with the
+    same function.
+    """
+    consts = _module_constants(tree)
+    table: ast.Dict | None = None
+    for node in tree.body:
+        targets = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if targets and isinstance(value, ast.Dict):
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "WIRE_MANIFESTS":
+                    table = value
+    if table is None:
+        return {}
+    entries: dict[str, dict] = {}
+    for key, value in zip(table.keys, table.values):
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            continue
+        entry: dict = {"line": key.lineno, "format": None, "version": None,
+                       "keys": None, "encoders": None, "decoders": None}
+        if isinstance(value, ast.Dict):
+            for fkey, fvalue in zip(value.keys, value.values):
+                if not (isinstance(fkey, ast.Constant)
+                        and fkey.value in _MANIFEST_FIELDS):
+                    continue
+                if fkey.value in ("format", "version"):
+                    entry[fkey.value] = _resolve(consts, fvalue)
+                else:
+                    entry[fkey.value] = _str_tuple(fvalue)
+        entries[key.value] = entry
+    return entries
+
+
+@register
+class WireSchemaPass(LintPass):
+    name = "wire_schema"
+    description = (
+        "encoder-written and decoder-read keys of every versioned wire"
+        " format must match its declared WIRE_MANIFESTS entry"
+    )
+
+    def run(self, ctx: LintContext) -> list[Violation]:
+        violations: list[Violation] = []
+        for path in ctx.files(*SCOPES):
+            violations.extend(self._check_file(ctx, path))
+        return violations
+
+    def _check_file(self, ctx: LintContext, path: Path) -> list[Violation]:
+        tree = ctx.tree(path)
+        model = ctx.program_model()
+        mod = model.module(path)
+        violations: list[Violation] = []
+
+        entries = manifest_signatures(tree)
+        if not ctx.fixture_mode:
+            required = REQUIRED_MANIFESTS.get(ctx.rel(path), set())
+            for name in sorted(required - set(entries)):
+                violations.append(self.violation(
+                    ctx, path, 1,
+                    f"module must declare wire manifest {name!r} in"
+                    " WIRE_MANIFESTS",
+                ))
+        for name, entry in sorted(entries.items()):
+            violations.extend(
+                self._check_manifest(ctx, path, mod, name, entry)
+            )
+        return violations
+
+    def _check_manifest(self, ctx: LintContext, path: Path, mod,
+                        name: str, entry: dict) -> list[Violation]:
+        model = ctx.program_model()
+        line = entry["line"]
+        violations: list[Violation] = []
+        if not isinstance(entry["format"], str):
+            violations.append(self.violation(
+                ctx, path, line,
+                f"manifest {name!r}: 'format' must resolve to a string"
+                " constant",
+            ))
+        if not isinstance(entry["version"], int):
+            violations.append(self.violation(
+                ctx, path, line,
+                f"manifest {name!r}: 'version' must resolve to an integer"
+                " constant",
+            ))
+        for field in ("keys", "encoders", "decoders"):
+            if entry[field] is None:
+                violations.append(self.violation(
+                    ctx, path, line,
+                    f"manifest {name!r}: {field!r} must be a literal tuple"
+                    " of strings",
+                ))
+        if violations:
+            return violations
+        keys = set(entry["keys"])
+        for stamp in ("format", "version"):
+            if stamp not in keys:
+                violations.append(self.violation(
+                    ctx, path, line,
+                    f"manifest {name!r}: key set must include the"
+                    f" {stamp!r} stamp",
+                ))
+
+        written_union: set[str] = set()
+        for spec in entry["encoders"]:
+            flow = model.written_keys(mod, spec)
+            for pline, problem in flow.problems:
+                violations.append(self.violation(
+                    ctx, path, pline,
+                    f"manifest {name!r}: encoder {spec!r}: {problem}",
+                ))
+            written_union |= flow.keys
+            where = flow.line or line
+            for extra in sorted(flow.keys - keys):
+                violations.append(self.violation(
+                    ctx, path, where,
+                    f"encoder {spec!r} writes key {extra!r} that is not in"
+                    f" the {name!r} manifest (format"
+                    f" {entry['format']!r} v{entry['version']}) — add it"
+                    " to WIRE_MANIFESTS and bump the version",
+                ))
+            if flow.keys and not {"format", "version"} <= flow.keys:
+                violations.append(self.violation(
+                    ctx, path, where,
+                    f"encoder {spec!r} does not stamp format/version on"
+                    f" the {name!r} document",
+                ))
+        for missing in sorted(keys - written_union):
+            violations.append(self.violation(
+                ctx, path, line,
+                f"manifest {name!r} (format {entry['format']!r}"
+                f" v{entry['version']}) declares key {missing!r} that no"
+                " listed encoder writes — dropped encoder key or stale"
+                " manifest; changing the key set requires a version bump",
+            ))
+
+        read_union: set[str] = set()
+        for spec in entry["decoders"]:
+            flow = model.read_keys(mod, spec)
+            for pline, problem in flow.problems:
+                violations.append(self.violation(
+                    ctx, path, pline,
+                    f"manifest {name!r}: decoder {spec!r}: {problem}",
+                ))
+            read_union |= flow.keys
+            where = flow.line or line
+            for extra in sorted(flow.keys - keys):
+                violations.append(self.violation(
+                    ctx, path, where,
+                    f"decoder {spec!r} reads key {extra!r} that is not in"
+                    f" the {name!r} manifest (format"
+                    f" {entry['format']!r} v{entry['version']}) — the"
+                    " encoders never write it",
+                ))
+        if entry["decoders"] and not {"format", "version"} <= read_union:
+            violations.append(self.violation(
+                ctx, path, line,
+                f"manifest {name!r}: no listed decoder checks the"
+                " format/version stamps — a foreign document would be"
+                " accepted silently",
+            ))
+        return violations
+
+
+def diff_violations(ctx: LintContext, path: Path, old_tree: ast.Module,
+                    new_tree: ast.Module) -> list[Violation]:
+    """Version-bump discipline between two revisions of one module.
+
+    For every manifest present in both trees: a changed key set with an
+    unchanged version is a violation (published documents of that version
+    now disagree about their schema). A manifest that disappeared is also
+    flagged — formats are retired by version, not by deletion.
+    """
+    gate = WireSchemaPass()
+    old = manifest_signatures(old_tree)
+    new = manifest_signatures(new_tree)
+    violations: list[Violation] = []
+    for name, old_entry in sorted(old.items()):
+        new_entry = new.get(name)
+        if new_entry is None:
+            violations.append(gate.violation(
+                ctx, path, 1,
+                f"wire manifest {name!r} was removed; formats are retired"
+                " by bumping the version, not by deleting the manifest",
+            ))
+            continue
+        old_keys, new_keys = old_entry["keys"], new_entry["keys"]
+        if old_keys is None or new_keys is None:
+            continue
+        if set(old_keys) != set(new_keys) and (
+            old_entry["version"] == new_entry["version"]
+        ):
+            added = sorted(set(new_keys) - set(old_keys))
+            removed = sorted(set(old_keys) - set(new_keys))
+            detail = "; ".join(
+                part for part in (
+                    f"added {', '.join(map(repr, added))}" if added else "",
+                    f"removed {', '.join(map(repr, removed))}" if removed
+                    else "",
+                ) if part
+            )
+            violations.append(gate.violation(
+                ctx, path, new_entry["line"],
+                f"manifest {name!r} changed its key set ({detail}) without"
+                f" bumping the version (still"
+                f" {new_entry['version']!r}) — readers of format"
+                f" {new_entry['format']!r} cannot tell the documents"
+                " apart",
+            ))
+    return violations

@@ -1,0 +1,67 @@
+"""SARIF 2.1.0 output for reprolint violations.
+
+``python -m tools.reprolint --sarif`` emits one SARIF log so CI can
+upload lint results to GitHub code scanning and violations render as
+inline annotations on pull requests. One rule per registered pass (the
+pass catalog *is* the rule catalog), one result per violation, every
+result ``error``-level — reprolint has no warnings, a violated invariant
+fails the build.
+"""
+
+from __future__ import annotations
+
+from tools.reprolint import LintPass, Violation
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def sarif_report(
+    registry: dict[str, LintPass], violations: list[Violation]
+) -> dict:
+    """Build the SARIF log object for one lint run."""
+    rules = [
+        {
+            "id": name,
+            "name": name,
+            "shortDescription": {"text": lint_pass.description},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for name, lint_pass in registry.items()
+    ]
+    results = [
+        {
+            "ruleId": violation.pass_name,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {"startLine": max(1, violation.line)},
+                    }
+                }
+            ],
+        }
+        for violation in violations
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
